@@ -1,0 +1,132 @@
+// E8a — Geometry kernel microbenchmarks (google-benchmark).
+//
+// The polytope operations dominate Algorithm CC's computation: round 0
+// performs C(|X|,f) hulls plus one halfspace intersection; every later
+// round performs an (n-f)-way weighted Minkowski sum and the analysis
+// computes Hausdorff distances. These benches track their scaling in the
+// point count and dimension.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "geometry/distance.hpp"
+#include "geometry/hull2d.hpp"
+#include "geometry/ops.hpp"
+#include "geometry/quickhull.hpp"
+
+namespace {
+
+using namespace chc;
+using namespace chc::geo;
+
+std::vector<Vec> cloud(std::size_t m, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> pts;
+  pts.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    Vec p(d);
+    for (std::size_t c = 0; c < d; ++c) p[c] = rng.uniform(-1, 1);
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+void BM_Hull2d(benchmark::State& state) {
+  const auto pts = cloud(static_cast<std::size_t>(state.range(0)), 2, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hull2d(pts));
+  }
+}
+BENCHMARK(BM_Hull2d)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_QuickhullDim(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto pts = cloud(128, d, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quickhull(pts));
+  }
+}
+BENCHMARK(BM_QuickhullDim)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_Minkowski2d(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto a = hull2d(cloud(m, 2, 3));
+  const auto b = hull2d(cloud(m, 2, 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minkowski_sum2d(a, b));
+  }
+}
+BENCHMARK(BM_Minkowski2d)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_LinearCombinationL(benchmark::State& state) {
+  // L over n-f polygons — one Algorithm CC round's computation (d = 2).
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<Polytope> polys;
+  for (std::size_t i = 0; i < k; ++i) {
+    polys.push_back(Polytope::from_points(cloud(12, 2, 10 + i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(equal_weight_combination(polys));
+  }
+}
+BENCHMARK(BM_LinearCombinationL)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_LinearCombinationL3d(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<Polytope> polys;
+  for (std::size_t i = 0; i < k; ++i) {
+    polys.push_back(Polytope::from_points(cloud(10, 3, 20 + i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(equal_weight_combination(polys));
+  }
+}
+BENCHMARK(BM_LinearCombinationL3d)->Arg(4)->Arg(8);
+
+void BM_SubsetHullIntersection(benchmark::State& state) {
+  // Round 0, line 5: intersect C(m, f) subset hulls (m = n-f points, f=2).
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto pts = cloud(m, 2, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intersection_of_subset_hulls(pts, 2));
+  }
+}
+BENCHMARK(BM_SubsetHullIntersection)->Arg(7)->Arg(10)->Arg(13)->Arg(17);
+
+void BM_Hausdorff(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto a = Polytope::from_points(cloud(m, 2, 6));
+  const auto b = Polytope::from_points(cloud(m, 2, 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hausdorff(a, b));
+  }
+}
+BENCHMARK(BM_Hausdorff)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_NearestPointWolfe3d(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto pts = cloud(m, 3, 8);
+  const Vec q{2.0, 2.0, 2.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nearest_point_in_hull(pts, q));
+  }
+}
+BENCHMARK(BM_NearestPointWolfe3d)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_HalfspaceIntersection(benchmark::State& state) {
+  // Intersect k random square-ish polytopes.
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<Polytope> polys;
+  Rng rng(9);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double cx = rng.uniform(-0.2, 0.2), cy = rng.uniform(-0.2, 0.2);
+    polys.push_back(Polytope::box(Vec{cx - 1, cy - 1}, Vec{cx + 1, cy + 1}));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intersect(polys));
+  }
+}
+BENCHMARK(BM_HalfspaceIntersection)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

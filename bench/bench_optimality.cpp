@@ -1,0 +1,72 @@
+// E4 — Optimality (Lemma 6 / Theorem 3) and the stable-vector ablation.
+//
+// For Algorithm CC the decided polytope of every fault-free process must
+// contain I_Z — the largest region ANY algorithm can guarantee in the
+// worst case. The ablation replaces round 0's stable vector with a plain
+// first-(n-f) collect: convergence and validity survive, but the guaranteed
+// region shrinks and the I_Z containment certificate can fail under
+// adversarial schedules.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/harness.hpp"
+
+using namespace chc;
+
+int main(int argc, char** argv) {
+  bench::init_output(argc, argv);
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::print_experiment_header(
+      "E4", "I_Z optimality: stable vector vs naive round-0 ablation");
+
+  const std::size_t seeds = quick ? 5 : 20;
+  const std::vector<std::pair<core::CrashStyle, const char*>> styles = {
+      {core::CrashStyle::kMidBroadcast, "mid-bcast"},
+      {core::CrashStyle::kEarly, "early"},
+  };
+  const std::vector<std::pair<core::DelayRegime, const char*>> delays = {
+      {core::DelayRegime::kUniform, "uniform"},
+      {core::DelayRegime::kLaggedFaulty, "lagged"},
+      {core::DelayRegime::kExponential, "expo"},
+  };
+
+  Table t({"round0", "crash", "delay", "runs", "IZ_contained", "mean_area",
+           "mean_IZ_area"});
+
+  for (const auto policy : {core::Round0Policy::kStableVector,
+                            core::Round0Policy::kNaiveCollect}) {
+    for (const auto& [style, style_name] : styles) {
+      for (const auto& [delay, delay_name] : delays) {
+        std::size_t held = 0, runs = 0;
+        double area_sum = 0.0, iz_sum = 0.0;
+        for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+          core::RunConfig rc;
+          rc.cc = core::CCConfig{.n = 9, .f = 2, .d = 2, .eps = 0.05};
+          rc.cc.round0 = policy;
+          rc.pattern = core::InputPattern::kUniform;
+          rc.crash_style = style;
+          rc.delay = delay;
+          rc.seed = 7000 + seed;
+          const auto out = core::run_cc_once(rc);
+          if (!out.cert.all_decided) continue;
+          ++runs;
+          if (out.cert.optimality) ++held;
+          area_sum += out.cert.min_output_measure;
+          iz_sum += out.cert.iz_measure;
+        }
+        t.add_row({policy == core::Round0Policy::kStableVector ? "stable-vec"
+                                                               : "naive",
+                   style_name, delay_name, Table::num(runs), Table::num(held),
+                   Table::num(runs ? area_sum / double(runs) : 0.0, 4),
+                   Table::num(runs ? iz_sum / double(runs) : 0.0, 4)});
+      }
+    }
+  }
+  bench::emit(t);
+  std::cout
+      << "Paper's claim: with stable vector, IZ_contained == runs in every "
+         "row\n(Lemma 6); the naive ablation has no such guarantee and its\n"
+         "guaranteed region (mean_IZ_area of its own views) is smaller.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared helpers for the experiment harnesses (E1..E8).
+//
+// Every harness prints a header naming the experiment and a fixed-format
+// table; EXPERIMENTS.md records these tables as the paper-vs-measured
+// evidence. Pass --quick to any harness to shrink sweeps (CI-sized runs).
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace chc::bench {
+
+inline bool flag_present(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+inline bool quick_mode(int argc, char** argv) {
+  return flag_present(argc, argv, "--quick");
+}
+
+namespace detail {
+inline bool& csv_flag() {
+  static bool flag = false;
+  return flag;
+}
+}  // namespace detail
+
+/// Call once at the top of main: switches emit() to CSV when --csv is
+/// passed (for piping straight into plotting scripts).
+inline void init_output(int argc, char** argv) {
+  detail::csv_flag() = flag_present(argc, argv, "--csv");
+}
+
+inline void print_experiment_header(const std::string& id,
+                                    const std::string& title) {
+  if (detail::csv_flag()) {
+    std::cout << "# " << id << ": " << title << "\n";
+    return;
+  }
+  std::cout << "\n================================================\n"
+            << id << ": " << title << "\n"
+            << "================================================\n";
+}
+
+inline void emit(const Table& t) {
+  if (detail::csv_flag()) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+  std::cout << "\n";
+}
+
+}  // namespace chc::bench

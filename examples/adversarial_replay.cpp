@@ -1,0 +1,99 @@
+// Adversarial deep-dive: mid-broadcast crashes, the stable-vector
+// Containment property, the I_Z optimality floor, and what breaks when
+// round 0 skips the stable vector (the naive ablation).
+#include <algorithm>
+#include <iostream>
+#include <set>
+
+#include "core/harness.hpp"
+
+using namespace chc;
+
+namespace {
+
+void show_views(const core::RunOutput& out) {
+  std::cout << "round-0 views R_i (stable vector):\n";
+  for (sim::ProcessId p : out.correct) {
+    const auto& view = out.trace->of(p).round0_view;
+    if (!view.has_value()) continue;
+    std::cout << "  R_" << p << " = {";
+    bool first = true;
+    for (const auto& [origin, x] : *view) {
+      std::cout << (first ? "" : ", ") << origin;
+      first = false;
+    }
+    std::cout << "}\n";
+  }
+  // Containment check, printed.
+  std::vector<std::set<sim::ProcessId>> views;
+  for (sim::ProcessId p : out.correct) {
+    const auto& view = out.trace->of(p).round0_view;
+    if (!view.has_value()) continue;
+    std::set<sim::ProcessId> s;
+    for (const auto& [o, x] : *view) s.insert(o);
+    views.push_back(std::move(s));
+  }
+  bool contained = true;
+  for (std::size_t a = 0; a < views.size(); ++a) {
+    for (std::size_t b = a + 1; b < views.size(); ++b) {
+      const bool ab = std::includes(views[b].begin(), views[b].end(),
+                                    views[a].begin(), views[a].end());
+      const bool ba = std::includes(views[a].begin(), views[a].end(),
+                                    views[b].begin(), views[b].end());
+      if (!ab && !ba) contained = false;
+    }
+  }
+  std::cout << "containment across views: " << (contained ? "HOLDS" : "BROKEN")
+            << "\n";
+}
+
+core::RunOutput run(core::Round0Policy policy, std::uint64_t seed) {
+  core::RunConfig rc;
+  rc.cc = core::CCConfig{.n = 9, .f = 2, .d = 2, .eps = 0.05};
+  rc.cc.round0 = policy;
+  rc.pattern = core::InputPattern::kUniform;
+  rc.crash_style = core::CrashStyle::kMidBroadcast;
+  rc.delay = core::DelayRegime::kLaggedFaulty;
+  rc.seed = seed;
+  return core::run_cc_once(rc);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Algorithm CC with stable vector (the paper) ===\n";
+  const auto good = run(core::Round0Policy::kStableVector, 19);
+  show_views(good);
+  std::cout << "certificate: validity=" << good.cert.validity
+            << " agreement=" << good.cert.agreement
+            << " optimality(I_Z in output)=" << good.cert.optimality
+            << "\noutput area in [" << good.cert.min_output_measure << ", "
+            << good.cert.max_output_measure << "], I_Z area "
+            << good.cert.iz_measure << "\n";
+
+  std::cout << "\n=== Ablation: naive round 0 (no stable vector) ===\n";
+  // Sweep seeds; naive round 0 keeps validity/agreement but can lose the
+  // I_Z floor: with fragmented round-0 views the guaranteed common region
+  // shrinks (or the containment certificate fails outright).
+  std::size_t opt_ok = 0, runs = 0;
+  double area_ratio_sum = 0.0;
+  for (std::uint64_t seed = 19; seed < 39; ++seed) {
+    const auto naive = run(core::Round0Policy::kNaiveCollect, seed);
+    if (!naive.cert.all_decided) continue;
+    ++runs;
+    if (naive.cert.optimality) ++opt_ok;
+    const auto ref = run(core::Round0Policy::kStableVector, seed);
+    if (ref.cert.max_output_measure > 1e-12) {
+      area_ratio_sum +=
+          naive.cert.max_output_measure / ref.cert.max_output_measure;
+    }
+  }
+  std::cout << "runs: " << runs << ", I_Z-optimality certificate held in "
+            << opt_ok << " (stable vector holds it in all by Lemma 6)\n"
+            << "mean output-area ratio naive/stable = "
+            << area_ratio_sum / static_cast<double>(runs) << "\n";
+  std::cout << "\nThe stable vector's Containment property is exactly what "
+               "makes every\nfault-free output contain I_Z (Lemma 6) and "
+               "hence optimal (Theorem 3).\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Convex hull function optimization (paper §7): the 2-step algorithm, the
+// weak β-optimality guarantee, and the Theorem-4 tension that rules out
+// point agreement for arbitrary costs.
+#include <iostream>
+
+#include "optimize/two_step.hpp"
+
+int main() {
+  using namespace chc;
+
+  // --- Part 1: b-Lipschitz quadratic cost, beta chosen up front. -----
+  {
+    core::RunConfig rc;
+    rc.cc = core::CCConfig{.n = 9, .f = 2, .d = 2, .eps = 0.05};
+    rc.pattern = core::InputPattern::kUniform;
+    rc.crash_style = core::CrashStyle::kEarly;
+    rc.seed = 11;
+
+    const opt::QuadraticCost cost(geo::Vec{0.0, 0.0});
+    const double b =
+        *cost.lipschitz_on(geo::Vec{-2, -2}, geo::Vec{2, 2});
+    const double beta = 0.25;
+    rc.cc.eps = opt::epsilon_for_beta(beta, b);
+
+    std::cout << "2-step optimization, quadratic cost c(x) = ||x||^2\n"
+              << "  beta = " << beta << ", Lipschitz b = " << b
+              << " -> eps = " << rc.cc.eps << " (t_end = " << rc.cc.t_end()
+              << ")\n";
+
+    const auto out = opt::optimize_two_step(rc, cost);
+    std::cout << "  validity: " << (out.validity ? "yes" : "NO")
+              << ", cost spread = " << out.max_cost_spread
+              << " (< beta: " << (out.max_cost_spread < beta ? "yes" : "NO")
+              << "), point spread = " << out.max_point_spread << "\n";
+    for (const auto& o : out.outputs) {
+      std::cout << "    process " << o.pid << ": y = " << o.y
+                << ", c(y) = " << o.cost << "\n";
+    }
+  }
+
+  // --- Part 2: the Theorem-4 cost — weak optimality holds, but argmin
+  // ties at the two global minima can break point agreement. ----------
+  {
+    core::RunConfig rc;
+    rc.cc = core::CCConfig{.n = 4, .f = 1, .d = 1, .eps = 0.05};
+    rc.pattern = core::InputPattern::kUniform;
+    rc.crash_style = core::CrashStyle::kNone;
+    rc.seed = 3;
+
+    const opt::Theorem4Cost cost;
+    std::cout << "\nTheorem-4 cost c(x) = 4-(2x-1)^2 on [0,1], 3 outside\n"
+              << "  (two global minima at x=0 and x=1: the tie that makes\n"
+              << "   eps-agreement + optimality impossible in general)\n";
+    const auto out = opt::optimize_two_step(rc, cost);
+    for (const auto& o : out.outputs) {
+      std::cout << "    process " << o.pid << ": y = " << o.y
+                << ", c(y) = " << o.cost << "\n";
+    }
+    std::cout << "  cost spread = " << out.max_cost_spread
+              << " (weak optimality), point spread = "
+              << out.max_point_spread
+              << (out.max_point_spread > rc.cc.eps
+                      ? "  <-- exceeds eps: no point agreement"
+                      : "  (tie happened to break the same way)")
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Scenario: distributed sensor fusion with faulty sensors.
+//
+// Thirteen observation stations each estimate the 2-D position of a target.
+// Up to two stations are faulty: they report wildly wrong positions
+// (incorrect inputs) and may crash mid-protocol. The stations run convex
+// hull consensus to agree — within eps — on a *region* guaranteed to lie
+// inside the convex hull of the honest estimates, then each picks the
+// point of that region nearest to its depot to dispatch a response team.
+//
+// This illustrates why a polytope-valued output is more useful than vector
+// consensus's single point: every station can locally optimize its own
+// objective over the agreed region while staying consistent with the rest.
+#include <cmath>
+#include <iostream>
+
+#include "core/harness.hpp"
+#include "optimize/minimize.hpp"
+
+int main() {
+  using namespace chc;
+
+  core::RunConfig rc;
+  rc.cc = core::CCConfig{.n = 13, .f = 2, .d = 2, .eps = 0.02};
+  rc.pattern = core::InputPattern::kClustered;  // honest estimates agree-ish
+  rc.crash_style = core::CrashStyle::kMidBroadcast;
+  rc.delay = core::DelayRegime::kExponential;   // straggling radio links
+  rc.seed = 7;
+
+  std::cout << "Sensor fusion: " << rc.cc.n << " stations, up to " << rc.cc.f
+            << " faulty, eps = " << rc.cc.eps << "\n";
+
+  const core::RunOutput out = core::run_cc_once(rc);
+  if (!out.cert.all_decided) {
+    std::cout << "some station failed to decide\n";
+    return 1;
+  }
+
+  std::cout << "agreed target region (station " << out.correct[0]
+            << "): area = "
+            << out.trace->of(out.correct[0]).decision->measure()
+            << ", max disagreement d_H = " << out.cert.max_pairwise_hausdorff
+            << "\n";
+  std::cout << "validity (region inside honest estimates' hull): "
+            << (out.cert.validity ? "yes" : "NO") << "\n\n";
+
+  // Each station dispatches from its own depot: nearest point of the agreed
+  // region. Depots ring the unit square.
+  std::cout << "dispatch points (nearest point of agreed region to depot):\n";
+  for (std::size_t i = 0; i < out.correct.size(); ++i) {
+    const sim::ProcessId p = out.correct[i];
+    const double ang =
+        6.283185307179586 * static_cast<double>(i) /
+        static_cast<double>(out.correct.size());
+    const geo::Vec depot{2.0 * std::cos(ang), 2.0 * std::sin(ang)};
+    const auto& region = *out.trace->of(p).decision;
+    const geo::Vec dispatch = region.nearest_point(depot);
+    std::cout << "  station " << p << ": depot " << depot << " -> "
+              << dispatch << " (travel " << depot.dist(dispatch) << ")\n";
+  }
+
+  // A shared cost (fuel to a common refueling site) can also be optimized
+  // per-station over the agreed region; values agree to ~eps * Lipschitz.
+  const opt::QuadraticCost fuel(geo::Vec{1.0, 1.0});
+  double lo = 1e100, hi = -1e100;
+  for (sim::ProcessId p : out.correct) {
+    const auto r = opt::minimize_over_polytope(
+        fuel, *out.trace->of(p).decision);
+    lo = std::min(lo, r.value);
+    hi = std::max(hi, r.value);
+  }
+  std::cout << "\nshared-cost minimum across stations: [" << lo << ", " << hi
+            << "] (spread " << hi - lo << ")\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Geometry demo: why h_i[0] is never empty (Lemma 2 / Tverberg's theorem).
+//
+// Any (d+1)f + 1 points in R^d admit a partition into f+1 parts whose
+// convex hulls share a point; every (|X|-f)-subset keeps at least one part
+// whole, so the subset-hull intersection contains that common point.
+#include <iostream>
+
+#include "common/combinatorics.hpp"
+#include "common/rng.hpp"
+#include "geometry/ops.hpp"
+#include "geometry/tverberg.hpp"
+
+int main() {
+  using namespace chc;
+  Rng rng(2024);
+
+  const std::size_t d = 2, f = 2;
+  const std::size_t m = (d + 1) * f + 1;  // 7 points
+
+  std::vector<geo::Vec> pts;
+  for (std::size_t i = 0; i < m; ++i) {
+    pts.push_back(geo::Vec{rng.uniform(0, 1), rng.uniform(0, 1)});
+  }
+  std::cout << m << " random points in the unit square (d=" << d
+            << ", f=" << f << "):\n";
+  for (std::size_t i = 0; i < m; ++i) {
+    std::cout << "  p" << i << " = " << pts[i] << "\n";
+  }
+
+  const auto part = geo::tverberg_partition(pts, f + 1);
+  if (!part) {
+    std::cout << "no Tverberg partition found (should not happen!)\n";
+    return 1;
+  }
+  std::cout << "\nTverberg partition into " << f + 1 << " parts:\n";
+  for (std::size_t k = 0; k < part->parts.size(); ++k) {
+    std::cout << "  T" << k + 1 << " = {";
+    for (std::size_t j = 0; j < part->parts[k].size(); ++j) {
+      std::cout << (j ? ", " : "") << "p" << part->parts[k][j];
+    }
+    std::cout << "}\n";
+  }
+  std::cout << "common witness point: " << part->witness << "\n";
+
+  const auto h0 = geo::intersection_of_subset_hulls(pts, f);
+  std::cout << "\nh[0] = intersection of all C(" << m << "," << f
+            << ") = " << binomial(m, f) << " subset hulls:\n  "
+            << (h0.is_empty() ? 0u : h0.vertices().size())
+            << " vertices, area " << (h0.is_empty() ? 0.0 : h0.measure())
+            << "\n";
+  std::cout << "witness inside h[0]: "
+            << (h0.contains(part->witness, 1e-6) ? "yes" : "NO")
+            << "  (Lemma 2: J ⊆ h_i[0], so h_i[0] is non-empty)\n";
+  return h0.is_empty() ? 1 : 0;
+}

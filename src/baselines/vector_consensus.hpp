@@ -1,0 +1,84 @@
+// Baseline: approximate vector (multidimensional) consensus.
+//
+// The paper's introduction positions convex hull consensus as a
+// generalization of vector consensus [13, 20]: processes decide on a single
+// point inside the convex hull of correct inputs. This baseline implements
+// the point-valued analogue of Algorithm CC under the same crash-with-
+// incorrect-inputs model and resilience bound n >= (d+2)f + 1:
+//
+//   Round 0:  stable vector -> X_i; p_i[0] := a deterministic point of
+//             ∩_{|C|=|X_i|-f} H(C) (the centroid of its vertex set).
+//   Round t:  broadcast p_i[t-1]; on the first n-f round-t points,
+//             p_i[t] := their arithmetic mean.
+//   Decide:   p_i[t_end], with the same t_end as Algorithm CC (the same
+//             row-stochastic contraction argument applies to points).
+//
+// Experiment E6 compares its outputs (a single point, zero measure) and
+// costs against Algorithm CC's polytope outputs.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/harness.hpp"
+#include "dsm/stable_vector.hpp"
+#include "geometry/vec.hpp"
+#include "sim/process.hpp"
+#include "sim/simulation.hpp"
+
+namespace chc::baselines {
+
+/// Tag for round t >= 1 point messages; payload is PointMsg.
+inline constexpr int kTagPointRound = 300;
+
+struct PointMsg {
+  std::size_t round;
+  geo::Vec p;
+};
+
+class VectorConsensusProcess final : public sim::Process {
+ public:
+  VectorConsensusProcess(const core::CCConfig& cfg, geo::Vec input);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_timer(sim::Context& ctx, int token) override;
+
+  const std::optional<geo::Vec>& decision() const { return decision_; }
+  bool round0_failed() const { return round0_failed_; }
+
+ private:
+  void on_round0(sim::Context& ctx, const dsm::StableVectorResult& view);
+  void maybe_complete_round(sim::Context& ctx);
+
+  core::CCConfig cfg_;
+  std::size_t t_end_;
+  geo::Vec input_;
+  std::unique_ptr<dsm::StableVector> sv_;
+  geo::Vec p_;
+  std::size_t current_round_ = 0;
+  bool round0_done_ = false;
+  bool round0_failed_ = false;
+  std::optional<geo::Vec> decision_;
+  std::map<std::size_t, std::map<sim::ProcessId, geo::Vec>> inbox_;
+};
+
+/// Outcome of one vector-consensus execution over a generated workload.
+struct VectorConsensusOutput {
+  std::vector<std::optional<geo::Vec>> decisions;  ///< indexed by process
+  std::vector<sim::ProcessId> correct;
+  std::vector<geo::Vec> correct_inputs;
+  bool all_decided = false;
+  bool validity = false;        ///< decisions inside hull of correct inputs
+  bool agreement = false;       ///< pairwise distance < eps
+  double max_pairwise_dist = 0.0;
+  sim::SimStats stats;
+};
+
+/// Runs the baseline under the same harness knobs as run_cc_once.
+VectorConsensusOutput run_vector_consensus(const core::RunConfig& rc);
+
+}  // namespace chc::baselines

@@ -1,0 +1,47 @@
+// Lightweight contract-checking macros used across the library.
+//
+// CHC_CHECK is for preconditions and invariants that guard against caller
+// misuse; it throws chc::ContractViolation so tests can assert on it.
+// CHC_INTERNAL is for "cannot happen" internal invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace chc {
+
+/// Thrown when a documented precondition or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace chc
+
+#define CHC_CHECK(expr, msg)                                                 \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::chc::detail::contract_fail("precondition", #expr, __FILE__,          \
+                                   __LINE__, (msg));                         \
+    }                                                                        \
+  } while (false)
+
+#define CHC_INTERNAL(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::chc::detail::contract_fail("internal invariant", #expr, __FILE__,    \
+                                   __LINE__, (msg));                         \
+    }                                                                        \
+  } while (false)

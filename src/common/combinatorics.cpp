@@ -1,0 +1,64 @@
+#include "common/combinatorics.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace chc {
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    const std::uint64_t num = n - k + i;
+    // result = result * num / i, guarding overflow.
+    if (result > std::numeric_limits<std::uint64_t>::max() / num) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    result = result * num / i;
+  }
+  return result;
+}
+
+void for_each_subset(
+    std::size_t n, std::size_t k,
+    const std::function<bool(const std::vector<std::size_t>&)>& visit) {
+  CHC_CHECK(k <= n, "subset size exceeds ground-set size");
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  if (k == 0) {
+    visit(idx);
+    return;
+  }
+  while (true) {
+    if (!visit(idx)) return;
+    // Advance to the next lexicographic combination.
+    std::size_t i = k;
+    while (i > 0 && idx[i - 1] == n - k + (i - 1)) --i;
+    if (i == 0) return;
+    ++idx[i - 1];
+    for (std::size_t j = i; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+void for_each_drop(
+    std::size_t n, std::size_t drop,
+    const std::function<bool(const std::vector<std::size_t>&)>& visit) {
+  CHC_CHECK(drop <= n, "cannot drop more elements than available");
+  for_each_subset(n, drop, [&](const std::vector<std::size_t>& dropped) {
+    std::vector<std::size_t> kept;
+    kept.reserve(n - drop);
+    std::size_t di = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (di < dropped.size() && dropped[di] == i) {
+        ++di;
+      } else {
+        kept.push_back(i);
+      }
+    }
+    return visit(kept);
+  });
+}
+
+}  // namespace chc

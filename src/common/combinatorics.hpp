@@ -1,0 +1,28 @@
+// Subset enumeration helpers used by the hull-intersection steps of
+// Algorithm CC (line 5 and the I_Z optimality certificate), which intersect
+// the convex hulls of all (|X|-f)-sized sub-multisets of X.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace chc {
+
+/// Binomial coefficient C(n, k) computed in unsigned 64-bit; saturates at
+/// UINT64_MAX on overflow (callers only use it for sizing estimates).
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
+
+/// Invokes `visit` once for every k-sized subset of {0,...,n-1}, passing the
+/// sorted index vector. Subsets are enumerated in lexicographic order.
+/// `visit` may return false to stop enumeration early.
+void for_each_subset(std::size_t n, std::size_t k,
+                     const std::function<bool(const std::vector<std::size_t>&)>& visit);
+
+/// Enumerates all (n-k)-sized subsets by listing the k *excluded* indices —
+/// the natural form for "drop any f of the inputs" in Algorithm CC. Calls
+/// `visit(kept)` with the sorted kept-index vector.
+void for_each_drop(std::size_t n, std::size_t drop,
+                   const std::function<bool(const std::vector<std::size_t>&)>& visit);
+
+}  // namespace chc

@@ -1,0 +1,66 @@
+// Deterministic seeded random number generation.
+//
+// Everything stochastic in the library (workload generation, network delay
+// models, crash schedules) draws from chc::Rng so that every experiment is
+// reproducible from a single 64-bit seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace chc {
+
+/// SplitMix64-seeded xoshiro256** generator with convenience helpers.
+///
+/// Not cryptographic; chosen for speed, quality and tiny state so each
+/// simulated process / channel can own an independent stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (one value per call; no caching so the
+  /// stream is position-independent).
+  double normal();
+
+  /// Exponential with the given rate (> 0).
+  double exponential(double rate);
+
+  /// true with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Choose k distinct indices out of n (0-based), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derive an independent child stream (stable: depends only on the parent
+  /// seed and `stream_id`, not on how much the parent has been used).
+  Rng fork(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t state_[4];
+  std::uint64_t seed_;  // remembered for fork()
+};
+
+}  // namespace chc

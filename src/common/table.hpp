@@ -1,0 +1,34 @@
+// Fixed-width table printer used by the benchmark harnesses so every
+// experiment emits the same machine-greppable rows recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace chc {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+/// Also supports CSV emission for downstream plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 4);
+  static std::string num(std::size_t v);
+  static std::string num(int v);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace chc

@@ -1,0 +1,241 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "geometry/ops.hpp"
+
+namespace chc::core {
+
+std::vector<sim::ProcessId> completed_round(const TraceCollector& trace,
+                                            std::size_t t) {
+  std::vector<sim::ProcessId> out;
+  for (sim::ProcessId p = 0; p < trace.n(); ++p) {
+    if (t == 0) {
+      if (trace.of(p).h0.has_value()) out.push_back(p);
+    } else if (trace.of(p).h.count(t) != 0) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<Matrix> build_transition_matrices(const TraceCollector& trace) {
+  const std::size_t n = trace.n();
+  const std::size_t tmax = trace.max_round();
+  std::vector<Matrix> ms;
+  ms.reserve(tmax);
+  for (std::size_t t = 1; t <= tmax; ++t) {
+    Matrix m(n, std::vector<double>(n, 0.0));
+    for (sim::ProcessId i = 0; i < n; ++i) {
+      const auto& tr = trace.of(i);
+      const auto it = tr.senders.find(t);
+      if (it != tr.senders.end()) {
+        // Rule 1: weight 1/|MSG_i[t]| on each sender, 0 elsewhere (eq. 8-9).
+        const double w = 1.0 / static_cast<double>(it->second.size());
+        for (sim::ProcessId k : it->second) m[i][k] = w;
+      } else {
+        // Rule 2: the row is irrelevant; uniform keeps M row stochastic
+        // (eq. 10).
+        for (sim::ProcessId k = 0; k < n; ++k) {
+          m[i][k] = 1.0 / static_cast<double>(n);
+        }
+      }
+    }
+    ms.push_back(std::move(m));
+  }
+  return ms;
+}
+
+bool is_row_stochastic(const Matrix& m, double tol) {
+  for (const auto& row : m) {
+    double sum = 0.0;
+    for (double x : row) {
+      if (x < -tol) return false;
+      sum += x;
+    }
+    if (std::fabs(sum - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+Matrix matrix_product_backward(const std::vector<Matrix>& ms, std::size_t t) {
+  CHC_CHECK(t >= 1 && t <= ms.size(), "round index out of range");
+  const std::size_t n = ms[0].size();
+  // P = M[1]; then P = M[tau] P for tau = 2..t (backward convention eq. 4).
+  Matrix p = ms[0];
+  for (std::size_t tau = 2; tau <= t; ++tau) {
+    const Matrix& m = ms[tau - 1];
+    Matrix next(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double mik = m[i][k];
+        if (mik == 0.0) continue;
+        for (std::size_t j = 0; j < n; ++j) next[i][j] += mik * p[k][j];
+      }
+    }
+    p = std::move(next);
+  }
+  return p;
+}
+
+double ergodicity_delta(const Matrix& p,
+                        const std::vector<sim::ProcessId>& rows) {
+  double delta = 0.0;
+  for (std::size_t a = 0; a < rows.size(); ++a) {
+    for (std::size_t b = a + 1; b < rows.size(); ++b) {
+      for (std::size_t k = 0; k < p.size(); ++k) {
+        delta = std::max(delta, std::fabs(p[rows[a]][k] - p[rows[b]][k]));
+      }
+    }
+  }
+  return delta;
+}
+
+std::vector<geo::Polytope> replay_matrix_evolution(const TraceCollector& trace,
+                                                   std::size_t t,
+                                                   double rel_tol) {
+  const std::size_t n = trace.n();
+  const auto ms = build_transition_matrices(trace);
+  CHC_CHECK(t <= ms.size(), "round index exceeds recorded rounds");
+
+  // Initialization I1/I2 (§5): v_k[0] for processes without h_k[0] is set to
+  // a fault-free process's h[0] — any process that recorded one.
+  std::optional<geo::Polytope> fallback;
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    if (trace.of(p).h0.has_value()) {
+      fallback = trace.of(p).h0;
+      break;
+    }
+  }
+  CHC_CHECK(fallback.has_value(), "no process completed round 0");
+
+  std::vector<geo::Polytope> v;
+  v.reserve(n);
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    v.push_back(trace.of(p).h0.value_or(*fallback));
+  }
+
+  for (std::size_t tau = 1; tau <= t; ++tau) {
+    const Matrix& m = ms[tau - 1];
+    std::vector<geo::Polytope> next;
+    next.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Row product A_i v = L(v^T; A_i) (eq. 5) over non-zero weights.
+      std::vector<geo::Polytope> polys;
+      std::vector<double> weights;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (m[i][k] > 0.0) {
+          polys.push_back(v[k]);
+          weights.push_back(m[i][k]);
+        }
+      }
+      next.push_back(geo::linear_combination(polys, weights, rel_tol));
+    }
+    v = std::move(next);
+  }
+  return v;
+}
+
+geo::Polytope compute_iz(const TraceCollector& trace,
+                         const std::vector<sim::ProcessId>& procs,
+                         std::size_t f, double rel_tol) {
+  CHC_CHECK(!procs.empty(), "need at least one process for Z");
+  // Z := ∩ R_i. Views are containment-ordered (stable vector), so the
+  // intersection is the smallest view; intersect explicitly anyway.
+  std::optional<std::set<std::pair<sim::ProcessId, std::vector<double>>>> z;
+  for (sim::ProcessId p : procs) {
+    const auto& view = trace.of(p).round0_view;
+    CHC_CHECK(view.has_value(), "process has no recorded round-0 view");
+    std::set<std::pair<sim::ProcessId, std::vector<double>>> entries;
+    for (const auto& [origin, x] : *view) entries.insert({origin, x.coords()});
+    if (!z.has_value()) {
+      z = std::move(entries);
+    } else {
+      std::set<std::pair<sim::ProcessId, std::vector<double>>> inter;
+      std::set_intersection(z->begin(), z->end(), entries.begin(),
+                            entries.end(),
+                            std::inserter(inter, inter.begin()));
+      z = std::move(inter);
+    }
+  }
+  std::vector<geo::Vec> xz;
+  xz.reserve(z->size());
+  for (const auto& [origin, coords] : *z) xz.push_back(geo::Vec(coords));
+  if (xz.size() <= f) {
+    // Without the stable vector's Containment property (naive round-0
+    // ablation), the common view Z can shrink below f+1 entries — the
+    // guaranteed region is then vacuous.
+    const auto& any_view = trace.of(procs.front()).round0_view;
+    const std::size_t d = any_view->front().second.dim();
+    return geo::Polytope::empty(d);
+  }
+  return geo::intersection_of_subset_hulls(xz, f, rel_tol);
+}
+
+Certificate certify(const TraceCollector& trace,
+                    const std::vector<sim::ProcessId>& correct,
+                    const std::vector<geo::Vec>& correct_inputs,
+                    const CCConfig& cfg, double check_tol) {
+  CHC_CHECK(!correct.empty(), "need at least one correct process");
+  CHC_CHECK(!correct_inputs.empty(), "validity needs at least one input");
+  Certificate cert;
+  cert.rounds = trace.max_round();
+
+  cert.all_decided = true;
+  std::vector<geo::Polytope> outputs;
+  for (sim::ProcessId p : correct) {
+    const auto& d = trace.of(p).decision;
+    if (!d.has_value()) {
+      cert.all_decided = false;
+      continue;
+    }
+    outputs.push_back(*d);
+  }
+  if (outputs.empty()) return cert;
+
+  // Validity: every output inside the hull of correct inputs (Theorem 2).
+  const geo::Polytope correct_hull = geo::Polytope::from_points(correct_inputs);
+  cert.correct_hull_measure = correct_hull.measure();
+  cert.validity = true;
+  for (const auto& out : outputs) {
+    if (!correct_hull.contains(out, check_tol)) cert.validity = false;
+  }
+
+  // ε-agreement: pairwise Hausdorff distance below ε (Theorem 2).
+  cert.max_pairwise_hausdorff = 0.0;
+  for (std::size_t a = 0; a < outputs.size(); ++a) {
+    for (std::size_t b = a + 1; b < outputs.size(); ++b) {
+      cert.max_pairwise_hausdorff = std::max(
+          cert.max_pairwise_hausdorff, geo::hausdorff(outputs[a], outputs[b]));
+    }
+  }
+  cert.agreement = cert.max_pairwise_hausdorff < cfg.eps + check_tol;
+
+  // Optimality: I_Z contained in every output (Lemma 6 / Theorem 3). The
+  // drop count matches the fault model's round-0 rule.
+  const geo::Polytope iz =
+      compute_iz(trace, correct, cfg.round0_drop(), cfg.rel_tol);
+  cert.iz_measure = iz.is_empty() ? 0.0 : iz.measure();
+  if (iz.is_empty()) {
+    // Vacuous guaranteed region: the optimality floor could not even be
+    // formed (only possible without the stable vector).
+    cert.optimality = false;
+  } else {
+    cert.optimality = true;
+    for (const auto& out : outputs) {
+      if (!out.contains(iz, check_tol)) cert.optimality = false;
+    }
+  }
+
+  cert.min_output_measure = outputs[0].measure();
+  cert.max_output_measure = outputs[0].measure();
+  for (const auto& out : outputs) {
+    cert.min_output_measure = std::min(cert.min_output_measure, out.measure());
+    cert.max_output_measure = std::max(cert.max_output_measure, out.measure());
+  }
+  return cert;
+}
+
+}  // namespace chc::core

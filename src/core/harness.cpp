@@ -1,0 +1,98 @@
+#include "core/harness.hpp"
+
+#include <set>
+
+#include "common/check.hpp"
+#include "core/process_cc.hpp"
+
+namespace chc::core {
+
+std::unique_ptr<sim::DelayModel> make_delay_model(
+    DelayRegime regime, const std::vector<sim::ProcessId>& faulty,
+    std::size_t n) {
+  switch (regime) {
+    case DelayRegime::kUniform:
+      return std::make_unique<sim::UniformDelay>(0.1, 1.0);
+    case DelayRegime::kExponential:
+      return std::make_unique<sim::ExponentialDelay>(0.5);
+    case DelayRegime::kLaggedFaulty:
+      return std::make_unique<sim::LaggedSetDelay>(
+          std::make_unique<sim::UniformDelay>(0.1, 1.0),
+          std::set<sim::ProcessId>(faulty.begin(), faulty.end()), 50.0);
+    case DelayRegime::kLaggedOneCorrect: {
+      const std::set<sim::ProcessId> fset(faulty.begin(), faulty.end());
+      sim::ProcessId lagged = 0;
+      for (sim::ProcessId p = n; p-- > 0;) {
+        if (fset.count(p) == 0) {
+          lagged = p;
+          break;
+        }
+      }
+      // Transient lag: heavy during round 0 (so its write misses the other
+      // processes' stable-vector scans and views genuinely differ), gone
+      // afterwards (so the process participates in the iterate rounds and
+      // message sets stay diverse).
+      return std::make_unique<sim::PhasedLagDelay>(
+          std::make_unique<sim::UniformDelay>(0.1, 1.0),
+          std::set<sim::ProcessId>{lagged}, 40.0, /*until=*/12.0);
+    }
+  }
+  CHC_INTERNAL(false, "unknown delay regime");
+}
+
+RunOutput run_cc_custom(const CCConfig& cc, const Workload& workload,
+                        CrashStyle crash_style, DelayRegime delay,
+                        std::uint64_t seed) {
+  CHC_CHECK(workload.inputs.size() == cc.n, "one input per process");
+  CHC_CHECK(workload.faulty.size() <= cc.f,
+            "faulty set larger than configured f");
+
+  RunOutput out;
+  out.workload = workload;
+
+  // The termination bound (eq. 19) assumes the configured magnitude bounds
+  // the correct inputs; take the larger of the two so the guarantee holds.
+  CCConfig cfg = cc;
+  cfg.input_magnitude =
+      std::max(cc.input_magnitude, workload.correct_magnitude);
+
+  auto sim = std::make_unique<sim::Simulation>(
+      cc.n, seed, make_delay_model(delay, workload.faulty, cc.n),
+      make_crash_schedule(workload, crash_style, seed));
+
+  out.trace = std::make_unique<TraceCollector>(cc.n);
+  for (sim::ProcessId p = 0; p < cc.n; ++p) {
+    sim->add_process(std::make_unique<CCProcess>(cfg, workload.inputs[p],
+                                                 out.trace.get()));
+  }
+
+  const sim::RunResult rr = sim->run();
+  out.quiescent = rr.quiescent;
+  out.stats = rr.stats;
+
+  const std::set<sim::ProcessId> faulty(workload.faulty.begin(),
+                                        workload.faulty.end());
+  for (sim::ProcessId p = 0; p < cc.n; ++p) {
+    if (faulty.count(p) == 0) {
+      out.correct.push_back(p);
+      out.correct_inputs.push_back(workload.inputs[p]);
+    }
+  }
+  // Validity domain: the fault-free inputs under the incorrect-inputs
+  // model; ALL inputs when faulty processes have correct inputs (TR [16]).
+  const std::vector<geo::Vec>& validity_inputs =
+      (cc.fault_model == FaultModel::kCrashCorrectInputs)
+          ? workload.inputs
+          : out.correct_inputs;
+  out.cert = certify(*out.trace, out.correct, validity_inputs, cfg);
+  return out;
+}
+
+RunOutput run_cc_once(const RunConfig& rc) {
+  const Workload w = make_workload(
+      rc.cc.n, rc.cc.f, rc.cc.d, rc.pattern, rc.seed,
+      rc.cc.fault_model == FaultModel::kCrashIncorrectInputs);
+  return run_cc_custom(rc.cc, w, rc.crash_style, rc.delay, rc.seed);
+}
+
+}  // namespace chc::core

@@ -1,0 +1,67 @@
+// One-call experiment harness: workload -> simulation -> certificate.
+//
+// This is the public entry point most examples and benchmarks use: it wires
+// a workload, a delay model and a crash schedule into the simulator, runs
+// Algorithm CC on every process, and certifies the outcome against the
+// paper's properties.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/config.hpp"
+#include "core/trace.hpp"
+#include "core/workload.hpp"
+#include "sim/simulation.hpp"
+
+namespace chc::core {
+
+/// Network scheduling regimes for experiments.
+enum class DelayRegime {
+  kUniform,       ///< uniform [0.1, 1.0]
+  kExponential,   ///< exponential, mean 0.5 (stragglers)
+  kLaggedFaulty,  ///< faulty processes' channels 50x slower (Theorem 3's
+                  ///< adversarial schedule)
+  kLaggedOneCorrect,  ///< one *correct* process is slow: its round-0 view
+                      ///< lands late, so correct processes' views genuinely
+                      ///< differ and per-round disagreement is non-trivial
+                      ///< (used by the convergence experiments E2/E3)
+};
+
+struct RunConfig {
+  CCConfig cc;
+  InputPattern pattern = InputPattern::kUniform;
+  CrashStyle crash_style = CrashStyle::kMidBroadcast;
+  DelayRegime delay = DelayRegime::kUniform;
+  std::uint64_t seed = 1;
+};
+
+struct RunOutput {
+  std::unique_ptr<TraceCollector> trace;
+  Certificate cert;
+  sim::SimStats stats;
+  Workload workload;
+  std::vector<sim::ProcessId> correct;      ///< V - F
+  std::vector<geo::Vec> correct_inputs;
+  bool quiescent = false;
+};
+
+/// Builds the delay model for a regime (exposed for custom setups).
+/// `n` identifies the process-id space (needed to pick the lagged correct
+/// process for kLaggedOneCorrect: the highest non-faulty id).
+std::unique_ptr<sim::DelayModel> make_delay_model(
+    DelayRegime regime, const std::vector<sim::ProcessId>& faulty,
+    std::size_t n);
+
+/// Runs one complete execution of Algorithm CC and certifies it.
+RunOutput run_cc_once(const RunConfig& rc);
+
+/// Same, but with caller-chosen inputs and faulty set instead of a
+/// generated workload (the faulty processes are the ones with incorrect
+/// inputs; pass an empty set for a fault-free run).
+RunOutput run_cc_custom(const CCConfig& cc, const Workload& workload,
+                        CrashStyle crash_style, DelayRegime delay,
+                        std::uint64_t seed);
+
+}  // namespace chc::core

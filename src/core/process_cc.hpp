@@ -1,0 +1,85 @@
+// Algorithm CC (paper §4): the asynchronous approximate convex hull
+// consensus process.
+//
+//   Round 0:  broadcast the input through the stable-vector primitive;
+//             on receiving R_i, set X_i := {x | (x,k,0) ∈ R_i} and
+//             h_i[0] := ∩_{C ⊆ X_i, |C| = |X_i|−f} H(C)          (line 5)
+//   Round t:  broadcast (h_i[t−1], i, t); when n−f round-t messages are
+//             present for the first time (own message included),
+//             h_i[t] := L(Y_i[t]; equal weights)                  (line 14)
+//   Decide:   h_i[t_end] with t_end from eq. (19).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/trace.hpp"
+#include "dsm/stable_vector.hpp"
+#include "geometry/polytope.hpp"
+#include "sim/process.hpp"
+
+namespace chc::core {
+
+/// Tag for round t >= 1 messages; payload is RoundMsg.
+inline constexpr int kTagRound = 200;
+/// Tag for the naive round-0 input broadcast (Round0Policy::kNaiveCollect);
+/// payload is geo::Vec.
+inline constexpr int kTagNaiveInput = 201;
+
+struct RoundMsg {
+  std::size_t round;
+  geo::Polytope h;
+};
+
+class CCProcess final : public sim::Process {
+ public:
+  /// `trace` may be null (no recording); must outlive the simulation.
+  CCProcess(const CCConfig& cfg, geo::Vec input, TraceCollector* trace);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_timer(sim::Context& ctx, int token) override;
+
+  /// The decision h_i[t_end]; empty until the process terminates.
+  const std::optional<geo::Polytope>& decision() const { return decision_; }
+
+  /// h_i[t] for all completed rounds (index 0 = h_i[0]).
+  const std::vector<geo::Polytope>& history() const { return history_; }
+
+  /// True if round 0 produced an empty polytope (only possible below the
+  /// n >= (d+2)f+1 resilience bound) — the process halts in that case.
+  bool round0_failed() const { return round0_failed_; }
+
+  const geo::Vec& input() const { return input_; }
+
+ private:
+  void on_round0(sim::Context& ctx, const dsm::StableVectorResult& view);
+  void enter_round(sim::Context& ctx, std::size_t t);
+  void maybe_complete_round(sim::Context& ctx);
+  void maybe_complete_naive_round0(sim::Context& ctx);
+
+  CCConfig cfg_;
+  std::size_t t_end_;
+  geo::Vec input_;
+  TraceCollector* trace_;
+
+  std::unique_ptr<dsm::StableVector> sv_;
+  geo::Polytope h_;  // current state h_i[current_round_ - 1]
+  std::vector<geo::Polytope> history_;
+  std::size_t current_round_ = 0;  // round being executed
+  bool round0_done_ = false;
+  bool round0_failed_ = false;
+  std::optional<geo::Polytope> decision_;
+
+  // Buffered round messages: round -> (sender -> polytope). FIFO channels
+  // and the round structure mean at most one message per sender per round.
+  std::map<std::size_t, std::map<sim::ProcessId, geo::Polytope>> inbox_;
+
+  // Naive round-0 ablation: inputs received so far.
+  std::map<sim::ProcessId, geo::Vec> naive_inbox_;
+};
+
+}  // namespace chc::core

@@ -1,0 +1,57 @@
+#include "core/trace.hpp"
+
+#include "common/check.hpp"
+
+namespace chc::core {
+
+void TraceCollector::record_round0(sim::ProcessId p,
+                                   const dsm::StableVectorResult& view,
+                                   const geo::Polytope& h0) {
+  auto& t = procs_.at(p);
+  CHC_CHECK(!t.round0_view.has_value(), "round 0 recorded twice");
+  t.round0_view = view;
+  t.h0 = h0;
+}
+
+void TraceCollector::record_round0_empty(sim::ProcessId p,
+                                         const dsm::StableVectorResult& view) {
+  auto& t = procs_.at(p);
+  CHC_CHECK(!t.round0_view.has_value(), "round 0 recorded twice");
+  t.round0_view = view;
+  t.round0_empty = true;
+}
+
+void TraceCollector::record_round(sim::ProcessId p, std::size_t t,
+                                  std::set<sim::ProcessId> senders,
+                                  const geo::Polytope& h) {
+  CHC_CHECK(t >= 1, "round index must be >= 1");
+  auto& tr = procs_.at(p);
+  CHC_CHECK(tr.senders.find(t) == tr.senders.end(), "round recorded twice");
+  tr.senders[t] = std::move(senders);
+  tr.h[t] = h;
+}
+
+void TraceCollector::record_decision(sim::ProcessId p,
+                                     const geo::Polytope& decision) {
+  auto& t = procs_.at(p);
+  CHC_CHECK(!t.decision.has_value(), "decision recorded twice");
+  t.decision = decision;
+}
+
+std::size_t TraceCollector::max_round() const {
+  std::size_t m = 0;
+  for (const auto& p : procs_) {
+    if (!p.h.empty()) m = std::max(m, p.h.rbegin()->first);
+  }
+  return m;
+}
+
+std::vector<sim::ProcessId> TraceCollector::decided() const {
+  std::vector<sim::ProcessId> out;
+  for (sim::ProcessId p = 0; p < procs_.size(); ++p) {
+    if (procs_[p].decision.has_value()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace chc::core

@@ -1,0 +1,63 @@
+// Execution traces of Algorithm CC.
+//
+// The correctness (§5) and optimality (§6) arguments of the paper are
+// phrased over a concrete execution: the round-0 views R_i, the per-round
+// message sets MSG_i[t], and the state polytopes h_i[t]. The TraceCollector
+// records exactly these so the analysis module can rebuild the transition
+// matrices M[t] (Rules 1–2), replay the matrix state evolution (Theorem 1),
+// check the ergodicity bound (Lemma 3 / eq. 12), and compute the optimality
+// lower bound I_Z (eq. 20–21).
+//
+// The simulator is single-threaded, so one collector is shared by all
+// processes of a run.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "dsm/stable_vector.hpp"
+#include "geometry/polytope.hpp"
+#include "sim/message.hpp"
+
+namespace chc::core {
+
+/// Per-process, per-round record of one execution.
+struct ProcessTrace {
+  std::optional<dsm::StableVectorResult> round0_view;  ///< R_i
+  std::optional<geo::Polytope> h0;                     ///< h_i[0]
+  /// Round t >= 1: senders whose message was in MSG_i[t] when the round
+  /// completed, and the resulting state h_i[t]. Keyed by t.
+  std::map<std::size_t, std::set<sim::ProcessId>> senders;
+  std::map<std::size_t, geo::Polytope> h;
+  std::optional<geo::Polytope> decision;  ///< h_i[t_end] if decided
+  bool round0_empty = false;  ///< h_i[0] was empty (below resilience bound)
+};
+
+class TraceCollector {
+ public:
+  explicit TraceCollector(std::size_t n) : procs_(n) {}
+
+  void record_round0(sim::ProcessId p, const dsm::StableVectorResult& view,
+                     const geo::Polytope& h0);
+  void record_round0_empty(sim::ProcessId p,
+                           const dsm::StableVectorResult& view);
+  void record_round(sim::ProcessId p, std::size_t t,
+                    std::set<sim::ProcessId> senders, const geo::Polytope& h);
+  void record_decision(sim::ProcessId p, const geo::Polytope& decision);
+
+  std::size_t n() const { return procs_.size(); }
+  const ProcessTrace& of(sim::ProcessId p) const { return procs_.at(p); }
+
+  /// Largest round index recorded by any process.
+  std::size_t max_round() const;
+
+  /// Processes that produced a decision.
+  std::vector<sim::ProcessId> decided() const;
+
+ private:
+  std::vector<ProcessTrace> procs_;
+};
+
+}  // namespace chc::core

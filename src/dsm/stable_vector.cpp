@@ -1,0 +1,61 @@
+#include "dsm/stable_vector.hpp"
+
+#include "common/check.hpp"
+
+namespace chc::dsm {
+
+namespace {
+constexpr sim::Time kRetryDelay = 1.0;
+}
+
+StableVector::StableVector(std::size_t n, std::size_t f, sim::ProcessId self)
+    : n_(n), f_(f), store_(n, f, self) {}
+
+void StableVector::start(sim::Context& ctx, const geo::Vec& input, Done done) {
+  CHC_CHECK(done_ == nullptr && !finished_, "stable vector is one-shot");
+  done_ = std::move(done);
+  store_.write(ctx, input, [this](sim::Context& c) { begin_collect(c); });
+}
+
+void StableVector::begin_collect(sim::Context& ctx) {
+  ++collects_;
+  store_.collect(ctx, [this](sim::Context& c, const View& v) {
+    on_collect(c, v);
+  });
+}
+
+void StableVector::on_collect(sim::Context& ctx, const View& view) {
+  if (finished_) return;
+  if (have_prev_ && view_equal(prev_, view)) {
+    if (view_count(view) >= n_ - f_) {
+      finished_ = true;
+      StableVectorResult result;
+      for (std::size_t i = 0; i < view.size(); ++i) {
+        if (view[i].has_value()) result.emplace_back(i, *view[i]);
+      }
+      auto cb = std::move(done_);
+      done_ = nullptr;
+      cb(ctx, result);
+      return;
+    }
+    // Stable but too small: other writes are still in flight. Back off so
+    // the retry is not a hot loop.
+    have_prev_ = false;
+    ctx.set_timer(kRetryDelay, kStableVectorRetryToken);
+    return;
+  }
+  prev_ = view;
+  have_prev_ = true;
+  begin_collect(ctx);
+}
+
+void StableVector::on_message(sim::Context& ctx, const sim::Message& msg) {
+  store_.on_message(ctx, msg);
+}
+
+void StableVector::on_timer(sim::Context& ctx, int token) {
+  if (token != kStableVectorRetryToken || finished_) return;
+  begin_collect(ctx);
+}
+
+}  // namespace chc::dsm

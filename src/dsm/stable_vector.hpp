@@ -1,0 +1,74 @@
+// The stable vector communication primitive (paper §3).
+//
+// Round 0 of Algorithm CC uses stable vector to learn inputs with two
+// properties (for n >= 2f + 1 under crash faults):
+//
+//   * Liveness:    every process that does not crash obtains a set R_i with
+//                  at least n - f distinct (x, k, 0) tuples.
+//   * Containment: for any two processes i, j that complete round 0,
+//                  R_i ⊆ R_j or R_j ⊆ R_i.
+//
+// Implementation: write the input into the quorum-replicated grow-only
+// store, then run a double-collect scan — repeat collects until two
+// successive collects return the same view AND the view has >= n - f
+// entries. Containment argument: order scans by the start time σ of their
+// *second* (equal) collect. The earlier scan's first collect wrote its
+// union back to an (n-f)-quorum before σ_early <= σ_late, and the later
+// scan's second collect gathers from an intersecting quorum, so
+// R_early ⊆ (later second collect) = R_late.
+//
+// If a double collect is stable but still has fewer than n - f entries,
+// the scan backs off with a timer and retries (other processes' writes are
+// still in flight; at least n - f correct processes eventually complete
+// their writes, so this terminates).
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "dsm/store.hpp"
+#include "geometry/vec.hpp"
+#include "sim/process.hpp"
+
+namespace chc::dsm {
+
+/// Timer token used for scan retry back-off (forward on_timer calls with
+/// this token to the component).
+inline constexpr int kStableVectorRetryToken = 150;
+
+/// R_i: the tuples returned by stable vector, as (origin, input) pairs.
+using StableVectorResult = std::vector<std::pair<sim::ProcessId, geo::Vec>>;
+
+class StableVector {
+ public:
+  using Done = std::function<void(sim::Context&, const StableVectorResult&)>;
+
+  StableVector(std::size_t n, std::size_t f, sim::ProcessId self);
+
+  static bool handles(int tag) { return GrowOnlyStore::handles(tag); }
+
+  /// Broadcasts (input, self, 0) via the store and scans until stable.
+  void start(sim::Context& ctx, const geo::Vec& input, Done done);
+
+  void on_message(sim::Context& ctx, const sim::Message& msg);
+  void on_timer(sim::Context& ctx, int token);
+
+  /// Number of collects this instance performed (message-complexity metric
+  /// for experiment E8).
+  std::size_t collects_performed() const { return collects_; }
+
+ private:
+  void begin_collect(sim::Context& ctx);
+  void on_collect(sim::Context& ctx, const View& view);
+
+  std::size_t n_, f_;
+  GrowOnlyStore store_;
+  Done done_;
+  bool have_prev_ = false;
+  View prev_;
+  std::size_t collects_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace chc::dsm

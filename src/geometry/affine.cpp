@@ -1,0 +1,97 @@
+#include "geometry/affine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace chc::geo {
+namespace {
+
+/// Residual of `v` after removing its components along the orthonormal
+/// `basis`.
+Vec residual(const Vec& v, const std::vector<Vec>& basis) {
+  Vec r = v;
+  // Two passes of modified Gram–Schmidt for numerical hygiene.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Vec& b : basis) {
+      const double coeff = r.dot(b);
+      for (std::size_t i = 0; i < r.dim(); ++i) r[i] -= coeff * b[i];
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+AffineSubspace AffineSubspace::from_points(const std::vector<Vec>& points,
+                                           double rel_tol) {
+  CHC_CHECK(!points.empty(), "affine hull of an empty point set is undefined");
+  const std::size_t ambient = points[0].dim();
+  for (const Vec& p : points) {
+    CHC_CHECK(p.dim() == ambient, "all points must share a dimension");
+  }
+
+  double scale = 1.0;
+  for (const Vec& p : points) scale = std::max(scale, p.max_abs());
+  const double tol = rel_tol * scale;
+
+  const Vec& origin = points[0];
+  std::vector<Vec> basis;
+  basis.reserve(std::min(ambient, points.size() - 1));
+
+  while (basis.size() < ambient) {
+    double best_norm = 0.0;
+    Vec best;
+    for (const Vec& p : points) {
+      const Vec r = residual(p - origin, basis);
+      const double n = r.norm();
+      if (n > best_norm) {
+        best_norm = n;
+        best = r;
+      }
+    }
+    if (best_norm <= tol) break;
+    basis.push_back(best * (1.0 / best_norm));
+  }
+  return AffineSubspace(origin, std::move(basis));
+}
+
+AffineSubspace AffineSubspace::canonical(std::size_t d) {
+  std::vector<Vec> basis;
+  basis.reserve(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    Vec e(d, 0.0);
+    e[i] = 1.0;
+    basis.push_back(std::move(e));
+  }
+  return AffineSubspace(Vec(d, 0.0), std::move(basis));
+}
+
+Vec AffineSubspace::project(const Vec& ambient) const {
+  CHC_CHECK(ambient.dim() == ambient_dim(), "dimension mismatch");
+  const Vec rel = ambient - origin_;
+  Vec local(basis_.size());
+  for (std::size_t i = 0; i < basis_.size(); ++i) local[i] = rel.dot(basis_[i]);
+  return local;
+}
+
+Vec AffineSubspace::lift(const Vec& local) const {
+  CHC_CHECK(local.dim() == dim(), "local coordinate dimension mismatch");
+  Vec out = origin_;
+  for (std::size_t i = 0; i < basis_.size(); ++i) {
+    for (std::size_t j = 0; j < out.dim(); ++j) out[j] += local[i] * basis_[i][j];
+  }
+  return out;
+}
+
+double AffineSubspace::distance(const Vec& ambient) const {
+  const Vec back = lift(project(ambient));
+  return back.dist(ambient);
+}
+
+bool AffineSubspace::contains(const Vec& ambient, double tol) const {
+  return distance(ambient) <= tol;
+}
+
+}  // namespace chc::geo

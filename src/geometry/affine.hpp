@@ -1,0 +1,60 @@
+// Affine-hull computation and subspace projection.
+//
+// Adversarial consensus inputs are often degenerate (all points collinear or
+// coplanar), and intermediate polytopes of Algorithm CC can be genuinely
+// lower-dimensional. Rather than perturbing, the library computes the affine
+// hull of a point set exactly-within-tolerance, solves the geometric problem
+// inside that subspace, and lifts results back.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/vec.hpp"
+
+namespace chc::geo {
+
+/// An affine subspace `origin + span(basis)` of R^ambient with an
+/// orthonormal basis.
+class AffineSubspace {
+ public:
+  /// Computes the affine hull of `points` by greedy pivoted Gram–Schmidt:
+  /// repeatedly adds the point with the largest residual until residuals
+  /// drop below the (scale-relative) tolerance. Requires at least 1 point.
+  static AffineSubspace from_points(const std::vector<Vec>& points,
+                                    double rel_tol = 1e-9);
+
+  /// The whole of R^d: origin 0, canonical basis. project/lift are the
+  /// identity, which lets full-dimensional callers skip the subspace
+  /// machinery (and its basis-orientation ambiguity).
+  static AffineSubspace canonical(std::size_t d);
+
+  std::size_t ambient_dim() const { return origin_.dim(); }
+  /// Intrinsic dimension (0 = single point).
+  std::size_t dim() const { return basis_.size(); }
+
+  const Vec& origin() const { return origin_; }
+  const std::vector<Vec>& basis() const { return basis_; }
+
+  /// Coordinates of (the orthogonal projection of) an ambient point in the
+  /// subspace basis.
+  Vec project(const Vec& ambient) const;
+
+  /// Maps local coordinates back into ambient space.
+  Vec lift(const Vec& local) const;
+
+  /// Euclidean distance from an ambient point to this flat.
+  double distance(const Vec& ambient) const;
+
+  /// True if the point lies on the flat within `tol`.
+  bool contains(const Vec& ambient, double tol) const;
+
+ private:
+  AffineSubspace(Vec origin, std::vector<Vec> basis)
+      : origin_(std::move(origin)), basis_(std::move(basis)) {}
+
+  Vec origin_;
+  std::vector<Vec> basis_;  // orthonormal directions
+};
+
+}  // namespace chc::geo

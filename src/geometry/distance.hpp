@@ -1,0 +1,24 @@
+// Nearest-point computation over a convex hull given by vertices.
+//
+// Used for point–polytope distance in dimensions >= 3 (d = 1, 2 have exact
+// closed-form paths). Implemented with Wolfe's min-norm-point algorithm —
+// the finite, exact active-set method underlying GJK — which handles
+// queries on or near the hull boundary without the sublinear zigzagging of
+// first-order methods.
+#pragma once
+
+#include <vector>
+
+#include "geometry/vec.hpp"
+
+namespace chc::geo {
+
+/// Returns argmin_{x in conv(verts)} ||x - p||. `tol` is the scale-relative
+/// Wolfe-criterion tolerance on the squared distance; the default resolves
+/// distances to ~1e-6·scale or better. Requires at least one vertex.
+/// `max_iter` bounds major cycles (finite termination is guaranteed in
+/// exact arithmetic; the bound is a numerical tripwire).
+Vec nearest_point_in_hull(const std::vector<Vec>& verts, const Vec& p,
+                          double tol = 1e-12, std::size_t max_iter = 1000);
+
+}  // namespace chc::geo

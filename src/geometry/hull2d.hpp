@@ -1,0 +1,51 @@
+// Exact 2-D convex-polygon machinery.
+//
+// d = 2 is the workhorse dimension for the experiments, so it gets dedicated
+// linear/near-linear algorithms: monotone-chain hull, Sutherland–Hodgman
+// halfplane clipping, and the rotating edge-merge Minkowski sum. These also
+// serve as ground truth for cross-validating the generic d-dimensional code.
+//
+// Convention: convex polygons are vertex lists in counter-clockwise (CCW)
+// order with no duplicate or collinear vertices. A polygon with 2 vertices
+// is a segment, with 1 a point.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geometry/vec.hpp"
+
+namespace chc::geo {
+
+/// Andrew's monotone chain. Returns the hull in CCW order with collinear
+/// interior points removed. Accepts duplicates and degenerate inputs:
+/// collinear input yields the 2 extreme points, identical input yields 1.
+std::vector<Vec> hull2d(std::vector<Vec> points, double tol = 1e-12);
+
+/// Signed area via the shoelace formula (positive for CCW polygons).
+double polygon_area(const std::vector<Vec>& poly);
+
+/// True if `p` lies inside or on the boundary of the CCW convex polygon.
+bool polygon_contains(const std::vector<Vec>& poly, const Vec& p, double tol);
+
+/// Clips a CCW convex polygon with the halfplane {x : a·x <= b}
+/// (Sutherland–Hodgman step). Returns the clipped polygon, possibly empty.
+std::vector<Vec> clip_halfplane(const std::vector<Vec>& poly, const Vec& a,
+                                double b, double tol = 1e-12);
+
+/// Minkowski sum of two CCW convex polygons by rotating edge merge, O(a+b).
+/// Both inputs must have >= 1 vertex; degenerate inputs (points/segments)
+/// are handled. The result is canonicalized through hull2d.
+std::vector<Vec> minkowski_sum2d(const std::vector<Vec>& p,
+                                 const std::vector<Vec>& q);
+
+/// Distance from a point to a segment [a, b].
+double point_segment_distance(const Vec& p, const Vec& a, const Vec& b);
+
+/// Distance from a point to a CCW convex polygon (0 when inside).
+double point_polygon_distance(const std::vector<Vec>& poly, const Vec& p);
+
+/// Nearest point of the polygon to `p` (p itself when inside).
+Vec polygon_nearest_point(const std::vector<Vec>& poly, const Vec& p);
+
+}  // namespace chc::geo

@@ -1,0 +1,66 @@
+// Polytope operations used directly by Algorithm CC.
+//
+//  * intersect_halfspaces / intersect — line 5 of the algorithm and the I_Z
+//    optimality certificate intersect convex hulls; we go through the
+//    H-representation, find an interior point by LP (Chebyshev center),
+//    and enumerate vertices by polar duality. Lower-dimensional
+//    intersections are detected via implicit equalities and solved
+//    recursively inside their affine hull.
+//  * linear_combination — the paper's function L (Definition 2): the
+//    weighted Minkowski sum of convex polytopes, computed by pairwise
+//    summation with hull pruning (exact rotating edge merge for d = 2).
+//  * intersection_of_subset_hulls — ∩_{C ⊆ X, |C| = |X|-f} H(C), shared by
+//    line 5 (on X_i) and the I_Z lower bound (on X_Z).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/polytope.hpp"
+#include "geometry/vec.hpp"
+
+namespace chc::geo {
+
+/// V-representation of {x in R^dim : a·x <= b for all given halfspaces}.
+/// Returns the empty polytope when the system is infeasible. The system
+/// must describe a *bounded* set (always true for intersections of hulls);
+/// unboundedness is reported as a contract violation.
+Polytope intersect_halfspaces(std::size_t dim,
+                              const std::vector<Halfspace>& halfspaces,
+                              double rel_tol = 1e-9);
+
+/// Intersection of finitely many polytopes (empty if any operand is empty
+/// or the intersection is empty).
+Polytope intersect(const std::vector<Polytope>& polys, double rel_tol = 1e-9);
+
+/// 2-D fast path: intersects by Sutherland–Hodgman halfplane clipping
+/// instead of LP + duality. Exact for full-dimensional 2-D polytopes;
+/// operands and ambient space must be 2-D. Used by the d = 2 consensus hot
+/// path and as an independent cross-check of intersect()'s generic path.
+Polytope intersect2d_clip(const std::vector<Polytope>& polys,
+                          double rel_tol = 1e-9);
+
+/// The paper's L (Definition 2): linear combination of non-empty convex
+/// polytopes with non-negative weights summing to 1. Equivalently the
+/// Minkowski sum ⊕_i (c_i · h_i). The result is convex, non-empty, and —
+/// when every operand is valid — valid (Lemma 5).
+Polytope linear_combination(const std::vector<Polytope>& polys,
+                            const std::vector<double>& weights,
+                            double rel_tol = 1e-9);
+
+/// Identical weights 1/|polys| (how Algorithm CC invokes L on line 14).
+/// Deliberately not an overload of linear_combination: a double second
+/// argument there would silently re-interpret a brace-initialized weight
+/// list as a tolerance.
+Polytope equal_weight_combination(const std::vector<Polytope>& polys,
+                                  double rel_tol = 1e-9);
+
+/// ∩_{C ⊆ points, |C| = |points| - drop} H(C), the multiset-subset hull
+/// intersection of Algorithm CC line 5 (with drop = f) and of I_Z (eq. 21).
+/// May legitimately be empty when |points| < (d+1)·drop + 1 (Tverberg bound,
+/// Lemma 2) — callers below the resilience bound see that case.
+Polytope intersection_of_subset_hulls(const std::vector<Vec>& points,
+                                      std::size_t drop,
+                                      double rel_tol = 1e-9);
+
+}  // namespace chc::geo

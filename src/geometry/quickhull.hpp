@@ -1,0 +1,35 @@
+// General-dimension convex hull (quickhull with outside-set bookkeeping).
+//
+// Produces both the minimal vertex set (V-representation) and the facet set
+// with outward unit normals (H-representation), which the halfspace
+// intersection and containment code consume. The input must be affinely
+// full-dimensional in its ambient space; degenerate point sets are handled
+// one level up (geo::Polytope projects into the affine hull first).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/vec.hpp"
+
+namespace chc::geo {
+
+/// Convex hull of a full-dimensional point set.
+struct Hull {
+  struct Facet {
+    std::vector<std::size_t> verts;  ///< indices into `vertices` (d of them)
+    Vec normal;                      ///< unit outward normal
+    double offset;                   ///< normal·x <= offset for hull points
+  };
+
+  std::vector<Vec> vertices;  ///< minimal vertex set (extreme points only)
+  std::vector<Facet> facets;  ///< simplicial facets covering the boundary
+};
+
+/// Computes the hull of `points` (dimension d >= 1). Duplicate points are
+/// tolerated. Throws ContractViolation if the points do not affinely span
+/// their ambient space (within the scale-relative tolerance) — project into
+/// the affine hull first.
+Hull quickhull(const std::vector<Vec>& points, double rel_tol = 1e-9);
+
+}  // namespace chc::geo

@@ -1,0 +1,73 @@
+#include "geometry/simplify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace chc::geo {
+
+Polytope simplify(const Polytope& p, std::size_t max_vertices,
+                  double rel_tol) {
+  CHC_CHECK(!p.is_empty(), "cannot simplify the empty polytope");
+  const std::size_t d = p.ambient_dim();
+  CHC_CHECK(max_vertices >= d + 1, "budget must allow a full-dim simplex");
+  if (p.vertices().size() <= max_vertices) return p;
+
+  // Deterministic direction set: +-coordinate axes, then seeded isotropic
+  // unit vectors. Selecting the support vertex per direction keeps the
+  // most "extreme" vertices first.
+  std::set<std::size_t> keep;
+  auto add_support = [&](const Vec& dir) {
+    std::size_t best = 0;
+    double best_val = dir.dot(p.vertices()[0]);
+    for (std::size_t i = 1; i < p.vertices().size(); ++i) {
+      const double v = dir.dot(p.vertices()[i]);
+      if (v > best_val) {
+        best_val = v;
+        best = i;
+      }
+    }
+    keep.insert(best);
+  };
+
+  for (std::size_t c = 0; c < d && keep.size() < max_vertices; ++c) {
+    Vec e(d, 0.0);
+    e[c] = 1.0;
+    add_support(e);
+    if (keep.size() >= max_vertices) break;
+    e[c] = -1.0;
+    add_support(e);
+  }
+  Rng rng(0x5EEDCAFEULL + d);
+  // Generous cap: with random directions some supports repeat.
+  for (int iter = 0; iter < 64 * static_cast<int>(max_vertices) &&
+                     keep.size() < max_vertices;
+       ++iter) {
+    Vec dir(d);
+    for (std::size_t c = 0; c < d; ++c) dir[c] = rng.normal();
+    const double norm = dir.norm();
+    if (norm < 1e-12) continue;
+    add_support(dir * (1.0 / norm));
+  }
+
+  std::vector<Vec> pts;
+  pts.reserve(keep.size());
+  for (std::size_t i : keep) pts.push_back(p.vertices()[i]);
+  return Polytope::from_points(pts, rel_tol);
+}
+
+double simplification_error(const Polytope& original,
+                            const Polytope& simplified) {
+  CHC_CHECK(!original.is_empty() && !simplified.is_empty(),
+            "error undefined for empty polytopes");
+  double err = 0.0;
+  for (const Vec& v : original.vertices()) {
+    err = std::max(err, simplified.distance(v));
+  }
+  return err;
+}
+
+}  // namespace chc::geo

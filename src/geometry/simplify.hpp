@@ -1,0 +1,31 @@
+// Vertex-budget polytope simplification (inner approximation).
+//
+// In d >= 3 the exact weighted Minkowski sums of Algorithm CC's iterate
+// rounds can accumulate vertices. simplify() keeps only the vertices
+// supporting a deterministic set of directions, yielding a polytope that is
+// a SUBSET of the original (so consensus validity is preserved by
+// construction) with bounded one-sided Hausdorff error. Experiment E9
+// measures the accuracy/runtime trade-off of running Algorithm CC with a
+// vertex budget (CCConfig::max_polytope_vertices).
+#pragma once
+
+#include <cstddef>
+
+#include "geometry/polytope.hpp"
+
+namespace chc::geo {
+
+/// Returns a polytope spanned by at most `max_vertices` of `p`'s vertices,
+/// chosen as support points of quasi-uniform directions (coordinate axes
+/// first, then seeded unit vectors). If `p` already fits the budget it is
+/// returned unchanged. Requires max_vertices >= d + 1 and a non-empty input.
+/// The result is contained in `p`.
+Polytope simplify(const Polytope& p, std::size_t max_vertices,
+                  double rel_tol = 1e-9);
+
+/// One-sided error of the simplification: max distance from a vertex of
+/// `original` to `simplified` (0 when nothing was dropped).
+double simplification_error(const Polytope& original,
+                            const Polytope& simplified);
+
+}  // namespace chc::geo

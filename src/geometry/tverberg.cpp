@@ -1,0 +1,107 @@
+#include "geometry/tverberg.hpp"
+
+#include "common/check.hpp"
+#include "lp/simplex.hpp"
+
+namespace chc::geo {
+
+std::optional<Vec> common_hull_point(
+    const std::vector<std::vector<Vec>>& groups) {
+  CHC_CHECK(!groups.empty(), "need at least one group");
+  const std::size_t d = groups[0][0].dim();
+
+  // Variables: x (d) then one lambda per point of each group.
+  std::size_t nlam = 0;
+  for (const auto& g : groups) {
+    CHC_CHECK(!g.empty(), "groups must be non-empty");
+    nlam += g.size();
+  }
+  const std::size_t nvar = d + nlam;
+
+  std::vector<std::vector<double>> A;
+  std::vector<double> b;
+  auto add_row = [&](std::vector<double> row, double rhs) {
+    A.push_back(std::move(row));
+    b.push_back(rhs);
+  };
+  auto eq_row = [&](const std::vector<double>& row, double rhs) {
+    add_row(row, rhs);
+    std::vector<double> neg(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) neg[i] = -row[i];
+    add_row(std::move(neg), -rhs);
+  };
+
+  std::size_t lam0 = d;
+  for (const auto& g : groups) {
+    // sum lambda = 1
+    std::vector<double> srow(nvar, 0.0);
+    for (std::size_t j = 0; j < g.size(); ++j) srow[lam0 + j] = 1.0;
+    eq_row(srow, 1.0);
+    // sum lambda_j * q_j - x = 0 (per coordinate)
+    for (std::size_t c = 0; c < d; ++c) {
+      std::vector<double> row(nvar, 0.0);
+      row[c] = -1.0;
+      for (std::size_t j = 0; j < g.size(); ++j) row[lam0 + j] = g[j][c];
+      eq_row(row, 0.0);
+    }
+    // lambda >= 0
+    for (std::size_t j = 0; j < g.size(); ++j) {
+      std::vector<double> row(nvar, 0.0);
+      row[lam0 + j] = -1.0;
+      add_row(std::move(row), 0.0);
+    }
+    lam0 += g.size();
+  }
+
+  const auto sol = lp::minimize(std::vector<double>(nvar, 0.0), A, b);
+  if (sol.status != lp::Status::kOptimal) return std::nullopt;
+  Vec x(d);
+  for (std::size_t c = 0; c < d; ++c) x[c] = sol.x[c];
+  return x;
+}
+
+std::optional<TverbergPartition> tverberg_partition(
+    const std::vector<Vec>& points, std::size_t parts) {
+  CHC_CHECK(parts >= 1, "need at least one part");
+  CHC_CHECK(points.size() >= parts, "fewer points than parts");
+  const std::size_t m = points.size();
+
+  // Enumerate labelled assignments with point 0 pinned to part 0 (cuts one
+  // symmetry factor); prune assignments that leave a part empty.
+  std::vector<std::size_t> label(m, 0);
+  std::optional<TverbergPartition> found;
+
+  auto try_assignment = [&]() -> bool {
+    std::vector<std::vector<Vec>> groups(parts);
+    std::vector<std::vector<std::size_t>> idx(parts);
+    for (std::size_t i = 0; i < m; ++i) {
+      groups[label[i]].push_back(points[i]);
+      idx[label[i]].push_back(i);
+    }
+    for (const auto& g : groups) {
+      if (g.empty()) return false;
+    }
+    const auto w = common_hull_point(groups);
+    if (!w) return false;
+    found = TverbergPartition{std::move(idx), *w};
+    return true;
+  };
+
+  // Odometer over labels of points 1..m-1.
+  while (true) {
+    if (try_assignment()) return found;
+    std::size_t pos = m;
+    while (pos > 1) {
+      --pos;
+      if (label[pos] + 1 < parts) {
+        ++label[pos];
+        for (std::size_t j = pos + 1; j < m; ++j) label[j] = 0;
+        break;
+      }
+      if (pos == 1) return std::nullopt;
+    }
+    if (m == 1) return std::nullopt;
+  }
+}
+
+}  // namespace chc::geo

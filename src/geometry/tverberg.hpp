@@ -1,0 +1,38 @@
+// Tverberg partitions.
+//
+// Lemma 2 of the paper rests on Tverberg's theorem: any multiset of at least
+// (d+1)f + 1 points in R^d can be partitioned into f + 1 parts whose convex
+// hulls share a common point — which is why h_i[0] is non-empty. This module
+// finds such a partition by exhaustive search (small instances only); the
+// test suite uses it to certify the non-emptiness argument on concrete
+// workloads, and an example program demonstrates it.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "geometry/vec.hpp"
+
+namespace chc::geo {
+
+/// A partition of point indices into parts whose hulls intersect, plus one
+/// common point as a witness.
+struct TverbergPartition {
+  std::vector<std::vector<std::size_t>> parts;
+  Vec witness;
+};
+
+/// Searches for a partition of `points` into exactly `parts` non-empty parts
+/// with intersecting hulls. Exhaustive over labelled assignments — intended
+/// for |points| <= ~10. Returns nullopt if none exists (possible when
+/// |points| < (d+1)(parts-1) + 1).
+std::optional<TverbergPartition> tverberg_partition(
+    const std::vector<Vec>& points, std::size_t parts);
+
+/// Feasibility core: is there a point common to the hulls of all the given
+/// point groups? Returns the common point if so.
+std::optional<Vec> common_hull_point(
+    const std::vector<std::vector<Vec>>& groups);
+
+}  // namespace chc::geo

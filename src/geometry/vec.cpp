@@ -1,0 +1,88 @@
+#include "geometry/vec.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace chc::geo {
+
+Vec& Vec::operator+=(const Vec& o) {
+  CHC_CHECK(dim() == o.dim(), "vector dimensions must match");
+  for (std::size_t i = 0; i < c_.size(); ++i) c_[i] += o.c_[i];
+  return *this;
+}
+
+Vec& Vec::operator-=(const Vec& o) {
+  CHC_CHECK(dim() == o.dim(), "vector dimensions must match");
+  for (std::size_t i = 0; i < c_.size(); ++i) c_[i] -= o.c_[i];
+  return *this;
+}
+
+Vec& Vec::operator*=(double s) {
+  for (auto& x : c_) x *= s;
+  return *this;
+}
+
+double Vec::dot(const Vec& o) const {
+  CHC_CHECK(dim() == o.dim(), "vector dimensions must match");
+  double s = 0.0;
+  for (std::size_t i = 0; i < c_.size(); ++i) s += c_[i] * o.c_[i];
+  return s;
+}
+
+double Vec::norm2() const {
+  double s = 0.0;
+  for (double x : c_) s += x * x;
+  return s;
+}
+
+double Vec::norm() const { return std::sqrt(norm2()); }
+
+double Vec::dist2(const Vec& o) const {
+  CHC_CHECK(dim() == o.dim(), "vector dimensions must match");
+  double s = 0.0;
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    const double t = c_[i] - o.c_[i];
+    s += t * t;
+  }
+  return s;
+}
+
+double Vec::dist(const Vec& o) const { return std::sqrt(dist2(o)); }
+
+double Vec::max_abs() const {
+  double m = 0.0;
+  for (double x : c_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+Vec operator+(Vec a, const Vec& b) { return a += b; }
+Vec operator-(Vec a, const Vec& b) { return a -= b; }
+Vec operator*(Vec a, double s) { return a *= s; }
+Vec operator*(double s, Vec a) { return a *= s; }
+
+std::ostream& operator<<(std::ostream& os, const Vec& v) {
+  os << '(';
+  for (std::size_t i = 0; i < v.dim(); ++i) {
+    if (i) os << ", ";
+    os << v[i];
+  }
+  return os << ')';
+}
+
+bool approx_eq(const Vec& a, const Vec& b, double tol) {
+  if (a.dim() != b.dim()) return false;
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+double cross2(const Vec& a, const Vec& b, const Vec& c) {
+  CHC_CHECK(a.dim() == 2 && b.dim() == 2 && c.dim() == 2,
+            "cross2 requires 2-D points");
+  return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]);
+}
+
+}  // namespace chc::geo

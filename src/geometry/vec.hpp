@@ -1,0 +1,60 @@
+// d-dimensional Euclidean vectors/points.
+//
+// The paper works in R^d for arbitrary d >= 1, so Vec carries its dimension
+// at runtime. All geometry in the library flows through this type.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace chc::geo {
+
+/// A point (or direction) in d-dimensional Euclidean space.
+class Vec {
+ public:
+  Vec() = default;
+  explicit Vec(std::size_t dim, double value = 0.0) : c_(dim, value) {}
+  Vec(std::initializer_list<double> vals) : c_(vals) {}
+  explicit Vec(std::vector<double> vals) : c_(std::move(vals)) {}
+
+  std::size_t dim() const { return c_.size(); }
+  double& operator[](std::size_t i) { return c_[i]; }
+  double operator[](std::size_t i) const { return c_[i]; }
+  const std::vector<double>& coords() const { return c_; }
+
+  Vec& operator+=(const Vec& o);
+  Vec& operator-=(const Vec& o);
+  Vec& operator*=(double s);
+
+  double dot(const Vec& o) const;
+  double norm2() const;       ///< squared Euclidean norm
+  double norm() const;
+  double dist(const Vec& o) const;   ///< Euclidean distance d_E (paper §1)
+  double dist2(const Vec& o) const;  ///< squared distance
+
+  /// Max |coordinate|; used to build scale-relative tolerances.
+  double max_abs() const;
+
+  bool operator==(const Vec& o) const { return c_ == o.c_; }
+
+ private:
+  std::vector<double> c_;
+};
+
+Vec operator+(Vec a, const Vec& b);
+Vec operator-(Vec a, const Vec& b);
+Vec operator*(Vec a, double s);
+Vec operator*(double s, Vec a);
+
+std::ostream& operator<<(std::ostream& os, const Vec& v);
+
+/// True when every coordinate differs by at most `tol`.
+bool approx_eq(const Vec& a, const Vec& b, double tol);
+
+/// 2-D cross product (scalar z-component): (b-a) x (c-a).
+/// Positive when a,b,c make a counter-clockwise turn.
+double cross2(const Vec& a, const Vec& b, const Vec& c);
+
+}  // namespace chc::geo

@@ -1,0 +1,60 @@
+// Dense two-phase primal simplex solver.
+//
+// The geometry kernel needs small linear programs in a handful of variables
+// (Chebyshev centers, feasibility of halfspace systems, affine-hull probing,
+// point-in-hull certificates). Problems are tiny (tens of rows, < 20
+// columns), so a dense tableau with Bland's anti-cycling rule is the right
+// tool: simple, exact-ish, and guaranteed to terminate.
+//
+// Form solved:   minimize  c · x   subject to  A x <= b,   x free.
+// Free variables are split internally (x = u - v, u,v >= 0).
+#pragma once
+
+#include <vector>
+
+namespace chc::lp {
+
+enum class Status {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+};
+
+struct Solution {
+  Status status = Status::kInfeasible;
+  double objective = 0.0;       ///< c·x at the optimum (valid when kOptimal)
+  std::vector<double> x;        ///< optimal point (valid when kOptimal)
+};
+
+/// Minimizes c·x subject to A x <= b with x free.
+/// `A` is row-major: A[i] is the i-th constraint row; requires
+/// A[i].size() == c.size() for all i.
+Solution minimize(const std::vector<double>& c,
+                  const std::vector<std::vector<double>>& A,
+                  const std::vector<double>& b);
+
+/// Maximizes c·x subject to A x <= b (negates and calls minimize).
+Solution maximize(const std::vector<double>& c,
+                  const std::vector<std::vector<double>>& A,
+                  const std::vector<double>& b);
+
+/// True iff {x : A x <= b} is non-empty (within tolerance).
+bool feasible(const std::vector<std::vector<double>>& A,
+              const std::vector<double>& b);
+
+struct ChebyshevResult {
+  bool feasible = false;
+  std::vector<double> center;  ///< deepest point of the polyhedron
+  double radius = 0.0;         ///< inradius; 0 means flat (lower-dimensional)
+};
+
+/// Chebyshev center of {x : A x <= b}: the center and radius of the largest
+/// inscribed ball. Rows with (near-)zero norm are validated: a zero row with
+/// b_i < 0 makes the system infeasible, otherwise it is dropped.
+/// If the polyhedron is unbounded the center is still a deepest point for the
+/// bounded directions (radius may be reported as large but finite via an
+/// internal cap).
+ChebyshevResult chebyshev_center(const std::vector<std::vector<double>>& A,
+                                 const std::vector<double>& b);
+
+}  // namespace chc::lp

@@ -1,0 +1,79 @@
+#include "optimize/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace chc::opt {
+
+LinearCost::LinearCost(geo::Vec g, double c0) : g_(std::move(g)), c0_(c0) {}
+
+double LinearCost::value(const geo::Vec& x) const { return g_.dot(x) + c0_; }
+
+std::optional<geo::Vec> LinearCost::gradient(const geo::Vec&) const {
+  return g_;
+}
+
+std::optional<double> LinearCost::lipschitz_on(const geo::Vec&,
+                                               const geo::Vec&) const {
+  return g_.norm();
+}
+
+QuadraticCost::QuadraticCost(geo::Vec target) : target_(std::move(target)) {}
+
+double QuadraticCost::value(const geo::Vec& x) const {
+  return x.dist2(target_);
+}
+
+std::optional<geo::Vec> QuadraticCost::gradient(const geo::Vec& x) const {
+  return (x - target_) * 2.0;
+}
+
+std::optional<double> QuadraticCost::lipschitz_on(const geo::Vec& lo,
+                                                  const geo::Vec& hi) const {
+  // sup ||∇c|| = 2 max ||x - target|| over the box: attained at a corner.
+  double max_d2 = 0.0;
+  const std::size_t d = lo.dim();
+  geo::Vec corner(d);
+  for (std::size_t mask = 0; mask < (std::size_t{1} << d); ++mask) {
+    for (std::size_t c = 0; c < d; ++c) {
+      corner[c] = (mask >> c & 1) ? hi[c] : lo[c];
+    }
+    max_d2 = std::max(max_d2, corner.dist2(target_));
+  }
+  return 2.0 * std::sqrt(max_d2);
+}
+
+double Theorem4Cost::value(const geo::Vec& x) const {
+  CHC_CHECK(x.dim() == 1, "Theorem4Cost is one-dimensional");
+  const double v = x[0];
+  if (v < 0.0 || v > 1.0) return 3.0;
+  const double t = 2.0 * v - 1.0;
+  return 4.0 - t * t;
+}
+
+std::optional<double> Theorem4Cost::lipschitz_on(const geo::Vec&,
+                                                 const geo::Vec&) const {
+  return 4.0;  // |c'(x)| = |{-2}·2(2x-1)| <= 4 on [0,1]; 0 outside
+}
+
+MultiWellCost::MultiWellCost(std::vector<geo::Vec> anchors)
+    : anchors_(std::move(anchors)) {
+  CHC_CHECK(!anchors_.empty(), "need at least one anchor");
+}
+
+double MultiWellCost::value(const geo::Vec& x) const {
+  double best = x.dist(anchors_[0]);
+  for (std::size_t i = 1; i < anchors_.size(); ++i) {
+    best = std::min(best, x.dist(anchors_[i]));
+  }
+  return best;
+}
+
+std::optional<double> MultiWellCost::lipschitz_on(const geo::Vec&,
+                                                  const geo::Vec&) const {
+  return 1.0;  // min of 1-Lipschitz functions
+}
+
+}  // namespace chc::opt

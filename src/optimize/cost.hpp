@@ -1,0 +1,96 @@
+// Cost functions for convex hull function optimization (paper §7).
+//
+// The 2-step algorithm needs b-Lipschitz continuity for weak β-optimality;
+// strong convexity is the paper's conjectured condition for also bounding
+// d_E(y_i, y_j). The library ships the cost families the experiments use,
+// including the exact cost from the Theorem 4 impossibility proof.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "geometry/vec.hpp"
+
+namespace chc::opt {
+
+/// A cost function c : R^d -> R with optional analytic structure.
+class CostFunction {
+ public:
+  virtual ~CostFunction() = default;
+
+  virtual double value(const geo::Vec& x) const = 0;
+
+  /// Gradient if the function is differentiable (nullopt otherwise).
+  virtual std::optional<geo::Vec> gradient(const geo::Vec& x) const {
+    (void)x;
+    return std::nullopt;
+  }
+
+  virtual bool is_convex() const { return false; }
+
+  /// A Lipschitz constant valid on the given box, if known.
+  virtual std::optional<double> lipschitz_on(const geo::Vec& lo,
+                                             const geo::Vec& hi) const {
+    (void)lo, (void)hi;
+    return std::nullopt;
+  }
+};
+
+/// c(x) = g·x + c0. Convex, |g|-Lipschitz; exact minimum at a vertex.
+class LinearCost final : public CostFunction {
+ public:
+  explicit LinearCost(geo::Vec g, double c0 = 0.0);
+  double value(const geo::Vec& x) const override;
+  std::optional<geo::Vec> gradient(const geo::Vec& x) const override;
+  bool is_convex() const override { return true; }
+  std::optional<double> lipschitz_on(const geo::Vec&,
+                                     const geo::Vec&) const override;
+  const geo::Vec& direction() const { return g_; }
+
+ private:
+  geo::Vec g_;
+  double c0_;
+};
+
+/// c(x) = ||x - target||^2: 2-strongly convex, 2R-Lipschitz on a ball of
+/// radius R around the target.
+class QuadraticCost final : public CostFunction {
+ public:
+  explicit QuadraticCost(geo::Vec target);
+  double value(const geo::Vec& x) const override;
+  std::optional<geo::Vec> gradient(const geo::Vec& x) const override;
+  bool is_convex() const override { return true; }
+  std::optional<double> lipschitz_on(const geo::Vec& lo,
+                                     const geo::Vec& hi) const override;
+  const geo::Vec& target() const { return target_; }
+
+ private:
+  geo::Vec target_;
+};
+
+/// The Theorem-4 cost (d = 1): c(x) = 4 - (2x-1)^2 on [0,1], 3 elsewhere.
+/// Continuous, 4-Lipschitz on [0,1], NOT convex: two global minima at
+/// x = 0 and x = 1 — the tie that breaks ε-agreement in the 2-step
+/// algorithm and drives the impossibility proof.
+class Theorem4Cost final : public CostFunction {
+ public:
+  double value(const geo::Vec& x) const override;
+  std::optional<double> lipschitz_on(const geo::Vec&,
+                                     const geo::Vec&) const override;
+};
+
+/// c(x) = min_k ||x - a_k||: piecewise-smooth, 1-Lipschitz, non-convex for
+/// 2+ anchors (multiple basins). Used to stress the non-convex solver path.
+class MultiWellCost final : public CostFunction {
+ public:
+  explicit MultiWellCost(std::vector<geo::Vec> anchors);
+  double value(const geo::Vec& x) const override;
+  std::optional<double> lipschitz_on(const geo::Vec&,
+                                     const geo::Vec&) const override;
+
+ private:
+  std::vector<geo::Vec> anchors_;
+};
+
+}  // namespace chc::opt

@@ -1,0 +1,168 @@
+#include "optimize/minimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace chc::opt {
+namespace {
+
+/// Lexicographic comparison for tie resolution.
+bool lex_less(const geo::Vec& a, const geo::Vec& b) {
+  for (std::size_t c = 0; c < a.dim(); ++c) {
+    if (a[c] != b[c]) return a[c] < b[c];
+  }
+  return false;
+}
+
+/// True when `cand` should replace `inc` under the configured tie policy.
+bool improves(const MinimizeResult& cand, const MinimizeResult& inc,
+              const MinimizeOptions& opts) {
+  if (cand.value < inc.value - opts.tie_tol) return true;
+  if (cand.value > inc.value + opts.tie_tol) return false;
+  switch (opts.tie_break) {
+    case TieBreak::kFirst:
+      return false;
+    case TieBreak::kLexMin:
+      return lex_less(cand.argmin, inc.argmin);
+    case TieBreak::kLexMax:
+      return lex_less(inc.argmin, cand.argmin);
+  }
+  return false;
+}
+
+MinimizeResult best_vertex(const CostFunction& cost, const geo::Polytope& poly,
+                           const MinimizeOptions& opts = {}) {
+  MinimizeResult best{poly.vertices()[0], cost.value(poly.vertices()[0])};
+  for (const geo::Vec& v : poly.vertices()) {
+    const MinimizeResult cand{v, cost.value(v)};
+    if (improves(cand, best, opts)) best = cand;
+  }
+  return best;
+}
+
+MinimizeResult projected_gradient(const CostFunction& cost,
+                                  const geo::Polytope& poly,
+                                  const MinimizeOptions& opts) {
+  geo::Vec x = poly.vertex_centroid();
+  double fx = cost.value(x);
+  double step = 1.0;
+  const auto [lo, hi] = poly.bounding_box();
+  const double diam = (hi - lo).norm() + 1e-12;
+
+  for (std::size_t it = 0; it < opts.max_iters; ++it) {
+    const auto g = cost.gradient(x);
+    CHC_INTERNAL(g.has_value(), "PGD path requires a gradient");
+    if (g->norm() < 1e-14) break;
+    bool moved = false;
+    // Backtracking on the projected step.
+    for (int bt = 0; bt < 60; ++bt) {
+      const geo::Vec y = poly.nearest_point(x - *g * step);
+      const double fy = cost.value(y);
+      if (fy < fx - 1e-15) {
+        const double moved_by = y.dist(x);
+        x = y;
+        fx = fy;
+        moved = true;
+        step = std::min(step * 1.5, 1e3);
+        if (moved_by < opts.tol * diam) return {x, fx};
+        break;
+      }
+      step *= 0.5;
+      if (step < 1e-16) return {x, fx};
+    }
+    if (!moved) break;
+  }
+  return {x, fx};
+}
+
+MinimizeResult pattern_search_from(const CostFunction& cost,
+                                   const geo::Polytope& poly, geo::Vec x,
+                                   const MinimizeOptions& opts) {
+  const std::size_t d = x.dim();
+  const auto [lo, hi] = poly.bounding_box();
+  double span = 0.0;
+  for (std::size_t c = 0; c < d; ++c) span = std::max(span, hi[c] - lo[c]);
+  double step = std::max(span / 4.0, 1e-12);
+  double fx = cost.value(x);
+
+  std::size_t moves = 0;
+  while (step > opts.tol * std::max(span, 1.0) && moves < opts.max_iters) {
+    bool improved = false;
+    for (std::size_t c = 0; c < d; ++c) {
+      for (const double sign : {1.0, -1.0}) {
+        geo::Vec cand = x;
+        cand[c] += sign * step;
+        cand = poly.nearest_point(cand);
+        const double fc = cost.value(cand);
+        if (fc < fx - 1e-15) {
+          x = cand;
+          fx = fc;
+          improved = true;
+          ++moves;
+        }
+      }
+    }
+    if (!improved) step *= 0.5;
+  }
+  return {x, fx};
+}
+
+MinimizeResult multistart_pattern(const CostFunction& cost,
+                                  const geo::Polytope& poly,
+                                  const MinimizeOptions& opts) {
+  // Deterministic starts: every vertex, the centroid, and seeded random
+  // convex combinations of vertices.
+  std::vector<geo::Vec> starts = poly.vertices();
+  starts.push_back(poly.vertex_centroid());
+  Rng rng(opts.seed);
+  const auto& verts = poly.vertices();
+  for (std::size_t r = 0; r < opts.restarts; ++r) {
+    geo::Vec x(poly.ambient_dim(), 0.0);
+    double wsum = 0.0;
+    std::vector<double> w(verts.size());
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      w[i] = -std::log(std::max(rng.uniform(), 1e-12));  // ~Dirichlet(1)
+      wsum += w[i];
+    }
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      x += verts[i] * (w[i] / wsum);
+    }
+    starts.push_back(std::move(x));
+  }
+
+  MinimizeResult best{starts[0], cost.value(starts[0])};
+  for (const geo::Vec& s : starts) {
+    const MinimizeResult r = pattern_search_from(cost, poly, s, opts);
+    if (improves(r, best, opts)) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+MinimizeResult minimize_over_polytope(const CostFunction& cost,
+                                      const geo::Polytope& poly,
+                                      const MinimizeOptions& opts) {
+  CHC_CHECK(!poly.is_empty(), "cannot minimize over the empty polytope");
+
+  if (const auto* lin = dynamic_cast<const LinearCost*>(&cost)) {
+    (void)lin;
+    return best_vertex(cost, poly, opts);
+  }
+  if (poly.vertices().size() == 1) {
+    return {poly.vertices()[0], cost.value(poly.vertices()[0])};
+  }
+  if (cost.is_convex() &&
+      cost.gradient(poly.vertex_centroid()).has_value()) {
+    MinimizeResult pgd = projected_gradient(cost, poly, opts);
+    // Vertices can beat a stalled PGD on flat regions; take the better.
+    const MinimizeResult bv = best_vertex(cost, poly, opts);
+    return improves(bv, pgd, opts) || bv.value < pgd.value ? bv : pgd;
+  }
+  return multistart_pattern(cost, poly, opts);
+}
+
+}  // namespace chc::opt

@@ -1,0 +1,54 @@
+// Step 2 of the paper's function-optimization algorithm (§7):
+//   y_i = argmin_{x in h_i} c(x)
+// over the convex polytope h_i decided by convex hull consensus.
+//
+// Solver dispatch:
+//   * LinearCost           — exact: the minimum of a linear function over a
+//                            polytope is attained at a vertex.
+//   * convex, differentiable — projected gradient descent with backtracking
+//                            (projection = Polytope::nearest_point, exact).
+//   * anything else        — deterministic multi-start pattern search with
+//                            projected moves (works on degenerate polytopes
+//                            because projection maps back onto the flat).
+#pragma once
+
+#include "geometry/polytope.hpp"
+#include "optimize/cost.hpp"
+
+namespace chc::opt {
+
+/// How a process resolves exact ties between minimizers. The paper's step 2
+/// says "break tie arbitrarily" — different processes may legitimately use
+/// different policies, which is precisely the freedom Theorem 4's
+/// impossibility exploits (experiment E7 runs mixed policies).
+enum class TieBreak {
+  kFirst,   ///< keep the first minimizer found (deterministic default)
+  kLexMin,  ///< prefer the lexicographically smallest point among ties
+  kLexMax,  ///< prefer the lexicographically largest point among ties
+};
+
+struct MinimizeOptions {
+  std::size_t max_iters = 5000;     ///< PGD / pattern-search move budget
+  std::size_t restarts = 8;         ///< multi-start count (non-convex path)
+  double tol = 1e-10;               ///< step-size convergence threshold
+  std::uint64_t seed = 12345;       ///< deterministic multi-start seed
+  TieBreak tie_break = TieBreak::kFirst;
+  double tie_tol = 1e-9;            ///< |c difference| treated as a tie
+};
+
+struct MinimizeResult {
+  geo::Vec argmin;
+  double value = 0.0;
+};
+
+/// Minimizes `cost` over a non-empty polytope. For convex costs the result
+/// is a global minimum (to tolerance); for non-convex costs it is the best
+/// of the deterministic multi-start (exact on the benchmark families used
+/// in the experiments, best-effort in general — the paper itself only
+/// requires *approximately equal* values across processes, not global
+/// optimality, for weak β-optimality).
+MinimizeResult minimize_over_polytope(const CostFunction& cost,
+                                      const geo::Polytope& poly,
+                                      const MinimizeOptions& opts = {});
+
+}  // namespace chc::opt

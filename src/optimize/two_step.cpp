@@ -1,0 +1,52 @@
+#include "optimize/two_step.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace chc::opt {
+
+double epsilon_for_beta(double beta, double lipschitz) {
+  CHC_CHECK(beta > 0.0, "beta must be positive");
+  CHC_CHECK(lipschitz > 0.0, "Lipschitz constant must be positive");
+  return beta / lipschitz;
+}
+
+TwoStepOutcome optimize_two_step(const core::RunConfig& rc,
+                                 const CostFunction& cost,
+                                 const MinimizeOptions& opts) {
+  TwoStepOutcome out;
+  out.run = core::run_cc_once(rc);  // step 1
+
+  out.all_decided = true;
+  for (sim::ProcessId p : out.run.correct) {
+    const auto& dec = out.run.trace->of(p).decision;
+    if (!dec.has_value()) {
+      out.all_decided = false;
+      continue;
+    }
+    const MinimizeResult r = minimize_over_polytope(cost, *dec, opts);
+    out.outputs.push_back({p, r.argmin, r.value});
+  }
+  if (out.outputs.empty()) return out;
+
+  const geo::Polytope hull =
+      geo::Polytope::from_points(out.run.correct_inputs);
+  out.validity = true;
+  for (const auto& o : out.outputs) {
+    if (!hull.contains(o.y, 1e-6)) out.validity = false;
+  }
+  for (std::size_t a = 0; a < out.outputs.size(); ++a) {
+    for (std::size_t b = a + 1; b < out.outputs.size(); ++b) {
+      out.max_cost_spread =
+          std::max(out.max_cost_spread,
+                   std::fabs(out.outputs[a].cost - out.outputs[b].cost));
+      out.max_point_spread = std::max(
+          out.max_point_spread, out.outputs[a].y.dist(out.outputs[b].y));
+    }
+  }
+  return out;
+}
+
+}  // namespace chc::opt

@@ -1,0 +1,45 @@
+// The paper's 2-step convex hull function optimization algorithm (§7):
+//
+//   Step 1: run approximate convex hull consensus with parameter ε.
+//   Step 2: y_i = argmin_{x in h_i} c(x); output (y_i, c(y_i)).
+//
+// Achieved properties (for b-Lipschitz c): validity, termination, and weak
+// β-optimality with β = ε·b — pick ε = β/b. NOT achieved in general:
+// ε-agreement on the points y_i (ties may break to far-apart minimizers;
+// Theorem 4 shows this is inherent). The outcome struct reports both
+// spreads so experiments can exhibit the gap.
+#pragma once
+
+#include <vector>
+
+#include "core/harness.hpp"
+#include "optimize/cost.hpp"
+#include "optimize/minimize.hpp"
+
+namespace chc::opt {
+
+struct ProcessOptimum {
+  sim::ProcessId pid = 0;
+  geo::Vec y;        ///< argmin over the process's decided polytope
+  double cost = 0.0; ///< c(y)
+};
+
+struct TwoStepOutcome {
+  core::RunOutput run;                   ///< the step-1 consensus execution
+  std::vector<ProcessOptimum> outputs;   ///< per correct decided process
+  double max_cost_spread = 0.0;          ///< max |c(y_i) - c(y_j)|
+  double max_point_spread = 0.0;         ///< max d_E(y_i, y_j)
+  bool validity = false;                 ///< all y_i in hull of correct inputs
+  bool all_decided = false;
+};
+
+/// ε to request from step 1 so that weak β-optimality holds for a
+/// b-Lipschitz cost: ε = β / b.
+double epsilon_for_beta(double beta, double lipschitz);
+
+/// Runs both steps under the harness knobs of `rc`.
+TwoStepOutcome optimize_two_step(const core::RunConfig& rc,
+                                 const CostFunction& cost,
+                                 const MinimizeOptions& opts = {});
+
+}  // namespace chc::opt

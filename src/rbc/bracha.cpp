@@ -1,0 +1,99 @@
+#include "rbc/bracha.hpp"
+
+#include "common/check.hpp"
+
+namespace chc::rbc {
+
+ReliableBroadcast::ReliableBroadcast(std::size_t n, std::size_t f,
+                                     sim::ProcessId self, Deliver deliver)
+    : n_(n), f_(f), self_(self), deliver_(std::move(deliver)) {
+  CHC_CHECK(n >= 3 * f + 1, "reliable broadcast requires n >= 3f + 1");
+  CHC_CHECK(self < n, "process id out of range");
+  CHC_CHECK(deliver_ != nullptr, "delivery callback required");
+}
+
+void ReliableBroadcast::broadcast(sim::Context& ctx, const geo::Vec& value) {
+  CHC_CHECK(!broadcast_started_, "one broadcast per process");
+  broadcast_started_ = true;
+  ctx.broadcast_others(kTagInit, BrachaMsg{self_, value});
+  // Local INIT handling: echo own value immediately.
+  Slot& slot = slots_[self_];
+  slot.echoed = true;
+  slot.echoes[value.coords()].insert(self_);
+  ctx.broadcast_others(kTagEcho, BrachaMsg{self_, value});
+  maybe_progress(ctx, self_, slot);
+}
+
+void ReliableBroadcast::on_message(sim::Context& ctx,
+                                   const sim::Message& msg) {
+  const auto& bm = std::any_cast<const BrachaMsg&>(msg.payload);
+  CHC_CHECK(bm.origin < n_, "origin out of range");
+
+  switch (msg.tag) {
+    case kTagInit: {
+      // Only the origin itself may INIT its slot; a Byzantine process
+      // cannot open someone else's.
+      if (msg.from != bm.origin) return;
+      Slot& slot = slots_[bm.origin];
+      if (slot.echoed) return;  // echo the FIRST init only
+      slot.echoed = true;
+      slot.echoes[bm.value.coords()].insert(self_);
+      ctx.broadcast_others(kTagEcho, BrachaMsg{bm.origin, bm.value});
+      maybe_progress(ctx, bm.origin, slot);
+      break;
+    }
+    case kTagEcho: {
+      Slot& slot = slots_[bm.origin];
+      slot.echoes[bm.value.coords()].insert(msg.from);
+      maybe_progress(ctx, bm.origin, slot);
+      break;
+    }
+    case kTagReady: {
+      Slot& slot = slots_[bm.origin];
+      slot.readies[bm.value.coords()].insert(msg.from);
+      maybe_progress(ctx, bm.origin, slot);
+      break;
+    }
+    default:
+      CHC_CHECK(false, "tag not owned by ReliableBroadcast");
+  }
+}
+
+void ReliableBroadcast::maybe_progress(sim::Context& ctx,
+                                       sim::ProcessId origin, Slot& slot) {
+  // READY once the echo quorum (n-f) or ready amplification (f+1) is met.
+  if (!slot.readied) {
+    for (const auto& [coords, supporters] : slot.echoes) {
+      if (supporters.size() >= n_ - f_) {
+        slot.readied = true;
+        slot.readies[coords].insert(self_);
+        ctx.broadcast_others(kTagReady, BrachaMsg{origin, geo::Vec(coords)});
+        break;
+      }
+    }
+  }
+  if (!slot.readied) {
+    for (const auto& [coords, supporters] : slot.readies) {
+      if (supporters.size() >= f_ + 1) {
+        slot.readied = true;
+        slot.readies[coords].insert(self_);
+        ctx.broadcast_others(kTagReady, BrachaMsg{origin, geo::Vec(coords)});
+        break;
+      }
+    }
+  }
+  // Deliver on 2f+1 READYs for a single value.
+  if (!slot.delivered) {
+    for (const auto& [coords, supporters] : slot.readies) {
+      if (supporters.size() >= 2 * f_ + 1) {
+        slot.delivered = true;
+        const geo::Vec value(coords);
+        delivered_.emplace(origin, value);
+        deliver_(ctx, origin, value);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace chc::rbc

@@ -1,0 +1,92 @@
+// Bracha reliable broadcast — the substrate of the crash-to-Byzantine
+// transformation the paper points to (§1, citing Coan [6] and
+// Attiya–Welch [3]; requires n >= 3f + 1).
+//
+// The PODC'14 paper presents Algorithm CC for crash faults and notes that
+// simulation techniques convert it to tolerate Byzantine faults. Those
+// simulations are built on reliable broadcast, which provides, despite up
+// to f Byzantine processes:
+//
+//   * Validity:   if a correct process broadcasts v, every correct process
+//                 eventually delivers (s, v).
+//   * Agreement:  no two correct processes deliver different values for the
+//                 same sender (equivocation is filtered).
+//   * Integrity:  at most one delivery per sender.
+//   * Totality:   if any correct process delivers (s, v), every correct
+//                 process eventually delivers (s, v).
+//
+// Protocol (Bracha '87): INIT -> ECHO on first INIT -> READY on n-f ECHOs
+// or f+1 READYs (amplification) -> deliver on 2f+1 READYs.
+//
+// Byzantine behaviour needs no simulator extensions: a Byzantine process is
+// just a sim::Process that sends whatever it likes to whomever it likes
+// (see the test suite's equivocator).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "geometry/vec.hpp"
+#include "sim/process.hpp"
+
+namespace chc::rbc {
+
+/// Message tags (payload: BrachaMsg).
+inline constexpr int kTagInit = 400;
+inline constexpr int kTagEcho = 401;
+inline constexpr int kTagReady = 402;
+
+struct BrachaMsg {
+  sim::ProcessId origin;  ///< the broadcast's designated sender
+  geo::Vec value;
+};
+
+/// Per-process reliable-broadcast component: handles one broadcast slot per
+/// sender (each process may broadcast at most one value), which is the
+/// shape round-0 input dissemination needs.
+class ReliableBroadcast {
+ public:
+  /// Called once per delivered (origin, value) pair.
+  using Deliver =
+      std::function<void(sim::Context&, sim::ProcessId, const geo::Vec&)>;
+
+  ReliableBroadcast(std::size_t n, std::size_t f, sim::ProcessId self,
+                    Deliver deliver);
+
+  static bool handles(int tag) { return tag >= kTagInit && tag <= kTagReady; }
+
+  /// Broadcasts this process's value (at most once).
+  void broadcast(sim::Context& ctx, const geo::Vec& value);
+
+  void on_message(sim::Context& ctx, const sim::Message& msg);
+
+  /// Values delivered so far, by origin.
+  const std::map<sim::ProcessId, geo::Vec>& delivered() const {
+    return delivered_;
+  }
+
+ private:
+  /// Per-(origin) state; values are compared exactly — a Byzantine sender
+  /// gains nothing from near-duplicates since counters are per-value.
+  struct Slot {
+    bool echoed = false;
+    bool readied = false;
+    bool delivered = false;
+    // value-coords -> distinct supporters
+    std::map<std::vector<double>, std::set<sim::ProcessId>> echoes;
+    std::map<std::vector<double>, std::set<sim::ProcessId>> readies;
+  };
+
+  void maybe_progress(sim::Context& ctx, sim::ProcessId origin, Slot& slot);
+
+  std::size_t n_, f_;
+  sim::ProcessId self_;
+  Deliver deliver_;
+  bool broadcast_started_ = false;
+  std::map<sim::ProcessId, Slot> slots_;
+  std::map<sim::ProcessId, geo::Vec> delivered_;
+};
+
+}  // namespace chc::rbc

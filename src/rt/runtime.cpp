@@ -1,0 +1,223 @@
+#include "rt/runtime.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace chc::rt {
+
+using Clock = std::chrono::steady_clock;
+
+/// Context handed to a process while its thread dispatches one event.
+/// now()/delays are expressed in delay-model units (wall seconds divided by
+/// time_scale), so protocol code behaves identically on both runtimes.
+class ThreadedRuntime::ContextImpl final : public sim::Context {
+ public:
+  ContextImpl(ThreadedRuntime* rt, std::size_t pid) : rt_(rt), pid_(pid) {}
+
+  sim::ProcessId self() const override { return pid_; }
+  std::size_t n() const override { return rt_->n_; }
+  sim::Time now() const override { return rt_->now_s() / rt_->time_scale_; }
+
+  void send(sim::ProcessId to, int tag, std::any payload) override {
+    CHC_CHECK(to < rt_->n_, "send target out of range");
+    Cell& cell = *rt_->cells_[pid_];
+    if (!rt_->consume_send_budget(cell, pid_)) return;
+    deliver(cell, to, tag, std::move(payload));
+  }
+
+  void broadcast_others(int tag, const std::any& payload) override {
+    Cell& cell = *rt_->cells_[pid_];
+    for (std::size_t to = 0; to < rt_->n_; ++to) {
+      if (to == pid_) continue;
+      if (!rt_->consume_send_budget(cell, pid_)) return;  // mid-broadcast
+      deliver(cell, to, tag, payload);
+    }
+  }
+
+  void set_timer(sim::Time delay, int token) override {
+    CHC_CHECK(delay > 0.0, "timer delay must be positive");
+    Item item;
+    item.due = rt_->now_s() + delay * rt_->time_scale_;
+    item.is_timer = true;
+    item.token = token;
+    rt_->enqueue(pid_, std::move(item));
+  }
+
+  Rng& rng() override { return rt_->cells_[pid_]->rng; }
+
+ private:
+  void deliver(Cell& cell, std::size_t to, int tag, std::any payload) {
+    double model_delay;
+    {
+      std::lock_guard<std::mutex> lock(rt_->delay_mu_);
+      model_delay = rt_->delay_->delay(pid_, to, now(), cell.rng);
+    }
+    const double now_real = rt_->now_s();
+    double& front = cell.channel_front[to];
+    const double due =
+        std::max(now_real + model_delay * rt_->time_scale_, front + 1e-9);
+    front = due;
+
+    Item item;
+    item.due = due;
+    item.is_timer = false;
+    item.msg = sim::Message{pid_, to, tag, std::move(payload)};
+    rt_->messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    rt_->enqueue(to, std::move(item));
+  }
+
+  ThreadedRuntime* rt_;
+  std::size_t pid_;
+};
+
+ThreadedRuntime::ThreadedRuntime(std::size_t n, std::uint64_t seed,
+                                 std::unique_ptr<sim::DelayModel> delay,
+                                 sim::CrashSchedule crashes, double time_scale)
+    : n_(n), time_scale_(time_scale), delay_(std::move(delay)),
+      crashes_(std::move(crashes)), epoch_(Clock::now()) {
+  CHC_CHECK(n_ >= 1, "runtime needs at least one process");
+  CHC_CHECK(delay_ != nullptr, "delay model required");
+  CHC_CHECK(time_scale_ > 0.0, "time scale must be positive");
+  Rng root(seed);
+  cells_.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    cells_.push_back(std::make_unique<Cell>());
+    cells_.back()->rng = root.fork(2000 + i);
+  }
+}
+
+ThreadedRuntime::~ThreadedRuntime() { stop(); }
+
+void ThreadedRuntime::add_process(std::unique_ptr<sim::Process> p) {
+  CHC_CHECK(p != nullptr, "null process");
+  for (auto& cell : cells_) {
+    if (cell->proc == nullptr) {
+      cell->proc = std::move(p);
+      return;
+    }
+  }
+  CHC_CHECK(false, "more processes than configured n");
+}
+
+double ThreadedRuntime::now_s() const {
+  return std::chrono::duration<double>(Clock::now() - epoch_).count();
+}
+
+bool ThreadedRuntime::consume_send_budget(Cell& cell, std::size_t pid) {
+  if (cell.crashed.load(std::memory_order_acquire)) return false;
+  if (const sim::CrashPlan* plan = crashes_.plan_for(pid)) {
+    if (plan->after_sends && cell.sends_done >= *plan->after_sends) {
+      cell.crashed.store(true, std::memory_order_release);
+      return false;
+    }
+  }
+  ++cell.sends_done;
+  return true;
+}
+
+void ThreadedRuntime::enqueue(std::size_t target, Item item) {
+  Cell& cell = *cells_[target];
+  item.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(cell.inbox_mu);
+    cell.inbox.push(std::move(item));
+  }
+  cell.inbox_cv.notify_one();
+}
+
+void ThreadedRuntime::thread_main(std::size_t pid) {
+  Cell& cell = *cells_[pid];
+  ContextImpl ctx(this, pid);
+
+  double crash_at_real = -1.0;
+  if (const sim::CrashPlan* plan = crashes_.plan_for(pid)) {
+    if (plan->at_time) crash_at_real = *plan->at_time * time_scale_;
+  }
+  auto crashed_by_clock = [&] {
+    if (crash_at_real >= 0.0 && now_s() >= crash_at_real) {
+      cell.crashed.store(true, std::memory_order_release);
+    }
+    return cell.crashed.load(std::memory_order_acquire);
+  };
+
+  if (!crashed_by_clock()) {
+    std::lock_guard<std::mutex> lock(cell.monitor);
+    cell.proc->on_start(ctx);
+  }
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (crashed_by_clock()) break;
+
+    Item item;
+    bool have = false;
+    {
+      std::unique_lock<std::mutex> lock(cell.inbox_mu);
+      const double now = now_s();
+      double wake_at = now + 0.050;  // periodic crash-clock re-check
+      if (!cell.inbox.empty()) {
+        wake_at = std::min(wake_at, cell.inbox.top().due);
+      }
+      if (crash_at_real >= 0.0) wake_at = std::min(wake_at, crash_at_real);
+
+      if (cell.inbox.empty() || cell.inbox.top().due > now) {
+        const auto deadline =
+            epoch_ + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(wake_at));
+        cell.inbox_cv.wait_until(lock, deadline);
+      }
+      if (!cell.inbox.empty() && cell.inbox.top().due <= now_s()) {
+        item = cell.inbox.top();
+        cell.inbox.pop();
+        have = true;
+      }
+    }
+    if (!have) continue;
+    if (crashed_by_clock()) break;
+
+    std::lock_guard<std::mutex> lock(cell.monitor);
+    if (item.is_timer) {
+      cell.proc->on_timer(ctx, item.token);
+    } else {
+      messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+      cell.proc->on_message(ctx, item.msg);
+    }
+  }
+}
+
+void ThreadedRuntime::start() {
+  CHC_CHECK(!started_.exchange(true), "start() may only be called once");
+  for (auto& cell : cells_) {
+    CHC_CHECK(cell->proc != nullptr, "add_process must be called n times");
+  }
+  for (std::size_t pid = 0; pid < n_; ++pid) {
+    cells_[pid]->thread = std::thread([this, pid] { thread_main(pid); });
+  }
+}
+
+bool ThreadedRuntime::run_until(
+    const std::function<bool(ThreadedRuntime&)>& pred, double timeout_s) {
+  const double deadline = now_s() + timeout_s;
+  while (now_s() < deadline) {
+    if (pred(*this)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred(*this);
+}
+
+void ThreadedRuntime::stop() {
+  if (stop_.exchange(true)) {
+    // Already stopping; still join below in case of concurrent destruction.
+  }
+  for (auto& cell : cells_) {
+    cell->inbox_cv.notify_all();
+    if (cell->thread.joinable()) cell->thread.join();
+  }
+}
+
+bool ThreadedRuntime::crashed(std::size_t pid) const {
+  CHC_CHECK(pid < n_, "process id out of range");
+  return cells_[pid]->crashed.load(std::memory_order_acquire);
+}
+
+}  // namespace chc::rt

@@ -1,0 +1,127 @@
+// Threaded runtime: executes the same sim::Process protocol code on real
+// OS threads with real wall-clock delays.
+//
+// The discrete-event simulator (sim::Simulation) is the reference
+// environment — deterministic and schedule-exploring. This runtime is the
+// "production-shaped" counterpart: one thread per process, lock-protected
+// mailboxes, wall-clock timers, and genuinely concurrent delivery. A
+// protocol written against sim::Context runs unchanged on both, and the
+// test suite certifies Algorithm CC's properties on this runtime too.
+//
+// Model guarantees preserved:
+//   * reliable exactly-once channels — every accepted send is delivered
+//     unless the receiver crashed;
+//   * FIFO per channel — sender-side monotone delivery deadlines;
+//   * crash faults — at a wall-clock time or after k sends (mid-broadcast).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/crash.hpp"
+#include "sim/delay.hpp"
+#include "sim/message.hpp"
+#include "sim/process.hpp"
+
+namespace chc::rt {
+
+class ThreadedRuntime {
+ public:
+  /// `time_scale` converts delay-model units into real seconds (e.g. 1e-3:
+  /// a model delay of 1.0 becomes 1 ms of wall clock).
+  ThreadedRuntime(std::size_t n, std::uint64_t seed,
+                  std::unique_ptr<sim::DelayModel> delay,
+                  sim::CrashSchedule crashes, double time_scale = 1e-3);
+  ~ThreadedRuntime();
+
+  ThreadedRuntime(const ThreadedRuntime&) = delete;
+  ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
+
+  /// Registers the next process (call exactly n times before start()).
+  void add_process(std::unique_ptr<sim::Process> p);
+
+  /// Launches all process threads (delivers on_start on each thread).
+  void start();
+
+  /// Polls `pred` every millisecond until it returns true or `timeout_s`
+  /// elapses; returns the final predicate value. The predicate may inspect
+  /// processes via with_process().
+  bool run_until(const std::function<bool(ThreadedRuntime&)>& pred,
+                 double timeout_s);
+
+  /// Stops and joins all threads (idempotent).
+  void stop();
+
+  std::size_t n() const { return n_; }
+  bool crashed(std::size_t pid) const;
+  std::uint64_t messages_sent() const { return messages_sent_.load(); }
+  std::uint64_t messages_delivered() const {
+    return messages_delivered_.load();
+  }
+
+  /// Runs `f(Process&)` under the process's monitor lock — the only safe
+  /// way to read protocol state from outside its thread.
+  template <typename F>
+  auto with_process(std::size_t pid, F&& f) {
+    std::lock_guard<std::mutex> lock(cells_[pid]->monitor);
+    return f(*cells_[pid]->proc);
+  }
+
+ private:
+  struct Item {
+    double due;              // seconds since runtime epoch
+    std::uint64_t seq;
+    bool is_timer;
+    sim::Message msg;        // when !is_timer
+    int token;               // when is_timer
+    bool operator>(const Item& o) const {
+      return due != o.due ? due > o.due : seq > o.seq;
+    }
+  };
+
+  struct Cell {
+    std::unique_ptr<sim::Process> proc;
+    std::mutex monitor;                 // guards proc callbacks & inspection
+    std::mutex inbox_mu;
+    std::condition_variable inbox_cv;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> inbox;
+    std::atomic<bool> crashed{false};
+    std::uint64_t sends_done = 0;            // owned by the cell's thread
+    std::map<std::size_t, double> channel_front;  // per-target FIFO deadline
+    Rng rng{0};
+    std::thread thread;
+  };
+
+  class ContextImpl;
+  friend class ContextImpl;
+
+  double now_s() const;
+  void thread_main(std::size_t pid);
+  bool consume_send_budget(Cell& cell, std::size_t pid);
+  void enqueue(std::size_t target, Item item);
+
+  std::size_t n_;
+  double time_scale_;
+  std::unique_ptr<sim::DelayModel> delay_;
+  std::mutex delay_mu_;  // delay models are not required to be thread-safe
+  sim::CrashSchedule crashes_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> messages_delivered_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace chc::rt

@@ -1,0 +1,56 @@
+// Crash-fault injection.
+//
+// The fault model is crash faults (with incorrect inputs): a faulty process
+// follows the algorithm faithfully until it crashes, and may crash at any
+// point — including *mid-broadcast*, having delivered its message to only a
+// subset of recipients. Mid-broadcast crashes are what make the stable
+// vector primitive's Containment property non-trivial, so the schedule
+// supports a crash trigger at an exact outgoing-message count.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+
+#include "sim/message.hpp"
+
+namespace chc::sim {
+
+/// When a given process crashes.
+struct CrashPlan {
+  /// Crash once simulation time reaches this value.
+  std::optional<Time> at_time;
+  /// Crash immediately before sending the (k+1)-th message (so exactly k
+  /// messages leave the process). Enables mid-broadcast partial delivery.
+  std::optional<std::size_t> after_sends;
+
+  static CrashPlan never() { return {}; }
+  static CrashPlan at(Time t) { return {.at_time = t, .after_sends = {}}; }
+  static CrashPlan after(std::size_t sends) {
+    return {.at_time = {}, .after_sends = sends};
+  }
+};
+
+/// Map from process id to its crash plan; processes without an entry never
+/// crash. The schedule is the concrete adversary F of an execution.
+class CrashSchedule {
+ public:
+  CrashSchedule() = default;
+
+  CrashSchedule& set(ProcessId p, CrashPlan plan) {
+    plans_[p] = plan;
+    return *this;
+  }
+
+  const CrashPlan* plan_for(ProcessId p) const {
+    const auto it = plans_.find(p);
+    return it == plans_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t planned_crashes() const { return plans_.size(); }
+
+ private:
+  std::map<ProcessId, CrashPlan> plans_;
+};
+
+}  // namespace chc::sim

@@ -1,0 +1,28 @@
+// Message and identifier types for the asynchronous system model.
+//
+// The paper's system model (§1): n processes, complete communication graph,
+// reliable FIFO channels, each message delivered exactly once. The simulator
+// is in-process, so payloads are type-erased values rather than serialized
+// bytes; protocols document which C++ type rides under each tag.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <cstdint>
+
+namespace chc::sim {
+
+using ProcessId = std::size_t;
+using Time = double;
+
+/// A protocol message. `tag` identifies the protocol-level message kind;
+/// tag ranges are partitioned between protocol layers (see each layer's
+/// header). `payload` holds an immutable value of the tag's documented type.
+struct Message {
+  ProcessId from = 0;
+  ProcessId to = 0;
+  int tag = 0;
+  std::any payload;
+};
+
+}  // namespace chc::sim

@@ -1,0 +1,57 @@
+// Process and runtime-context interfaces.
+//
+// A protocol is written as a Process reacting to start / message / timer
+// events; the Simulation drives it deterministically. Composite protocols
+// (Algorithm CC over the stable-vector layer over quorum replication)
+// delegate tag ranges to sub-components, each of which also consumes these
+// interfaces.
+#pragma once
+
+#include <any>
+
+#include "common/rng.hpp"
+#include "sim/message.hpp"
+
+namespace chc::sim {
+
+/// Runtime services available to a process while it handles an event.
+/// Contexts are only valid for the duration of the callback.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  virtual ProcessId self() const = 0;
+  virtual std::size_t n() const = 0;
+  virtual Time now() const = 0;
+
+  /// Sends to one process (from/to filled in; self-send allowed and goes
+  /// through the network like any other message).
+  virtual void send(ProcessId to, int tag, std::any payload) = 0;
+
+  /// Sends to every *other* process, in process-id order. A mid-broadcast
+  /// crash (CrashPlan::after) truncates this loop, delivering to a prefix.
+  virtual void broadcast_others(int tag, const std::any& payload) = 0;
+
+  /// Schedules on_timer(token) for this process after `delay` time units.
+  virtual void set_timer(Time delay, int token) = 0;
+
+  /// Per-process deterministic random stream.
+  virtual Rng& rng() = 0;
+};
+
+/// A deterministic state machine driven by the simulator.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// Invoked once at simulation start.
+  virtual void on_start(Context& ctx) = 0;
+
+  /// Invoked for each delivered message.
+  virtual void on_message(Context& ctx, const Message& msg) = 0;
+
+  /// Invoked when a timer set via Context::set_timer fires.
+  virtual void on_timer(Context& ctx, int token) { (void)ctx, (void)token; }
+};
+
+}  // namespace chc::sim

@@ -1,0 +1,206 @@
+#include "sim/simulation.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace chc::sim {
+
+/// Context handed to a process for the duration of one callback.
+class Simulation::ContextImpl final : public Context {
+ public:
+  ContextImpl(Simulation* sim, ProcessId pid, Time now)
+      : sim_(sim), pid_(pid), now_(now) {}
+
+  ProcessId self() const override { return pid_; }
+  std::size_t n() const override { return sim_->n_; }
+  Time now() const override { return now_; }
+
+  void send(ProcessId to, int tag, std::any payload) override {
+    CHC_CHECK(to < sim_->n_, "send target out of range");
+    if (!sim_->consume_send_budget(pid_, now_)) return;
+    sim_->enqueue_send(pid_, to, tag, std::move(payload), now_);
+  }
+
+  void broadcast_others(int tag, const std::any& payload) override {
+    for (ProcessId to = 0; to < sim_->n_; ++to) {
+      if (to == pid_) continue;
+      // Each send individually consumes crash budget: a mid-broadcast crash
+      // truncates the loop, so only a prefix of recipients gets the message.
+      if (!sim_->consume_send_budget(pid_, now_)) return;
+      sim_->enqueue_send(pid_, to, tag, payload, now_);
+    }
+  }
+
+  void set_timer(Time delay, int token) override {
+    CHC_CHECK(delay > 0.0, "timer delay must be positive");
+    Event e;
+    e.t = now_ + delay;
+    e.kind = EventKind::kTimer;
+    e.target = pid_;
+    e.token = token;
+    sim_->push_event(std::move(e));
+  }
+
+  Rng& rng() override { return sim_->proc_rngs_[pid_]; }
+
+ private:
+  Simulation* sim_;
+  ProcessId pid_;
+  Time now_;
+};
+
+Simulation::Simulation(std::size_t n, std::uint64_t seed,
+                       std::unique_ptr<DelayModel> delay,
+                       CrashSchedule crashes)
+    : n_(n),
+      rng_(seed),
+      delay_(std::move(delay)),
+      crashes_(std::move(crashes)),
+      crashed_(n, false),
+      crash_time_(n, std::numeric_limits<Time>::infinity()),
+      sends_done_(n, 0) {
+  CHC_CHECK(n_ >= 1, "simulation needs at least one process");
+  CHC_CHECK(delay_ != nullptr, "delay model required");
+  proc_rngs_.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    proc_rngs_.push_back(rng_.fork(1000 + i));
+  }
+}
+
+void Simulation::add_process(std::unique_ptr<Process> p) {
+  CHC_CHECK(p != nullptr, "null process");
+  CHC_CHECK(procs_.size() < n_, "more processes than configured n");
+  procs_.push_back(std::move(p));
+}
+
+void Simulation::push_event(Event e) {
+  e.seq = next_seq_++;
+  queue_.push(std::move(e));
+}
+
+bool Simulation::consume_send_budget(ProcessId from, Time now) {
+  if (crashed_[from]) {
+    ++stats_.sends_suppressed;
+    return false;
+  }
+  if (const CrashPlan* plan = crashes_.plan_for(from)) {
+    if (plan->after_sends && sends_done_[from] >= *plan->after_sends) {
+      crash_now(from, now);
+      ++stats_.sends_suppressed;
+      return false;
+    }
+  }
+  ++sends_done_[from];
+  return true;
+}
+
+void Simulation::enqueue_send(ProcessId from, ProcessId to, int tag,
+                              std::any payload, Time now) {
+  const Time raw = delay_->delay(from, to, now, rng_);
+  CHC_INTERNAL(raw > 0.0, "delay model must return positive delays");
+  // Reliable FIFO: never deliver before an earlier message on this channel.
+  Time& front = channel_front_[{from, to}];
+  const Time at = std::max(now + raw, front + 1e-9);
+  front = at;
+
+  Event e;
+  e.t = at;
+  e.kind = EventKind::kDeliver;
+  e.target = to;
+  e.msg = Message{from, to, tag, std::move(payload)};
+  push_event(std::move(e));
+  ++stats_.messages_sent;
+  ++stats_.sent_by_tag[tag];
+}
+
+void Simulation::crash_now(ProcessId p, Time now) {
+  if (crashed_[p]) return;
+  crashed_[p] = true;
+  crash_time_[p] = now;
+}
+
+RunResult Simulation::run(std::uint64_t max_events) {
+  CHC_CHECK(procs_.size() == n_, "add_process must be called exactly n times");
+  if (!started_) {
+    started_ = true;
+    for (ProcessId p = 0; p < n_; ++p) {
+      Event e;
+      e.t = 0.0;
+      e.kind = EventKind::kStart;
+      e.target = p;
+      push_event(std::move(e));
+      if (const CrashPlan* plan = crashes_.plan_for(p)) {
+        if (plan->at_time) {
+          Event c;
+          c.t = *plan->at_time;
+          c.kind = EventKind::kCrashAtTime;
+          c.target = p;
+          push_event(std::move(c));
+        }
+      }
+    }
+  }
+
+  RunResult result;
+  while (!queue_.empty()) {
+    if (stats_.events_processed >= max_events) {
+      result.quiescent = false;
+      result.stats = stats_;
+      return result;
+    }
+    Event e = queue_.top();
+    queue_.pop();
+    ++stats_.events_processed;
+    stats_.end_time = e.t;
+
+    switch (e.kind) {
+      case EventKind::kCrashAtTime:
+        crash_now(e.target, e.t);
+        break;
+      case EventKind::kStart: {
+        if (crashed_[e.target]) break;
+        ContextImpl ctx(this, e.target, e.t);
+        procs_[e.target]->on_start(ctx);
+        break;
+      }
+      case EventKind::kDeliver: {
+        if (crashed_[e.target]) {
+          ++stats_.messages_dropped;
+          break;
+        }
+        ++stats_.messages_delivered;
+        ContextImpl ctx(this, e.target, e.t);
+        procs_[e.target]->on_message(ctx, e.msg);
+        break;
+      }
+      case EventKind::kTimer: {
+        if (crashed_[e.target]) break;
+        ++stats_.timers_fired;
+        ContextImpl ctx(this, e.target, e.t);
+        procs_[e.target]->on_timer(ctx, e.token);
+        break;
+      }
+    }
+  }
+  result.quiescent = true;
+  result.stats = stats_;
+  return result;
+}
+
+bool Simulation::crashed(ProcessId p) const {
+  CHC_CHECK(p < n_, "process id out of range");
+  return crashed_[p];
+}
+
+Time Simulation::crash_time(ProcessId p) const {
+  CHC_CHECK(p < n_, "process id out of range");
+  return crash_time_[p];
+}
+
+std::uint64_t Simulation::sends_of(ProcessId p) const {
+  CHC_CHECK(p < n_, "process id out of range");
+  return sends_done_[p];
+}
+
+}  // namespace chc::sim

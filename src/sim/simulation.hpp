@@ -1,0 +1,112 @@
+// Deterministic discrete-event simulator of the paper's system model:
+// asynchronous complete graph, reliable FIFO exactly-once channels, crash
+// faults. Everything is driven by one seeded Rng, so an execution is a pure
+// function of (processes, delay model, crash schedule, seed).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/crash.hpp"
+#include "sim/delay.hpp"
+#include "sim/message.hpp"
+#include "sim/process.hpp"
+
+namespace chc::sim {
+
+/// Aggregate statistics of a run (experiment E8 reports message counts).
+struct SimStats {
+  std::uint64_t messages_sent = 0;       ///< accepted into the network
+  std::uint64_t messages_delivered = 0;  ///< delivered to a live process
+  std::uint64_t messages_dropped = 0;    ///< receiver crashed before delivery
+  std::uint64_t sends_suppressed = 0;    ///< sender already crashed
+  std::uint64_t timers_fired = 0;
+  std::uint64_t events_processed = 0;
+  Time end_time = 0.0;
+  std::map<int, std::uint64_t> sent_by_tag;
+};
+
+struct RunResult {
+  bool quiescent = false;  ///< event queue drained (vs. event-budget stop)
+  SimStats stats;
+};
+
+class Simulation {
+ public:
+  Simulation(std::size_t n, std::uint64_t seed,
+             std::unique_ptr<DelayModel> delay, CrashSchedule crashes);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Registers the process with the next free id (call exactly n times
+  /// before run()).
+  void add_process(std::unique_ptr<Process> p);
+
+  /// Runs to quiescence or until `max_events` events have been processed.
+  RunResult run(std::uint64_t max_events = 50'000'000);
+
+  std::size_t n() const { return n_; }
+  bool crashed(ProcessId p) const;
+  Time crash_time(ProcessId p) const;  ///< +inf when never crashed
+  const SimStats& stats() const { return stats_; }
+
+  /// Messages a process managed to send before crashing (for building the
+  /// paper's F[t] sets in the analysis harness).
+  std::uint64_t sends_of(ProcessId p) const;
+
+ private:
+  enum class EventKind { kStart, kDeliver, kTimer, kCrashAtTime };
+
+  struct Event {
+    Time t = 0.0;
+    std::uint64_t seq = 0;  // tie-break for determinism
+    EventKind kind = EventKind::kStart;
+    ProcessId target = 0;
+    Message msg;    // kDeliver
+    int token = 0;  // kTimer
+  };
+
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  class ContextImpl;
+  friend class ContextImpl;
+
+  void push_event(Event e);
+  void enqueue_send(ProcessId from, ProcessId to, int tag, std::any payload,
+                    Time now);
+  /// Returns false (and marks the sender crashed) when the crash schedule
+  /// says this send must not happen.
+  bool consume_send_budget(ProcessId from, Time now);
+  void crash_now(ProcessId p, Time now);
+
+  std::size_t n_;
+  Rng rng_;
+  std::unique_ptr<DelayModel> delay_;
+  CrashSchedule crashes_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::vector<Rng> proc_rngs_;
+  std::vector<bool> crashed_;
+  std::vector<Time> crash_time_;
+  std::vector<std::uint64_t> sends_done_;
+
+  // FIFO enforcement: earliest allowed next delivery per directed channel.
+  std::map<std::pair<ProcessId, ProcessId>, Time> channel_front_;
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::uint64_t next_seq_ = 0;
+  bool started_ = false;
+  SimStats stats_;
+};
+
+}  // namespace chc::sim

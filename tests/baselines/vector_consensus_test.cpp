@@ -1,0 +1,84 @@
+#include "baselines/vector_consensus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chc::baselines {
+namespace {
+
+core::RunConfig base_config() {
+  core::RunConfig rc;
+  rc.cc = core::CCConfig{.n = 7, .f = 1, .d = 2, .eps = 0.05};
+  rc.pattern = core::InputPattern::kUniform;
+  rc.crash_style = core::CrashStyle::kMidBroadcast;
+  rc.seed = 21;
+  return rc;
+}
+
+void expect_ok(const VectorConsensusOutput& out, const char* what) {
+  EXPECT_TRUE(out.all_decided) << what;
+  EXPECT_TRUE(out.validity) << what;
+  EXPECT_TRUE(out.agreement)
+      << what << " spread=" << out.max_pairwise_dist;
+}
+
+TEST(VectorConsensus, FaultFree) {
+  auto rc = base_config();
+  rc.cc.f = 0;
+  rc.crash_style = core::CrashStyle::kNone;
+  expect_ok(run_vector_consensus(rc), "fault-free");
+}
+
+TEST(VectorConsensus, WithCrashFault) {
+  expect_ok(run_vector_consensus(base_config()), "f=1 mid-broadcast");
+}
+
+TEST(VectorConsensus, OneDimensionalScalarConsensus) {
+  // d = 1 degenerates to scalar approximate consensus (Dolev et al. style).
+  auto rc = base_config();
+  rc.cc = core::CCConfig{.n = 4, .f = 1, .d = 1, .eps = 0.02};
+  expect_ok(run_vector_consensus(rc), "scalar");
+}
+
+TEST(VectorConsensus, AdversarialLag) {
+  auto rc = base_config();
+  rc.delay = core::DelayRegime::kLaggedFaulty;
+  rc.crash_style = core::CrashStyle::kNone;
+  expect_ok(run_vector_consensus(rc), "lagged");
+}
+
+TEST(VectorConsensus, SeedSweep) {
+  for (std::uint64_t seed = 31; seed < 39; ++seed) {
+    auto rc = base_config();
+    rc.seed = seed;
+    expect_ok(run_vector_consensus(rc), "seed sweep");
+  }
+}
+
+TEST(VectorConsensus, OutputIsInsideCcOutput) {
+  // The paper: a convex hull consensus solution trivially yields vector
+  // consensus. Sanity-check the relationship empirically: the baseline's
+  // decided points and CC's decided polytopes are both inside the correct
+  // hull for the same workload.
+  auto rc = base_config();
+  const auto vc = run_vector_consensus(rc);
+  const auto cc = core::run_cc_once(rc);
+  ASSERT_TRUE(vc.all_decided);
+  ASSERT_TRUE(cc.cert.all_decided);
+  const geo::Polytope hull = geo::Polytope::from_points(cc.correct_inputs);
+  for (sim::ProcessId p : vc.correct) {
+    EXPECT_TRUE(hull.contains(*vc.decisions[p], 1e-6));
+  }
+}
+
+TEST(VectorConsensus, IdenticalInputsConvergeToThatPoint) {
+  auto rc = base_config();
+  rc.pattern = core::InputPattern::kIdentical;
+  const auto out = run_vector_consensus(rc);
+  expect_ok(out, "identical");
+  for (sim::ProcessId p : out.correct) {
+    EXPECT_LT(out.decisions[p]->dist(out.correct_inputs[0]), rc.cc.eps);
+  }
+}
+
+}  // namespace
+}  // namespace chc::baselines

@@ -1,0 +1,103 @@
+#include "common/combinatorics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace chc {
+namespace {
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(13, 2), 78u);
+  EXPECT_EQ(binomial(25, 3), 2300u);
+  EXPECT_EQ(binomial(4, 7), 0u);
+}
+
+TEST(Binomial, PascalIdentityHolds) {
+  for (std::uint64_t n = 1; n <= 20; ++n) {
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(ForEachSubset, CountsMatchBinomial) {
+  for (std::size_t n = 0; n <= 8; ++n) {
+    for (std::size_t k = 0; k <= n; ++k) {
+      std::size_t count = 0;
+      for_each_subset(n, k, [&](const std::vector<std::size_t>&) {
+        ++count;
+        return true;
+      });
+      EXPECT_EQ(count, binomial(n, k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(ForEachSubset, SubsetsAreSortedDistinctAndUnique) {
+  std::set<std::vector<std::size_t>> seen;
+  for_each_subset(6, 3, [&](const std::vector<std::size_t>& s) {
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_LT(s[0], s[1]);
+    EXPECT_LT(s[1], s[2]);
+    EXPECT_LT(s[2], 6u);
+    EXPECT_TRUE(seen.insert(s).second) << "duplicate subset";
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(ForEachSubset, EarlyStopRespected) {
+  std::size_t count = 0;
+  for_each_subset(10, 2, [&](const std::vector<std::size_t>&) {
+    ++count;
+    return count < 5;
+  });
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(ForEachSubset, EmptySubsetVisitedOnce) {
+  std::size_t count = 0;
+  for_each_subset(4, 0, [&](const std::vector<std::size_t>& s) {
+    EXPECT_TRUE(s.empty());
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(ForEachDrop, KeptSetsComplementDropped) {
+  // n=5, drop=2: every visit keeps 3 indices; all C(5,2)=10 kept sets seen.
+  std::set<std::vector<std::size_t>> seen;
+  for_each_drop(5, 2, [&](const std::vector<std::size_t>& kept) {
+    EXPECT_EQ(kept.size(), 3u);
+    EXPECT_TRUE(seen.insert(kept).second);
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(ForEachDrop, DropZeroKeepsEverything) {
+  std::size_t count = 0;
+  for_each_drop(4, 0, [&](const std::vector<std::size_t>& kept) {
+    EXPECT_EQ(kept, (std::vector<std::size_t>{0, 1, 2, 3}));
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(ForEachDrop, OverDropRejected) {
+  EXPECT_THROW(
+      for_each_drop(2, 3, [](const std::vector<std::size_t>&) { return true; }),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace chc

@@ -1,0 +1,45 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace chc {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"n", "f", "value"});
+  t.add_row({"7", "1", "3.14"});
+  t.add_row({"13", "2", "2.71"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("13"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvIsCommaSeparated) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, NumFormatsDoubles) {
+  EXPECT_EQ(Table::num(1.5, 3), "1.5");
+  EXPECT_EQ(Table::num(std::size_t{42}), "42");
+  EXPECT_EQ(Table::num(-7), "-7");
+}
+
+}  // namespace
+}  // namespace chc

@@ -1,0 +1,117 @@
+#include "core/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "geometry/affine.hpp"
+
+namespace chc::core {
+namespace {
+
+TEST(Workload, SizesAndFaultySetWellFormed) {
+  const auto w = make_workload(9, 2, 3, InputPattern::kUniform, 1);
+  EXPECT_EQ(w.inputs.size(), 9u);
+  EXPECT_EQ(w.faulty.size(), 2u);
+  std::set<sim::ProcessId> uniq(w.faulty.begin(), w.faulty.end());
+  EXPECT_EQ(uniq.size(), 2u);
+  for (auto p : w.faulty) EXPECT_LT(p, 9u);
+  for (const auto& x : w.inputs) EXPECT_EQ(x.dim(), 3u);
+}
+
+TEST(Workload, IncorrectInputsAreOutliers) {
+  const auto w = make_workload(9, 2, 2, InputPattern::kUniform, 7);
+  const std::set<sim::ProcessId> faulty(w.faulty.begin(), w.faulty.end());
+  for (sim::ProcessId p = 0; p < 9; ++p) {
+    if (faulty.count(p)) {
+      EXPECT_GT(w.inputs[p].max_abs(), 1.4) << "faulty input not an outlier";
+    } else {
+      EXPECT_LE(w.inputs[p].max_abs(), 1.0);
+    }
+  }
+  EXPECT_LE(w.correct_magnitude, 1.0);
+}
+
+TEST(Workload, CorrectInputsModeDrawsFromPattern) {
+  const auto w =
+      make_workload(9, 2, 2, InputPattern::kUniform, 7, /*incorrect=*/false);
+  for (const auto& x : w.inputs) {
+    EXPECT_LE(x.max_abs(), 1.0);  // nobody is an outlier
+  }
+}
+
+TEST(Workload, IdenticalPatternAllCorrectEqual) {
+  const auto w = make_workload(7, 1, 2, InputPattern::kIdentical, 3);
+  const std::set<sim::ProcessId> faulty(w.faulty.begin(), w.faulty.end());
+  std::vector<geo::Vec> correct;
+  for (sim::ProcessId p = 0; p < 7; ++p) {
+    if (!faulty.count(p)) correct.push_back(w.inputs[p]);
+  }
+  for (const auto& x : correct) {
+    EXPECT_TRUE(approx_eq(x, correct[0], 1e-12));
+  }
+}
+
+TEST(Workload, CollinearPatternIsCollinear) {
+  const auto w = make_workload(9, 2, 3, InputPattern::kCollinear, 5);
+  const std::set<sim::ProcessId> faulty(w.faulty.begin(), w.faulty.end());
+  std::vector<geo::Vec> correct;
+  for (sim::ProcessId p = 0; p < 9; ++p) {
+    if (!faulty.count(p)) correct.push_back(w.inputs[p]);
+  }
+  const auto flat = geo::AffineSubspace::from_points(correct);
+  EXPECT_LE(flat.dim(), 1u);
+}
+
+TEST(Workload, DeterministicForSameSeed) {
+  const auto a = make_workload(8, 2, 2, InputPattern::kClustered, 11);
+  const auto b = make_workload(8, 2, 2, InputPattern::kClustered, 11);
+  EXPECT_EQ(a.faulty, b.faulty);
+  for (std::size_t p = 0; p < 8; ++p) {
+    EXPECT_TRUE(approx_eq(a.inputs[p], b.inputs[p], 0.0));
+  }
+  const auto c = make_workload(8, 2, 2, InputPattern::kClustered, 12);
+  bool same = (a.faulty == c.faulty);
+  for (std::size_t p = 0; p < 8 && same; ++p) {
+    same = approx_eq(a.inputs[p], c.inputs[p], 1e-12);
+  }
+  EXPECT_FALSE(same);
+}
+
+TEST(Workload, RejectsAllFaulty) {
+  EXPECT_THROW(make_workload(3, 3, 1, InputPattern::kUniform, 1),
+               ContractViolation);
+}
+
+TEST(CrashScheduleFactory, StylesProducePlans) {
+  const auto w = make_workload(7, 2, 2, InputPattern::kUniform, 1);
+  EXPECT_EQ(make_crash_schedule(w, CrashStyle::kNone, 1).planned_crashes(),
+            0u);
+  EXPECT_EQ(make_crash_schedule(w, CrashStyle::kEarly, 1).planned_crashes(),
+            2u);
+  const auto mid = make_crash_schedule(w, CrashStyle::kMidBroadcast, 1);
+  EXPECT_EQ(mid.planned_crashes(), 2u);
+  for (auto p : w.faulty) {
+    ASSERT_NE(mid.plan_for(p), nullptr);
+    EXPECT_TRUE(mid.plan_for(p)->after_sends.has_value());
+  }
+  const auto late = make_crash_schedule(w, CrashStyle::kLate, 1);
+  for (auto p : w.faulty) {
+    ASSERT_NE(late.plan_for(p), nullptr);
+    EXPECT_TRUE(late.plan_for(p)->at_time.has_value());
+    EXPECT_GE(*late.plan_for(p)->at_time, 50.0);
+  }
+}
+
+TEST(CrashScheduleFactory, DeterministicPerSeed) {
+  const auto w = make_workload(7, 2, 2, InputPattern::kUniform, 1);
+  const auto a = make_crash_schedule(w, CrashStyle::kMidBroadcast, 5);
+  const auto b = make_crash_schedule(w, CrashStyle::kMidBroadcast, 5);
+  for (auto p : w.faulty) {
+    EXPECT_EQ(a.plan_for(p)->after_sends, b.plan_for(p)->after_sends);
+  }
+}
+
+}  // namespace
+}  // namespace chc::core

@@ -1,0 +1,138 @@
+// Direct tests of the quorum-replicated grow-only store underneath the
+// stable vector.
+#include "dsm/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "common/check.hpp"
+#include "sim/simulation.hpp"
+
+namespace chc::dsm {
+namespace {
+
+/// Host that writes its value, then runs a fixed number of collects and
+/// records each result.
+class StoreHost final : public sim::Process {
+ public:
+  StoreHost(std::size_t n, std::size_t f, int collects,
+            std::vector<std::vector<View>>* log)
+      : n_(n), f_(f), collects_left_(collects), log_(log) {}
+
+  void on_start(sim::Context& ctx) override {
+    store_ = std::make_unique<GrowOnlyStore>(n_, f_, ctx.self());
+    store_->write(ctx, geo::Vec{static_cast<double>(ctx.self())},
+                  [this](sim::Context& c) { next_collect(c); });
+  }
+
+  void on_message(sim::Context& ctx, const sim::Message& msg) override {
+    store_->on_message(ctx, msg);
+  }
+
+  const GrowOnlyStore& store() const { return *store_; }
+
+ private:
+  void next_collect(sim::Context& ctx) {
+    if (collects_left_-- <= 0) return;
+    store_->collect(ctx, [this](sim::Context& c, const View& v) {
+      (*log_)[c.self()].push_back(v);
+      next_collect(c);
+    });
+  }
+
+  std::size_t n_, f_;
+  int collects_left_;
+  std::vector<std::vector<View>>* log_;
+  std::unique_ptr<GrowOnlyStore> store_;
+};
+
+TEST(GrowOnlyStore, CollectsAreMonotonePerProcess) {
+  // Successive collects by one process never lose entries.
+  const std::size_t n = 5, f = 2;
+  std::vector<std::vector<View>> log(n);
+  sim::Simulation sim(n, 3, std::make_unique<sim::UniformDelay>(0.1, 1.0), {});
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    sim.add_process(std::make_unique<StoreHost>(n, f, 4, &log));
+  }
+  EXPECT_TRUE(sim.run().quiescent);
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    ASSERT_EQ(log[p].size(), 4u);
+    for (std::size_t k = 1; k < log[p].size(); ++k) {
+      for (std::size_t slot = 0; slot < n; ++slot) {
+        if (log[p][k - 1][slot].has_value()) {
+          EXPECT_TRUE(log[p][k][slot].has_value())
+              << "process " << p << " lost slot " << slot;
+        }
+      }
+    }
+    // Own write always visible in own collects.
+    EXPECT_TRUE(log[p][0][p].has_value());
+  }
+}
+
+TEST(GrowOnlyStore, CollectsEventuallyComplete) {
+  const std::size_t n = 4, f = 1;
+  std::vector<std::vector<View>> log(n);
+  sim::Simulation sim(n, 9, std::make_unique<sim::ExponentialDelay>(0.4), {});
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    sim.add_process(std::make_unique<StoreHost>(n, f, 6, &log));
+  }
+  EXPECT_TRUE(sim.run().quiescent);
+  // The last collect of every process sees all n writes (nobody crashed and
+  // six collect rounds exceed any write latency here).
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    EXPECT_EQ(view_count(log[p].back()), n);
+  }
+}
+
+TEST(GrowOnlyStore, CrashedWriterMayBePartiallyVisible) {
+  // A writer that crashes mid-write leaves its value on <= quorum replicas;
+  // collects either surface it or not, but never inconsistently within one
+  // process's monotone sequence (covered above). Here: just verify the
+  // system stays live and the crashed writer's own absence is tolerated.
+  const std::size_t n = 5, f = 2;
+  sim::CrashSchedule cs;
+  cs.set(0, sim::CrashPlan::after(2));  // dies mid write-broadcast
+  std::vector<std::vector<View>> log(n);
+  sim::Simulation sim(n, 17, std::make_unique<sim::UniformDelay>(0.1, 1.0),
+                      cs);
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    sim.add_process(std::make_unique<StoreHost>(n, f, 3, &log));
+  }
+  EXPECT_TRUE(sim.run().quiescent);
+  for (sim::ProcessId p = 1; p < n; ++p) {
+    ASSERT_EQ(log[p].size(), 3u) << "live process stalled";
+    EXPECT_GE(view_count(log[p].back()), n - 1);  // all live writes land
+  }
+}
+
+TEST(GrowOnlyStore, WriteOnceEnforced) {
+  class DoubleWriter final : public sim::Process {
+   public:
+    void on_start(sim::Context& ctx) override {
+      GrowOnlyStore store(3, 1, ctx.self());
+      store.write(ctx, geo::Vec{1.0}, [](sim::Context&) {});
+      EXPECT_THROW(store.write(ctx, geo::Vec{2.0}, [](sim::Context&) {}),
+                   ContractViolation);
+    }
+    void on_message(sim::Context&, const sim::Message&) override {}
+  };
+  sim::Simulation sim(3, 1, std::make_unique<sim::FixedDelay>(1.0), {});
+  for (int i = 0; i < 3; ++i) sim.add_process(std::make_unique<DoubleWriter>());
+  sim.run(100000);
+}
+
+TEST(ViewHelpers, EqualIgnoresValuesComparesPresence) {
+  View a(2), b(2);
+  a[0] = geo::Vec{1.0};
+  b[0] = geo::Vec{1.0};
+  EXPECT_TRUE(view_equal(a, b));
+  b[1] = geo::Vec{9.0};
+  EXPECT_FALSE(view_equal(a, b));
+  EXPECT_FALSE(view_equal(a, View(3)));
+}
+
+}  // namespace
+}  // namespace chc::dsm

@@ -1,0 +1,113 @@
+#include "geometry/affine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace chc::geo {
+namespace {
+
+TEST(Affine, SinglePointHasDimZero) {
+  const auto s = AffineSubspace::from_points({Vec{1, 2, 3}});
+  EXPECT_EQ(s.dim(), 0u);
+  EXPECT_EQ(s.ambient_dim(), 3u);
+  EXPECT_TRUE(approx_eq(s.origin(), Vec{1, 2, 3}, 1e-15));
+}
+
+TEST(Affine, DuplicatePointsStayDimZero) {
+  const auto s = AffineSubspace::from_points(
+      {Vec{1, 1}, Vec{1, 1}, Vec{1.0 + 1e-13, 1}});
+  EXPECT_EQ(s.dim(), 0u);
+}
+
+TEST(Affine, CollinearPointsAreDimOne) {
+  const auto s = AffineSubspace::from_points(
+      {Vec{0, 0, 0}, Vec{1, 1, 1}, Vec{2, 2, 2}, Vec{-3, -3, -3}});
+  EXPECT_EQ(s.dim(), 1u);
+}
+
+TEST(Affine, CoplanarPointsAreDimTwo) {
+  const auto s = AffineSubspace::from_points(
+      {Vec{0, 0, 0}, Vec{1, 0, 0}, Vec{0, 1, 0}, Vec{3, -2, 0}});
+  EXPECT_EQ(s.dim(), 2u);
+}
+
+TEST(Affine, GenericSimplexIsFullDim) {
+  const auto s = AffineSubspace::from_points(
+      {Vec{0, 0, 0}, Vec{1, 0, 0}, Vec{0, 1, 0}, Vec{0, 0, 1}});
+  EXPECT_EQ(s.dim(), 3u);
+}
+
+TEST(Affine, ProjectLiftRoundTripOnFlat) {
+  const std::vector<Vec> pts = {Vec{0, 0, 1}, Vec{1, 0, 1}, Vec{0, 1, 1}};
+  const auto s = AffineSubspace::from_points(pts);
+  ASSERT_EQ(s.dim(), 2u);
+  for (const Vec& p : pts) {
+    const Vec back = s.lift(s.project(p));
+    EXPECT_TRUE(approx_eq(back, p, 1e-12)) << p << " -> " << back;
+  }
+}
+
+TEST(Affine, BasisIsOrthonormal) {
+  Rng rng(3);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 8; ++i) {
+    Vec p(4);
+    for (int c = 0; c < 4; ++c) p[static_cast<std::size_t>(c)] = rng.normal();
+    pts.push_back(p);
+  }
+  const auto s = AffineSubspace::from_points(pts);
+  const auto& B = s.basis();
+  for (std::size_t i = 0; i < B.size(); ++i) {
+    EXPECT_NEAR(B[i].norm(), 1.0, 1e-10);
+    for (std::size_t j = i + 1; j < B.size(); ++j) {
+      EXPECT_NEAR(B[i].dot(B[j]), 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Affine, DistanceToFlat) {
+  // The plane z = 1 in R^3.
+  const auto s = AffineSubspace::from_points(
+      {Vec{0, 0, 1}, Vec{1, 0, 1}, Vec{0, 1, 1}});
+  EXPECT_NEAR(s.distance(Vec{5, -2, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(s.distance(Vec{5, -2, 4}), 3.0, 1e-12);
+  EXPECT_TRUE(s.contains(Vec{9, 9, 1}, 1e-9));
+  EXPECT_FALSE(s.contains(Vec{9, 9, 1.1}, 1e-9));
+}
+
+TEST(Affine, CanonicalIsIdentity) {
+  const auto s = AffineSubspace::canonical(3);
+  EXPECT_EQ(s.dim(), 3u);
+  const Vec p{1.5, -2.25, 3.75};
+  EXPECT_TRUE(approx_eq(s.project(p), p, 1e-15));
+  EXPECT_TRUE(approx_eq(s.lift(p), p, 1e-15));
+}
+
+TEST(Affine, ScaleRelativeToleranceHandlesLargeCoordinates) {
+  // Collinear points with magnitude 1e6: still detected as dim 1.
+  const auto s = AffineSubspace::from_points(
+      {Vec{1e6, 1e6}, Vec{2e6, 2e6}, Vec{3e6, 3e6 + 1e-5}});
+  EXPECT_EQ(s.dim(), 1u);
+}
+
+TEST(Affine, RandomPointsInSubspaceRecovered) {
+  // Random points in a random 2-D flat of R^5 must be detected as dim 2.
+  Rng rng(17);
+  Vec o(5), b1(5), b2(5);
+  for (std::size_t c = 0; c < 5; ++c) {
+    o[c] = rng.normal();
+    b1[c] = rng.normal();
+    b2[c] = rng.normal();
+  }
+  std::vector<Vec> pts;
+  for (int i = 0; i < 12; ++i) {
+    pts.push_back(o + b1 * rng.uniform(-2, 2) + b2 * rng.uniform(-2, 2));
+  }
+  const auto s = AffineSubspace::from_points(pts);
+  EXPECT_EQ(s.dim(), 2u);
+  for (const Vec& p : pts) EXPECT_LT(s.distance(p), 1e-8);
+}
+
+}  // namespace
+}  // namespace chc::geo

@@ -1,0 +1,101 @@
+#include "geometry/distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "geometry/hull2d.hpp"
+
+namespace chc::geo {
+namespace {
+
+TEST(NearestPointInHull, SingleVertex) {
+  const Vec v = nearest_point_in_hull({Vec{1, 2, 3}}, Vec{0, 0, 0});
+  EXPECT_TRUE(approx_eq(v, Vec{1, 2, 3}, 1e-12));
+}
+
+TEST(NearestPointInHull, SegmentProjection) {
+  const std::vector<Vec> seg = {Vec{0, 0}, Vec{2, 0}};
+  const Vec v = nearest_point_in_hull(seg, Vec{1, 5});
+  EXPECT_TRUE(approx_eq(v, Vec{1, 0}, 1e-5));
+}
+
+TEST(NearestPointInHull, InsideReturnsQueryDistanceZero) {
+  const std::vector<Vec> sq = {Vec{0, 0}, Vec{1, 0}, Vec{1, 1}, Vec{0, 1}};
+  const Vec v = nearest_point_in_hull(sq, Vec{0.5, 0.6});
+  EXPECT_NEAR(v.dist(Vec{0.5, 0.6}), 0.0, 1e-5);
+}
+
+TEST(NearestPointInHull, MatchesPolygonPathOnRandom2d) {
+  Rng rng(81);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Vec> pts;
+    for (int i = 0; i < 10; ++i) {
+      pts.push_back(Vec{rng.uniform(-1, 1), rng.uniform(-1, 1)});
+    }
+    const auto poly = hull2d(pts);
+    if (poly.size() < 3) continue;
+    for (int q = 0; q < 10; ++q) {
+      const Vec query{rng.uniform(-3, 3), rng.uniform(-3, 3)};
+      const double exact = point_polygon_distance(poly, query);
+      const double fw = nearest_point_in_hull(poly, query).dist(query);
+      EXPECT_NEAR(fw, exact, 1e-5) << "trial " << trial << " q " << q;
+    }
+  }
+}
+
+TEST(NearestPointInHull, CubeClampClosedForm3d) {
+  std::vector<Vec> cube;
+  for (int m = 0; m < 8; ++m) {
+    cube.push_back(Vec{double(m & 1), double((m >> 1) & 1), double((m >> 2) & 1)});
+  }
+  Rng rng(83);
+  for (int i = 0; i < 30; ++i) {
+    const Vec q{rng.uniform(-2, 3), rng.uniform(-2, 3), rng.uniform(-2, 3)};
+    Vec clamp(3);
+    for (std::size_t c = 0; c < 3; ++c) clamp[c] = std::clamp(q[c], 0.0, 1.0);
+    const double fw = nearest_point_in_hull(cube, q).dist(q);
+    EXPECT_NEAR(fw, clamp.dist(q), 1e-5);
+  }
+}
+
+TEST(NearestPointInHull, HighDimensionalSimplex) {
+  // Standard simplex in R^6; query at the origin-opposite corner direction.
+  std::vector<Vec> verts;
+  for (std::size_t c = 0; c < 6; ++c) {
+    Vec e(6, 0.0);
+    e[c] = 1.0;
+    verts.push_back(e);
+  }
+  // Nearest point of the simplex to the origin is the barycenter.
+  const Vec v = nearest_point_in_hull(verts, Vec(6, 0.0));
+  EXPECT_NEAR(v.dist(Vec(6, 1.0 / 6.0)), 0.0, 1e-4);
+  EXPECT_NEAR(v.norm(), 1.0 / std::sqrt(6.0), 1e-5);
+}
+
+TEST(NearestPointInHull, ResultAlwaysInsideHull) {
+  Rng rng(87);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 12; ++i) {
+    pts.push_back(Vec{rng.normal(), rng.normal(), rng.normal()});
+  }
+  for (int q = 0; q < 20; ++q) {
+    const Vec query{rng.uniform(-4, 4), rng.uniform(-4, 4), rng.uniform(-4, 4)};
+    const Vec v = nearest_point_in_hull(pts, query);
+    // v must be a convex combination: check via distance of v to the hull
+    // being ~0 (reuse the same solver from a different start by symmetry:
+    // distance from v to hull should be tiny).
+    const double self = nearest_point_in_hull(pts, v).dist(v);
+    EXPECT_LT(self, 1e-6);
+  }
+}
+
+TEST(NearestPointInHull, EmptyRejected) {
+  EXPECT_THROW(nearest_point_in_hull({}, Vec{0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace chc::geo

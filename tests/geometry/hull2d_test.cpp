@@ -1,0 +1,223 @@
+#include "geometry/hull2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace chc::geo {
+namespace {
+
+std::vector<Vec> random_cloud(Rng& rng, int n, double lo = -1, double hi = 1) {
+  std::vector<Vec> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(Vec{rng.uniform(lo, hi), rng.uniform(lo, hi)});
+  }
+  return pts;
+}
+
+/// Brute-force Minkowski sum: all pairwise sums, then hull.
+std::vector<Vec> brute_minkowski(const std::vector<Vec>& p,
+                                 const std::vector<Vec>& q) {
+  std::vector<Vec> sums;
+  for (const Vec& u : p) {
+    for (const Vec& v : q) sums.push_back(u + v);
+  }
+  return hull2d(std::move(sums));
+}
+
+bool same_vertex_set(std::vector<Vec> a, std::vector<Vec> b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (const Vec& u : a) {
+    const bool found = std::any_of(b.begin(), b.end(), [&](const Vec& v) {
+      return approx_eq(u, v, tol);
+    });
+    if (!found) return false;
+  }
+  return true;
+}
+
+TEST(Hull2d, SquareWithInteriorAndBoundaryPoints) {
+  const auto h = hull2d({Vec{0, 0}, Vec{1, 0}, Vec{1, 1}, Vec{0, 1},
+                         Vec{0.5, 0.5}, Vec{0.5, 0.0}, Vec{1, 0.5}});
+  EXPECT_EQ(h.size(), 4u);
+  EXPECT_NEAR(polygon_area(h), 1.0, 1e-12);
+}
+
+TEST(Hull2d, OutputIsCcw) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto h = hull2d(random_cloud(rng, 30));
+    ASSERT_GE(h.size(), 3u);
+    EXPECT_GT(polygon_area(h), 0.0);
+    // Every consecutive triple turns left.
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      const double c = cross2(h[i], h[(i + 1) % h.size()], h[(i + 2) % h.size()]);
+      EXPECT_GT(c, 0.0);
+    }
+  }
+}
+
+TEST(Hull2d, AllPointsInsideHull) {
+  Rng rng(6);
+  const auto pts = random_cloud(rng, 100);
+  const auto h = hull2d(pts);
+  for (const Vec& p : pts) {
+    EXPECT_TRUE(polygon_contains(h, p, 1e-9));
+  }
+}
+
+TEST(Hull2d, CollinearInputGivesSegment) {
+  const auto h = hull2d({Vec{0, 0}, Vec{1, 1}, Vec{2, 2}, Vec{0.5, 0.5}});
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_TRUE(same_vertex_set(h, {Vec{0, 0}, Vec{2, 2}}, 1e-12));
+}
+
+TEST(Hull2d, IdenticalPointsGiveSinglePoint) {
+  const auto h = hull2d({Vec{3, 4}, Vec{3, 4}, Vec{3, 4}});
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_TRUE(approx_eq(h[0], Vec{3, 4}, 1e-12));
+}
+
+TEST(Hull2d, EmptyInput) {
+  EXPECT_TRUE(hull2d({}).empty());
+}
+
+TEST(PolygonArea, TriangleAndSquare) {
+  EXPECT_NEAR(polygon_area({Vec{0, 0}, Vec{2, 0}, Vec{0, 3}}), 3.0, 1e-12);
+  EXPECT_NEAR(polygon_area({Vec{0, 0}, Vec{1, 0}, Vec{1, 1}, Vec{0, 1}}), 1.0,
+              1e-12);
+  // CW orientation gives negative area.
+  EXPECT_NEAR(polygon_area({Vec{0, 0}, Vec{0, 1}, Vec{1, 1}, Vec{1, 0}}), -1.0,
+              1e-12);
+}
+
+TEST(PolygonContains, BoundaryAndInterior) {
+  const std::vector<Vec> sq = {Vec{0, 0}, Vec{1, 0}, Vec{1, 1}, Vec{0, 1}};
+  EXPECT_TRUE(polygon_contains(sq, Vec{0.5, 0.5}, 1e-12));
+  EXPECT_TRUE(polygon_contains(sq, Vec{0, 0}, 1e-12));
+  EXPECT_TRUE(polygon_contains(sq, Vec{0.5, 0}, 1e-12));
+  EXPECT_FALSE(polygon_contains(sq, Vec{1.01, 0.5}, 1e-9));
+  EXPECT_FALSE(polygon_contains(sq, Vec{-0.01, 0.5}, 1e-9));
+}
+
+TEST(ClipHalfplane, SquareClippedToHalf) {
+  const std::vector<Vec> sq = {Vec{0, 0}, Vec{2, 0}, Vec{2, 2}, Vec{0, 2}};
+  // Keep x <= 1.
+  const auto clipped = clip_halfplane(sq, Vec{1, 0}, 1.0);
+  EXPECT_NEAR(polygon_area(clipped), 2.0, 1e-9);
+  for (const Vec& v : clipped) EXPECT_LE(v[0], 1.0 + 1e-9);
+}
+
+TEST(ClipHalfplane, NoOpWhenFullyInside) {
+  const std::vector<Vec> sq = {Vec{0, 0}, Vec{1, 0}, Vec{1, 1}, Vec{0, 1}};
+  const auto clipped = clip_halfplane(sq, Vec{1, 0}, 5.0);
+  EXPECT_NEAR(polygon_area(clipped), 1.0, 1e-12);
+}
+
+TEST(ClipHalfplane, EmptyWhenFullyOutside) {
+  const std::vector<Vec> sq = {Vec{0, 0}, Vec{1, 0}, Vec{1, 1}, Vec{0, 1}};
+  EXPECT_TRUE(clip_halfplane(sq, Vec{1, 0}, -1.0).empty());
+}
+
+TEST(ClipHalfplane, DiagonalCutOfSquare) {
+  const std::vector<Vec> sq = {Vec{0, 0}, Vec{1, 0}, Vec{1, 1}, Vec{0, 1}};
+  // x + y <= 1 keeps the lower-left triangle (area 1/2).
+  const auto clipped = clip_halfplane(sq, Vec{1, 1}, 1.0);
+  EXPECT_NEAR(polygon_area(clipped), 0.5, 1e-9);
+}
+
+TEST(ClipHalfplane, SegmentClipped) {
+  const std::vector<Vec> seg = {Vec{0, 0}, Vec{2, 0}};
+  const auto clipped = clip_halfplane(seg, Vec{1, 0}, 1.0);
+  ASSERT_EQ(clipped.size(), 2u);
+  EXPECT_TRUE(same_vertex_set(clipped, {Vec{0, 0}, Vec{1, 0}}, 1e-9));
+}
+
+TEST(Minkowski2d, TwoUnitSquares) {
+  const std::vector<Vec> sq = {Vec{0, 0}, Vec{1, 0}, Vec{1, 1}, Vec{0, 1}};
+  const auto sum = minkowski_sum2d(sq, sq);
+  EXPECT_EQ(sum.size(), 4u);
+  EXPECT_NEAR(polygon_area(sum), 4.0, 1e-9);
+}
+
+TEST(Minkowski2d, SquarePlusTriangle) {
+  const std::vector<Vec> sq = {Vec{0, 0}, Vec{1, 0}, Vec{1, 1}, Vec{0, 1}};
+  const std::vector<Vec> tri = {Vec{0, 0}, Vec{1, 0}, Vec{0, 1}};
+  const auto sum = minkowski_sum2d(sq, tri);
+  // Area(A+B) = area(A) + area(B) + mixed term; cross-check with brute force.
+  const auto brute = brute_minkowski(sq, tri);
+  EXPECT_NEAR(polygon_area(sum), polygon_area(brute), 1e-9);
+  EXPECT_TRUE(same_vertex_set(sum, brute, 1e-9));
+}
+
+TEST(Minkowski2d, MatchesBruteForceOnRandomPolygons) {
+  Rng rng(8);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto p = hull2d(random_cloud(rng, 12));
+    const auto q = hull2d(random_cloud(rng, 12));
+    if (p.size() < 3 || q.size() < 3) continue;
+    const auto fast = minkowski_sum2d(p, q);
+    const auto brute = brute_minkowski(p, q);
+    EXPECT_TRUE(same_vertex_set(fast, brute, 1e-7))
+        << "trial " << trial << ": " << fast.size() << " vs " << brute.size();
+  }
+}
+
+TEST(Minkowski2d, DegeneratePointOperand) {
+  const std::vector<Vec> sq = {Vec{0, 0}, Vec{1, 0}, Vec{1, 1}, Vec{0, 1}};
+  const auto sum = minkowski_sum2d(sq, {Vec{5, 5}});
+  EXPECT_EQ(sum.size(), 4u);
+  EXPECT_TRUE(polygon_contains(sum, Vec{5.5, 5.5}, 1e-9));
+  EXPECT_NEAR(polygon_area(sum), 1.0, 1e-9);
+}
+
+TEST(Minkowski2d, SegmentOperandSweepsPolygon) {
+  const std::vector<Vec> sq = {Vec{0, 0}, Vec{1, 0}, Vec{1, 1}, Vec{0, 1}};
+  const std::vector<Vec> seg = {Vec{0, 0}, Vec{2, 0}};
+  const auto sum = minkowski_sum2d(sq, seg);
+  EXPECT_NEAR(polygon_area(sum), 3.0, 1e-9);  // 1x1 square swept 2 in x
+}
+
+TEST(Minkowski2d, ParallelEdgesMerged) {
+  // Two axis-aligned rectangles: parallel edges must not break the merge.
+  const std::vector<Vec> r1 = {Vec{0, 0}, Vec{2, 0}, Vec{2, 1}, Vec{0, 1}};
+  const std::vector<Vec> r2 = {Vec{0, 0}, Vec{1, 0}, Vec{1, 3}, Vec{0, 3}};
+  const auto sum = minkowski_sum2d(r1, r2);
+  EXPECT_EQ(sum.size(), 4u);
+  EXPECT_NEAR(polygon_area(sum), 12.0, 1e-9);  // 3 x 4 rectangle
+}
+
+TEST(PointSegmentDistance, ProjectionAndEndpoints) {
+  const Vec a{0, 0}, b{2, 0};
+  EXPECT_NEAR(point_segment_distance(Vec{1, 1}, a, b), 1.0, 1e-12);
+  EXPECT_NEAR(point_segment_distance(Vec{-1, 0}, a, b), 1.0, 1e-12);
+  EXPECT_NEAR(point_segment_distance(Vec{3, 0}, a, b), 1.0, 1e-12);
+  EXPECT_NEAR(point_segment_distance(Vec{1, 0}, a, b), 0.0, 1e-12);
+  // Degenerate segment.
+  EXPECT_NEAR(point_segment_distance(Vec{1, 1}, a, a), std::sqrt(2.0), 1e-12);
+}
+
+TEST(PointPolygonDistance, InsideIsZeroOutsidePositive) {
+  const std::vector<Vec> sq = {Vec{0, 0}, Vec{1, 0}, Vec{1, 1}, Vec{0, 1}};
+  EXPECT_NEAR(point_polygon_distance(sq, Vec{0.5, 0.5}), 0.0, 1e-12);
+  EXPECT_NEAR(point_polygon_distance(sq, Vec{2, 0.5}), 1.0, 1e-12);
+  EXPECT_NEAR(point_polygon_distance(sq, Vec{2, 2}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(PolygonNearestPoint, MatchesDistance) {
+  Rng rng(9);
+  const auto poly = hull2d(random_cloud(rng, 20));
+  for (int i = 0; i < 50; ++i) {
+    const Vec p{rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    const Vec np = polygon_nearest_point(poly, p);
+    EXPECT_TRUE(polygon_contains(poly, np, 1e-9));
+    EXPECT_NEAR(np.dist(p), point_polygon_distance(poly, p), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace chc::geo

@@ -1,0 +1,327 @@
+#include "geometry/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "geometry/hull2d.hpp"
+
+namespace chc::geo {
+namespace {
+
+Polytope square(double lo, double hi) {
+  return Polytope::box(Vec{lo, lo}, Vec{hi, hi});
+}
+
+TEST(IntersectHalfspaces, UnitBox2d) {
+  const std::vector<Halfspace> hs = {
+      {Vec{1, 0}, 1}, {Vec{-1, 0}, 0}, {Vec{0, 1}, 1}, {Vec{0, -1}, 0}};
+  const auto p = intersect_halfspaces(2, hs);
+  ASSERT_FALSE(p.is_empty());
+  EXPECT_EQ(p.vertices().size(), 4u);
+  EXPECT_NEAR(p.volume(), 1.0, 1e-7);
+}
+
+TEST(IntersectHalfspaces, InfeasibleIsEmpty) {
+  const std::vector<Halfspace> hs = {{Vec{1, 0}, -1}, {Vec{-1, 0}, -1},
+                                     {Vec{0, 1}, 1}, {Vec{0, -1}, 1}};
+  EXPECT_TRUE(intersect_halfspaces(2, hs).is_empty());
+}
+
+TEST(IntersectHalfspaces, SimplexIn3d) {
+  const std::vector<Halfspace> hs = {{Vec{-1, 0, 0}, 0},
+                                     {Vec{0, -1, 0}, 0},
+                                     {Vec{0, 0, -1}, 0},
+                                     {Vec{1, 1, 1}, 1}};
+  const auto p = intersect_halfspaces(3, hs);
+  ASSERT_FALSE(p.is_empty());
+  EXPECT_EQ(p.vertices().size(), 4u);
+  EXPECT_NEAR(p.volume(), 1.0 / 6.0, 1e-7);
+}
+
+TEST(IntersectHalfspaces, FlatIntersectionRecovered) {
+  // x = 0.5 pinned by a pair, y free in [0,1]: a vertical segment.
+  const std::vector<Halfspace> hs = {{Vec{1, 0}, 0.5}, {Vec{-1, 0}, -0.5},
+                                     {Vec{0, 1}, 1}, {Vec{0, -1}, 0}};
+  const auto p = intersect_halfspaces(2, hs);
+  ASSERT_FALSE(p.is_empty());
+  EXPECT_EQ(p.affine_dim(), 1u);
+  EXPECT_NEAR(p.measure(), 1.0, 1e-6);
+  EXPECT_TRUE(p.contains(Vec{0.5, 0.5}, 1e-6));
+}
+
+TEST(IntersectHalfspaces, SinglePointIntersection) {
+  // x = 1 and y = 2 pinned: a point.
+  const std::vector<Halfspace> hs = {{Vec{1, 0}, 1}, {Vec{-1, 0}, -1},
+                                     {Vec{0, 1}, 2}, {Vec{0, -1}, -2}};
+  const auto p = intersect_halfspaces(2, hs);
+  ASSERT_FALSE(p.is_empty());
+  EXPECT_EQ(p.affine_dim(), 0u);
+  EXPECT_TRUE(approx_eq(p.vertices()[0], Vec{1, 2}, 1e-6));
+}
+
+TEST(IntersectHalfspaces, UnboundedRejected) {
+  const std::vector<Halfspace> hs = {{Vec{1, 0}, 1}, {Vec{0, 1}, 1}};
+  EXPECT_THROW(intersect_halfspaces(2, hs), ContractViolation);
+}
+
+TEST(Intersect, OverlappingSquares) {
+  const auto p = intersect({square(0, 2), square(1, 3)});
+  ASSERT_FALSE(p.is_empty());
+  EXPECT_NEAR(p.volume(), 1.0, 1e-7);  // overlap [1,2]^2
+  EXPECT_TRUE(p.contains(Vec{1.5, 1.5}, 1e-7));
+  EXPECT_FALSE(p.contains(Vec{0.5, 0.5}, 1e-7));
+}
+
+TEST(Intersect, DisjointSquaresEmpty) {
+  EXPECT_TRUE(intersect({square(0, 1), square(2, 3)}).is_empty());
+}
+
+TEST(Intersect, TouchingSquaresDegenerate) {
+  // [0,1]^2 and [1,2]^2 share the single point (1,1).
+  const auto p = intersect({square(0, 1), square(1, 2)});
+  ASSERT_FALSE(p.is_empty());
+  EXPECT_EQ(p.affine_dim(), 0u);
+  EXPECT_TRUE(approx_eq(p.vertices()[0], Vec{1, 1}, 1e-5));
+}
+
+TEST(Intersect, ThreeWay3d) {
+  const auto a = Polytope::box(Vec{0, 0, 0}, Vec{2, 2, 2});
+  const auto b = Polytope::box(Vec{1, 0, 0}, Vec{3, 2, 2});
+  const auto c = Polytope::box(Vec{0, 1, 1}, Vec{2, 3, 3});
+  const auto p = intersect({a, b, c});
+  ASSERT_FALSE(p.is_empty());
+  EXPECT_NEAR(p.volume(), 1.0, 1e-6);  // [1,2]x[1,2]x[1,2]
+}
+
+TEST(Intersect, WithEmptyOperand) {
+  EXPECT_TRUE(intersect({square(0, 1), Polytope::empty(2)}).is_empty());
+}
+
+TEST(Intersect, LowerDimensionalOperands) {
+  // Two crossing segments intersect in a point.
+  const auto s1 = Polytope::from_points({Vec{-1, 0}, Vec{1, 0}});
+  const auto s2 = Polytope::from_points({Vec{0, -1}, Vec{0, 1}});
+  const auto p = intersect({s1, s2});
+  ASSERT_FALSE(p.is_empty());
+  EXPECT_EQ(p.affine_dim(), 0u);
+  EXPECT_TRUE(approx_eq(p.vertices()[0], Vec{0, 0}, 1e-5));
+}
+
+TEST(LinearCombination, IntervalArithmetic1d) {
+  const auto a = Polytope::from_points({Vec{0.0}, Vec{2.0}});
+  const auto b = Polytope::from_points({Vec{10.0}, Vec{14.0}});
+  const auto l = linear_combination({a, b}, {0.5, 0.5});
+  const auto [lo, hi] = l.bounding_box();
+  EXPECT_NEAR(lo[0], 5.0, 1e-9);
+  EXPECT_NEAR(hi[0], 8.0, 1e-9);
+}
+
+TEST(LinearCombination, EqualWeightsSquares) {
+  // L of [0,2]^2 and [10,12]^2 with weights 1/2: [5,7]^2.
+  const auto l = equal_weight_combination({square(0, 2), square(10, 12)});
+  EXPECT_NEAR(l.volume(), 4.0, 1e-7);
+  EXPECT_TRUE(l.contains(Vec{5, 5}, 1e-7));
+  EXPECT_TRUE(l.contains(Vec{7, 7}, 1e-7));
+  EXPECT_FALSE(l.contains(Vec{4.9, 5}, 1e-7));
+}
+
+TEST(LinearCombination, DefinitionPointwise) {
+  // Every point of L must decompose as sum c_i p_i with p_i in h_i
+  // (Definition 2). Spot-check via support functions: the support of L in
+  // any direction is the weighted sum of supports.
+  Rng rng(61);
+  std::vector<Polytope> polys;
+  for (int k = 0; k < 3; ++k) {
+    std::vector<Vec> pts;
+    for (int i = 0; i < 7; ++i) {
+      pts.push_back(Vec{rng.uniform(-1, 1), rng.uniform(-1, 1)});
+    }
+    polys.push_back(Polytope::from_points(pts));
+  }
+  const std::vector<double> w = {0.2, 0.5, 0.3};
+  const auto l = linear_combination(polys, w);
+  for (int t = 0; t < 24; ++t) {
+    const double ang = t * 0.2617993877991494;  // pi/12 steps
+    const Vec dir{std::cos(ang), std::sin(ang)};
+    double expect = 0.0;
+    for (std::size_t i = 0; i < polys.size(); ++i) {
+      expect += w[i] * dir.dot(polys[i].support(dir));
+    }
+    EXPECT_NEAR(dir.dot(l.support(dir)), expect, 1e-7);
+  }
+}
+
+TEST(LinearCombination, SingletonWeightRecoversOperand) {
+  const auto a = square(1, 3);
+  const auto b = square(-5, -4);
+  const auto l = linear_combination({a, b}, {1.0, 0.0});
+  EXPECT_TRUE(approx_equal(l, a, 1e-7));
+}
+
+TEST(LinearCombination, DegenerateOperands) {
+  // A point and a square: pure translation by the weighted point.
+  const auto pt = Polytope::from_points({Vec{10, 10}});
+  const auto l = linear_combination({square(0, 2), pt}, {0.5, 0.5});
+  EXPECT_TRUE(approx_equal(l, square(5, 6), 1e-7));
+
+  // A segment and a segment (parallel): still a segment.
+  const auto s1 = Polytope::from_points({Vec{0, 0}, Vec{1, 0}});
+  const auto s2 = Polytope::from_points({Vec{0, 0}, Vec{3, 0}});
+  const auto l2 = linear_combination({s1, s2}, {0.5, 0.5});
+  EXPECT_EQ(l2.affine_dim(), 1u);
+  EXPECT_NEAR(l2.measure(), 2.0, 1e-9);
+}
+
+TEST(LinearCombination, CrossSegmentsGiveSquare) {
+  // Horizontal + vertical segments: L with weights (1/2,1/2) is a square.
+  const auto s1 = Polytope::from_points({Vec{-1, 0}, Vec{1, 0}});
+  const auto s2 = Polytope::from_points({Vec{0, -1}, Vec{0, 1}});
+  const auto l = equal_weight_combination({s1, s2});
+  EXPECT_EQ(l.affine_dim(), 2u);
+  EXPECT_NEAR(l.volume(), 1.0, 1e-9);
+}
+
+TEST(LinearCombination, ThreeDimensional) {
+  const auto a = Polytope::box(Vec{0, 0, 0}, Vec{2, 2, 2});
+  const auto b = Polytope::box(Vec{4, 4, 4}, Vec{6, 6, 6});
+  const auto l = equal_weight_combination({a, b});
+  EXPECT_NEAR(l.volume(), 8.0, 1e-6);
+  EXPECT_TRUE(l.contains(Vec{3, 3, 3}, 1e-7));
+}
+
+TEST(LinearCombination, InvalidWeightsRejected) {
+  const auto a = square(0, 1);
+  EXPECT_THROW(linear_combination({a, a}, {0.7, 0.7}), ContractViolation);
+  EXPECT_THROW(linear_combination({a, a}, {-0.5, 1.5}), ContractViolation);
+  EXPECT_THROW(linear_combination({a, a}, std::vector<double>{1.0}),
+               ContractViolation);
+  EXPECT_THROW(linear_combination({a, Polytope::empty(2)}, {0.5, 0.5}),
+               ContractViolation);
+}
+
+TEST(Intersect2dClip, MatchesGenericPathOnRandomPolytopes) {
+  // Independent-algorithm cross-check: Sutherland–Hodgman clipping vs the
+  // LP + polar-duality vertex enumeration, on random overlapping hulls.
+  Rng rng(79);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<Polytope> polys;
+    for (int k = 0; k < 3; ++k) {
+      std::vector<Vec> pts;
+      const double cx = rng.uniform(-0.3, 0.3);
+      const double cy = rng.uniform(-0.3, 0.3);
+      for (int i = 0; i < 8; ++i) {
+        pts.push_back(Vec{cx + rng.uniform(-1, 1), cy + rng.uniform(-1, 1)});
+      }
+      polys.push_back(Polytope::from_points(pts));
+    }
+    const Polytope generic = intersect(polys);
+    const Polytope clip = intersect2d_clip(polys);
+    ASSERT_EQ(generic.is_empty(), clip.is_empty()) << "trial " << trial;
+    if (!generic.is_empty()) {
+      EXPECT_LT(hausdorff(generic, clip), 1e-5) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Intersect2dClip, DisjointAndDegenerate) {
+  EXPECT_TRUE(intersect2d_clip({square(0, 1), square(2, 3)}).is_empty());
+  // Segment operand.
+  const auto seg = Polytope::from_points({Vec{-1, 0.5}, Vec{3, 0.5}});
+  const auto got = intersect2d_clip({seg, square(0, 1)});
+  ASSERT_FALSE(got.is_empty());
+  EXPECT_EQ(got.affine_dim(), 1u);
+  EXPECT_NEAR(got.measure(), 1.0, 1e-9);
+  // Empty operand.
+  EXPECT_TRUE(intersect2d_clip({square(0, 1), Polytope::empty(2)}).is_empty());
+}
+
+TEST(Intersect2dClip, RejectsNon2d) {
+  const auto cube = Polytope::box(Vec{0, 0, 0}, Vec{1, 1, 1});
+  EXPECT_THROW(intersect2d_clip({cube}), ContractViolation);
+}
+
+TEST(SubsetHulls, OneDimensionalOrderStatistics) {
+  // For points on a line, ∩_{|C|=m-f} H(C) = [x_(f+1), x_(m-f)] (sorted).
+  const std::vector<Vec> pts = {Vec{5}, Vec{1}, Vec{9}, Vec{3}, Vec{7},
+                                Vec{2}, Vec{8}};
+  // sorted: 1 2 3 5 7 8 9; f=2 -> [3, 7].
+  const auto p = intersection_of_subset_hulls(pts, 2);
+  ASSERT_FALSE(p.is_empty());
+  const auto [lo, hi] = p.bounding_box();
+  EXPECT_NEAR(lo[0], 3.0, 1e-7);
+  EXPECT_NEAR(hi[0], 7.0, 1e-7);
+}
+
+TEST(SubsetHulls, DropZeroIsPlainHull) {
+  const std::vector<Vec> pts = {Vec{0, 0}, Vec{1, 0}, Vec{0, 1}};
+  const auto p = intersection_of_subset_hulls(pts, 0);
+  EXPECT_EQ(p.vertices().size(), 3u);
+}
+
+TEST(SubsetHulls, TverbergGuaranteeInPlane) {
+  // (d+1)f + 1 = 7 points with d=2, f=2: non-empty by Tverberg/Lemma 2.
+  Rng rng(67);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Vec> pts;
+    for (int i = 0; i < 7; ++i) {
+      pts.push_back(Vec{rng.uniform(0, 1), rng.uniform(0, 1)});
+    }
+    const auto p = intersection_of_subset_hulls(pts, 2);
+    EXPECT_FALSE(p.is_empty()) << "trial " << trial;
+  }
+}
+
+TEST(SubsetHulls, CanBeEmptyBelowTverbergBound) {
+  // 4 spread-out points in the plane with f=2 (< (d+1)f+1 = 7): subsets of
+  // size 2 are disjoint segments; intersection should be empty.
+  const std::vector<Vec> pts = {Vec{0, 0}, Vec{10, 0}, Vec{0, 10}, Vec{10, 10}};
+  const auto p = intersection_of_subset_hulls(pts, 2);
+  EXPECT_TRUE(p.is_empty());
+}
+
+TEST(SubsetHulls, ResultContainedInPlainHull) {
+  Rng rng(71);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 9; ++i) {
+    pts.push_back(Vec{rng.uniform(-1, 1), rng.uniform(-1, 1)});
+  }
+  const auto whole = Polytope::from_points(pts);
+  const auto core = intersection_of_subset_hulls(pts, 1);
+  ASSERT_FALSE(core.is_empty());
+  EXPECT_TRUE(whole.contains(core, 1e-6));
+}
+
+TEST(SubsetHulls, MonotoneInDrop) {
+  // Dropping more points shrinks the intersection.
+  Rng rng(73);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back(Vec{rng.uniform(-1, 1), rng.uniform(-1, 1)});
+  }
+  const auto f1 = intersection_of_subset_hulls(pts, 1);
+  const auto f2 = intersection_of_subset_hulls(pts, 2);
+  ASSERT_FALSE(f1.is_empty());
+  ASSERT_FALSE(f2.is_empty());
+  EXPECT_TRUE(f1.contains(f2, 1e-6));
+}
+
+TEST(SubsetHulls, CollinearPointsIn2d) {
+  // Degenerate adversarial input: all points on a line in the plane.
+  const std::vector<Vec> pts = {Vec{0, 0}, Vec{1, 1}, Vec{2, 2}, Vec{3, 3},
+                                Vec{4, 4}, Vec{5, 5}, Vec{6, 6}};
+  const auto p = intersection_of_subset_hulls(pts, 2);
+  ASSERT_FALSE(p.is_empty());
+  EXPECT_EQ(p.affine_dim(), 1u);
+  // Order statistics along the line: [x_3, x_5] = [(2,2), (4,4)].
+  EXPECT_TRUE(p.contains(Vec{3, 3}, 1e-6));
+  EXPECT_TRUE(p.contains(Vec{2, 2}, 1e-5));
+  EXPECT_TRUE(p.contains(Vec{4, 4}, 1e-5));
+  EXPECT_FALSE(p.contains(Vec{4.5, 4.5}, 1e-5));
+}
+
+}  // namespace
+}  // namespace chc::geo

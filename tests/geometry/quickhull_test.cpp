@@ -1,0 +1,181 @@
+#include "geometry/quickhull.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "geometry/hull2d.hpp"
+
+namespace chc::geo {
+namespace {
+
+std::vector<Vec> random_cloud(Rng& rng, int n, std::size_t d) {
+  std::vector<Vec> pts;
+  for (int i = 0; i < n; ++i) {
+    Vec p(d);
+    for (std::size_t c = 0; c < d; ++c) p[c] = rng.uniform(-1, 1);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+/// Every input point must satisfy every output facet inequality.
+void expect_all_inside(const Hull& h, const std::vector<Vec>& pts,
+                       double tol) {
+  for (const auto& f : h.facets) {
+    EXPECT_NEAR(f.normal.norm(), 1.0, 1e-9);
+    for (const Vec& p : pts) {
+      EXPECT_LE(f.normal.dot(p), f.offset + tol)
+          << "point " << p << " outside facet";
+    }
+    // Facet vertices lie on the facet plane.
+    for (std::size_t vi : f.verts) {
+      EXPECT_NEAR(f.normal.dot(h.vertices[vi]), f.offset, tol);
+    }
+  }
+}
+
+TEST(Quickhull, OneDimensionalInterval) {
+  const auto h = quickhull({Vec{3}, Vec{-1}, Vec{2}, Vec{0.5}});
+  ASSERT_EQ(h.vertices.size(), 2u);
+  EXPECT_EQ(h.facets.size(), 2u);
+  double lo = h.vertices[0][0], hi = h.vertices[1][0];
+  if (lo > hi) std::swap(lo, hi);
+  EXPECT_DOUBLE_EQ(lo, -1.0);
+  EXPECT_DOUBLE_EQ(hi, 3.0);
+}
+
+TEST(Quickhull, TriangleIsItsOwnHull) {
+  const std::vector<Vec> tri = {Vec{0, 0}, Vec{1, 0}, Vec{0, 1}};
+  const auto h = quickhull(tri);
+  EXPECT_EQ(h.vertices.size(), 3u);
+  EXPECT_EQ(h.facets.size(), 3u);
+  expect_all_inside(h, tri, 1e-9);
+}
+
+TEST(Quickhull, SquareWithInteriorPoints2d) {
+  const std::vector<Vec> pts = {Vec{0, 0}, Vec{1, 0}, Vec{1, 1}, Vec{0, 1},
+                                Vec{0.5, 0.5}, Vec{0.2, 0.7}};
+  const auto h = quickhull(pts);
+  EXPECT_EQ(h.vertices.size(), 4u);
+  EXPECT_EQ(h.facets.size(), 4u);
+  expect_all_inside(h, pts, 1e-9);
+}
+
+TEST(Quickhull, MatchesHull2dOnRandomClouds) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto pts = random_cloud(rng, 40, 2);
+    const auto h = quickhull(pts);
+    const auto ref = hull2d(pts);
+    EXPECT_EQ(h.vertices.size(), ref.size()) << "trial " << trial;
+    for (const Vec& v : h.vertices) {
+      const bool found = std::any_of(ref.begin(), ref.end(), [&](const Vec& r) {
+        return approx_eq(v, r, 1e-9);
+      });
+      EXPECT_TRUE(found) << "vertex " << v << " not in reference hull";
+    }
+    expect_all_inside(h, pts, 1e-8);
+  }
+}
+
+TEST(Quickhull, UnitCube3d) {
+  std::vector<Vec> pts;
+  for (int m = 0; m < 8; ++m) {
+    pts.push_back(Vec{double(m & 1), double((m >> 1) & 1), double((m >> 2) & 1)});
+  }
+  pts.push_back(Vec{0.5, 0.5, 0.5});   // interior
+  pts.push_back(Vec{0.5, 0.5, 1.0});   // on a face
+  const auto h = quickhull(pts);
+  EXPECT_EQ(h.vertices.size(), 8u);
+  // Cube has 6 square faces = 12 simplicial facets.
+  EXPECT_EQ(h.facets.size(), 12u);
+  expect_all_inside(h, pts, 1e-9);
+}
+
+TEST(Quickhull, Simplex4d) {
+  std::vector<Vec> pts = {Vec{0, 0, 0, 0}};
+  for (std::size_t c = 0; c < 4; ++c) {
+    Vec e(4, 0.0);
+    e[c] = 1.0;
+    pts.push_back(e);
+  }
+  pts.push_back(Vec{0.2, 0.2, 0.2, 0.2});  // interior
+  const auto h = quickhull(pts);
+  EXPECT_EQ(h.vertices.size(), 5u);
+  EXPECT_EQ(h.facets.size(), 5u);
+  expect_all_inside(h, pts, 1e-9);
+}
+
+TEST(Quickhull, CrossPolytope4d) {
+  // The 4-D cross-polytope has 8 vertices and 16 facets.
+  std::vector<Vec> pts;
+  for (std::size_t c = 0; c < 4; ++c) {
+    Vec e(4, 0.0);
+    e[c] = 1.0;
+    pts.push_back(e);
+    pts.push_back(e * -1.0);
+  }
+  const auto h = quickhull(pts);
+  EXPECT_EQ(h.vertices.size(), 8u);
+  EXPECT_EQ(h.facets.size(), 16u);
+  expect_all_inside(h, pts, 1e-9);
+}
+
+TEST(Quickhull, RandomClouds3dSoundness) {
+  Rng rng(37);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto pts = random_cloud(rng, 60, 3);
+    const auto h = quickhull(pts);
+    expect_all_inside(h, pts, 1e-8);
+    EXPECT_GE(h.vertices.size(), 4u);
+    // Euler check for simplicial 3-polytopes: F = 2V - 4.
+    EXPECT_EQ(h.facets.size(), 2 * h.vertices.size() - 4) << "trial " << trial;
+  }
+}
+
+TEST(Quickhull, SpherePointsAllVertices) {
+  // Points on a sphere are all extreme.
+  Rng rng(41);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 30; ++i) {
+    Vec p{rng.normal(), rng.normal(), rng.normal()};
+    pts.push_back(p * (1.0 / p.norm()));
+  }
+  const auto h = quickhull(pts);
+  EXPECT_EQ(h.vertices.size(), pts.size());
+}
+
+TEST(Quickhull, DuplicatePointsTolerated) {
+  const std::vector<Vec> pts = {Vec{0, 0}, Vec{0, 0}, Vec{1, 0}, Vec{1, 0},
+                                Vec{0, 1}, Vec{0, 1}, Vec{0, 1}};
+  const auto h = quickhull(pts);
+  EXPECT_EQ(h.vertices.size(), 3u);
+}
+
+TEST(Quickhull, DegenerateInputRejected) {
+  // Collinear points in 2-D do not span the plane.
+  EXPECT_THROW(quickhull({Vec{0, 0}, Vec{1, 1}, Vec{2, 2}}), ContractViolation);
+  // A single point in 1-D spans nothing.
+  EXPECT_THROW(quickhull({Vec{5}, Vec{5}}), ContractViolation);
+}
+
+TEST(Quickhull, VolumeOfCubeViaFacets) {
+  // Consistency: signed distance from centroid to each facet ~ 0.5 for the
+  // unit cube centered query.
+  std::vector<Vec> pts;
+  for (int m = 0; m < 8; ++m) {
+    pts.push_back(Vec{double(m & 1), double((m >> 1) & 1), double((m >> 2) & 1)});
+  }
+  const auto h = quickhull(pts);
+  const Vec c{0.5, 0.5, 0.5};
+  for (const auto& f : h.facets) {
+    EXPECT_NEAR(f.offset - f.normal.dot(c), 0.5, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace chc::geo

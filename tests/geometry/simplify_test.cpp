@@ -1,0 +1,88 @@
+#include "geometry/simplify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace chc::geo {
+namespace {
+
+std::vector<Vec> sphere_cloud(Rng& rng, std::size_t m, std::size_t d) {
+  std::vector<Vec> pts;
+  for (std::size_t i = 0; i < m; ++i) {
+    Vec p(d);
+    for (std::size_t c = 0; c < d; ++c) p[c] = rng.normal();
+    pts.push_back(p * (1.0 / p.norm()));  // all extreme
+  }
+  return pts;
+}
+
+TEST(Simplify, NoOpWhenWithinBudget) {
+  const auto p = Polytope::box(Vec{0, 0}, Vec{1, 1});
+  const auto s = simplify(p, 8);
+  EXPECT_EQ(s.vertices().size(), 4u);
+  EXPECT_DOUBLE_EQ(simplification_error(p, s), 0.0);
+}
+
+TEST(Simplify, RespectsBudgetAndStaysInside) {
+  Rng rng(21);
+  const auto p = Polytope::from_points(sphere_cloud(rng, 60, 3));
+  ASSERT_GT(p.vertices().size(), 12u);
+  const auto s = simplify(p, 12);
+  EXPECT_LE(s.vertices().size(), 12u);
+  EXPECT_TRUE(p.contains(s, 1e-9));  // inner approximation
+  EXPECT_GT(s.measure(), 0.0);
+}
+
+TEST(Simplify, ErrorShrinksWithBudget) {
+  Rng rng(22);
+  const auto p = Polytope::from_points(sphere_cloud(rng, 80, 3));
+  const auto coarse = simplify(p, 6);
+  const auto fine = simplify(p, 30);
+  const double e_coarse = simplification_error(p, coarse);
+  const double e_fine = simplification_error(p, fine);
+  EXPECT_GT(e_coarse, 0.0);
+  EXPECT_LE(e_fine, e_coarse);
+  // For a unit ball, 30 support directions should get within ~0.5.
+  EXPECT_LT(e_fine, 0.5);
+}
+
+TEST(Simplify, KeepsAxisExtremes) {
+  // The +-axis supports are selected first: the simplified bounding box
+  // matches the original along every axis.
+  Rng rng(23);
+  const auto p = Polytope::from_points(sphere_cloud(rng, 50, 3));
+  const auto s = simplify(p, 7);
+  const auto [plo, phi] = p.bounding_box();
+  const auto [slo, shi] = s.bounding_box();
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(phi[c], shi[c], 1e-9);
+    EXPECT_NEAR(plo[c], slo[c], 1e-9);
+  }
+}
+
+TEST(Simplify, TwoDimensionalPolygon) {
+  Rng rng(24);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.uniform(0, 6.283185307179586);
+    pts.push_back(Vec{std::cos(a), std::sin(a)});
+  }
+  const auto p = Polytope::from_points(pts);
+  const auto s = simplify(p, 8);
+  EXPECT_LE(s.vertices().size(), 8u);
+  EXPECT_TRUE(p.contains(s, 1e-9));
+  EXPECT_GT(s.measure(), 2.0);  // still a fat polygon (circle area ~3.14)
+}
+
+TEST(Simplify, ContractChecks) {
+  const auto p = Polytope::box(Vec{0, 0}, Vec{1, 1});
+  EXPECT_THROW(simplify(p, 2), ContractViolation);        // < d+1
+  EXPECT_THROW(simplify(Polytope::empty(2), 4), ContractViolation);
+}
+
+}  // namespace
+}  // namespace chc::geo

@@ -1,0 +1,90 @@
+#include "geometry/tverberg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "geometry/polytope.hpp"
+
+namespace chc::geo {
+namespace {
+
+TEST(CommonHullPoint, SingleGroupGivesAnyHullPoint) {
+  const auto w = common_hull_point({{Vec{0, 0}, Vec{1, 0}, Vec{0, 1}}});
+  ASSERT_TRUE(w.has_value());
+  const auto tri = Polytope::from_points({Vec{0, 0}, Vec{1, 0}, Vec{0, 1}});
+  EXPECT_TRUE(tri.contains(*w, 1e-6));
+}
+
+TEST(CommonHullPoint, DisjointGroupsInfeasible) {
+  const auto w = common_hull_point(
+      {{Vec{0, 0}, Vec{1, 0}}, {Vec{5, 5}, Vec{6, 5}}});
+  EXPECT_FALSE(w.has_value());
+}
+
+TEST(CommonHullPoint, CrossingSegments) {
+  const auto w = common_hull_point(
+      {{Vec{-1, 0}, Vec{1, 0}}, {Vec{0, -1}, Vec{0, 1}}});
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(approx_eq(*w, Vec{0, 0}, 1e-6));
+}
+
+TEST(Tverberg, RadonPartitionOfFourPlanePoints) {
+  // Radon's theorem: any 4 points in the plane split into 2 parts with
+  // intersecting hulls.
+  const std::vector<Vec> pts = {Vec{0, 0}, Vec{2, 0}, Vec{1, 2}, Vec{1, 0.5}};
+  const auto part = tverberg_partition(pts, 2);
+  ASSERT_TRUE(part.has_value());
+  EXPECT_EQ(part->parts.size(), 2u);
+  // Witness must be in both part hulls.
+  for (const auto& idx : part->parts) {
+    std::vector<Vec> group;
+    for (auto i : idx) group.push_back(pts[i]);
+    EXPECT_TRUE(Polytope::from_points(group).contains(part->witness, 1e-5));
+  }
+}
+
+TEST(Tverberg, SevenPlanePointsThreeParts) {
+  // Tverberg bound for d=2, r=3: (d+1)(r-1)+1 = 7 points always suffice.
+  Rng rng(91);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Vec> pts;
+    for (int i = 0; i < 7; ++i) {
+      pts.push_back(Vec{rng.uniform(0, 1), rng.uniform(0, 1)});
+    }
+    const auto part = tverberg_partition(pts, 3);
+    ASSERT_TRUE(part.has_value()) << "trial " << trial;
+    std::size_t total = 0;
+    for (const auto& p : part->parts) {
+      EXPECT_FALSE(p.empty());
+      total += p.size();
+    }
+    EXPECT_EQ(total, 7u);
+  }
+}
+
+TEST(Tverberg, GenericTriangleHasNoTwoPartition) {
+  // 3 points in general position, 2 parts: the singleton never lies in the
+  // opposite segment, so no Tverberg partition exists (3 < (d+1)(r-1)+1=4).
+  const std::vector<Vec> pts = {Vec{0, 0}, Vec{1, 0}, Vec{0, 1}};
+  EXPECT_FALSE(tverberg_partition(pts, 2).has_value());
+}
+
+TEST(Tverberg, MultisetDuplicatesArePartitionable) {
+  // Duplicate points make it trivial: {p},{p}.
+  const std::vector<Vec> pts = {Vec{1, 1}, Vec{1, 1}};
+  const auto part = tverberg_partition(pts, 2);
+  ASSERT_TRUE(part.has_value());
+  EXPECT_TRUE(approx_eq(part->witness, Vec{1, 1}, 1e-6));
+}
+
+TEST(Tverberg, OneDimensionalMedian) {
+  // 5 collinear points, 3 parts ((d+1)(r-1)+1 = 5): witness near median.
+  const std::vector<Vec> pts = {Vec{1}, Vec{2}, Vec{3}, Vec{4}, Vec{5}};
+  const auto part = tverberg_partition(pts, 3);
+  ASSERT_TRUE(part.has_value());
+  EXPECT_GE(part->witness[0], 1.0 - 1e-9);
+  EXPECT_LE(part->witness[0], 5.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace chc::geo

@@ -1,0 +1,70 @@
+#include "geometry/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace chc::geo {
+namespace {
+
+TEST(Vec, ConstructionAndAccess) {
+  Vec a(3, 1.5);
+  EXPECT_EQ(a.dim(), 3u);
+  EXPECT_DOUBLE_EQ(a[2], 1.5);
+  Vec b{1.0, 2.0};
+  EXPECT_EQ(b.dim(), 2u);
+  EXPECT_DOUBLE_EQ(b[1], 2.0);
+}
+
+TEST(Vec, Arithmetic) {
+  Vec a{1, 2}, b{3, -1};
+  EXPECT_TRUE(approx_eq(a + b, Vec{4, 1}, 1e-15));
+  EXPECT_TRUE(approx_eq(a - b, Vec{-2, 3}, 1e-15));
+  EXPECT_TRUE(approx_eq(a * 2.0, Vec{2, 4}, 1e-15));
+  EXPECT_TRUE(approx_eq(2.0 * a, Vec{2, 4}, 1e-15));
+}
+
+TEST(Vec, DotNormDistance) {
+  Vec a{3, 4};
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.dot(Vec{1, 1}), 7.0);
+  EXPECT_DOUBLE_EQ(a.dist(Vec{0, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(a.dist2(Vec{3, 0}), 16.0);
+}
+
+TEST(Vec, DimensionMismatchRejected) {
+  Vec a{1, 2}, b{1, 2, 3};
+  EXPECT_THROW(a.dot(b), ContractViolation);
+  EXPECT_THROW(a += b, ContractViolation);
+  EXPECT_THROW(a.dist(b), ContractViolation);
+}
+
+TEST(Vec, MaxAbs) {
+  EXPECT_DOUBLE_EQ((Vec{-5, 2, 3}).max_abs(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec(2, 0.0).max_abs(), 0.0);
+}
+
+TEST(Vec, ApproxEq) {
+  EXPECT_TRUE(approx_eq(Vec{1, 2}, Vec{1.0 + 1e-12, 2.0}, 1e-9));
+  EXPECT_FALSE(approx_eq(Vec{1, 2}, Vec{1.1, 2.0}, 1e-9));
+  EXPECT_FALSE(approx_eq(Vec{1, 2}, Vec{1, 2, 3}, 1e-9));
+}
+
+TEST(Vec, Cross2Orientation) {
+  const Vec a{0, 0}, b{1, 0}, c{0, 1};
+  EXPECT_GT(cross2(a, b, c), 0.0);   // CCW
+  EXPECT_LT(cross2(a, c, b), 0.0);   // CW
+  EXPECT_DOUBLE_EQ(cross2(a, b, Vec{2, 0}), 0.0);  // collinear
+}
+
+TEST(Vec, StreamOutput) {
+  std::ostringstream os;
+  os << Vec{1.5, -2};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+}  // namespace
+}  // namespace chc::geo

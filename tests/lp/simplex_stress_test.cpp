@@ -1,0 +1,168 @@
+// Stress tests for the simplex solver: random LPs cross-checked against
+// brute-force vertex enumeration, degenerate/cycling-prone systems, and
+// scaling sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "lp/simplex.hpp"
+
+namespace chc::lp {
+namespace {
+
+using Rows = std::vector<std::vector<double>>;
+
+/// Brute-force LP over a 2-D polygon given by halfplanes: enumerate all
+/// constraint-pair intersections, keep feasible ones, take the best.
+std::optional<double> brute_min_2d(const std::vector<double>& c,
+                                   const Rows& A,
+                                   const std::vector<double>& b) {
+  std::optional<double> best;
+  const std::size_t m = A.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const double det = A[i][0] * A[j][1] - A[i][1] * A[j][0];
+      if (std::fabs(det) < 1e-10) continue;
+      const double x = (b[i] * A[j][1] - b[j] * A[i][1]) / det;
+      const double y = (A[i][0] * b[j] - A[j][0] * b[i]) / det;
+      bool feasible = true;
+      for (std::size_t k = 0; k < m && feasible; ++k) {
+        if (A[k][0] * x + A[k][1] * y > b[k] + 1e-7) feasible = false;
+      }
+      if (!feasible) continue;
+      const double val = c[0] * x + c[1] * y;
+      if (!best || val < *best) best = val;
+    }
+  }
+  return best;
+}
+
+TEST(SimplexStress, RandomBounded2dLpsMatchBruteForce) {
+  Rng rng(42);
+  int solved = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    // Random halfplanes around the origin plus a bounding box: always
+    // feasible (origin strictly inside: b >= 0.2) and bounded.
+    Rows A = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+    std::vector<double> b = {3, 3, 3, 3};
+    const int extra = static_cast<int>(rng.uniform_int(2, 8));
+    for (int k = 0; k < extra; ++k) {
+      const double ang = rng.uniform(0, 6.283185307179586);
+      A.push_back({std::cos(ang), std::sin(ang)});
+      b.push_back(rng.uniform(0.2, 2.5));
+    }
+    const std::vector<double> c = {rng.normal(), rng.normal()};
+    const auto sol = minimize(c, A, b);
+    ASSERT_EQ(sol.status, Status::kOptimal) << "trial " << trial;
+    const auto brute = brute_min_2d(c, A, b);
+    ASSERT_TRUE(brute.has_value());
+    EXPECT_NEAR(sol.objective, *brute, 1e-6) << "trial " << trial;
+    ++solved;
+  }
+  EXPECT_EQ(solved, 60);
+}
+
+TEST(SimplexStress, HighlyDegenerateVertex) {
+  // Many constraints through one optimal point (classic cycling trap for
+  // naive pivoting; Bland's rule must terminate).
+  Rows A;
+  std::vector<double> b;
+  for (int k = 0; k < 12; ++k) {
+    const double ang = 0.1 + k * 0.12;
+    A.push_back({std::cos(ang), std::sin(ang)});
+    b.push_back(std::cos(ang) + std::sin(ang));  // all tight at (1,1)
+  }
+  A.push_back({-1, 0});
+  b.push_back(0);
+  A.push_back({0, -1});
+  b.push_back(0);
+  const auto sol = maximize({1, 1}, A, b);
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-7);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-6);
+}
+
+TEST(SimplexStress, ManyRedundantEqualityPairs) {
+  // x = 1 pinned by 10 identical pairs, y in [0,2]; min y - x = -1.
+  Rows A;
+  std::vector<double> b;
+  for (int k = 0; k < 10; ++k) {
+    A.push_back({1, 0});
+    b.push_back(1);
+    A.push_back({-1, 0});
+    b.push_back(-1);
+  }
+  A.push_back({0, 1});
+  b.push_back(2);
+  A.push_back({0, -1});
+  b.push_back(0);
+  const auto sol = minimize({-1, 1}, A, b);
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.objective, -1.0, 1e-7);
+}
+
+TEST(SimplexStress, BadlyScaledCoefficients) {
+  // Mix of 1e-4 and 1e4 scale constraints.
+  const Rows A = {{1e4, 0}, {-1e4, 0}, {0, 1e-4}, {0, -1e-4}};
+  const std::vector<double> b = {1e4, 1e4, 1e-4, 1e-4};  // box [-1,1]^2
+  const auto sol = maximize({1, 1}, A, b);
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-5);
+}
+
+TEST(SimplexStress, HigherDimensionalRandomFeasibility) {
+  // Random systems in 6 variables containing the origin: must be feasible;
+  // shifted far away: must be infeasible.
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    Rows A;
+    std::vector<double> b;
+    for (int k = 0; k < 18; ++k) {
+      std::vector<double> row(6);
+      double norm = 0.0;
+      for (auto& x : row) {
+        x = rng.normal();
+        norm += x * x;
+      }
+      A.push_back(row);
+      b.push_back(rng.uniform(0.1, 1.0) * std::sqrt(norm));
+    }
+    EXPECT_TRUE(feasible(A, b)) << "trial " << trial;
+    // Now demand a·x <= -big for one row: push the system empty by
+    // contradicting another row... simplest: add x_0 >= 10 and x_0 <= -10.
+    Rows A2 = A;
+    std::vector<double> b2 = b;
+    A2.push_back({1, 0, 0, 0, 0, 0});
+    b2.push_back(-10);
+    A2.push_back({-1, 0, 0, 0, 0, 0});
+    b2.push_back(-10);
+    EXPECT_FALSE(feasible(A2, b2)) << "trial " << trial;
+  }
+}
+
+TEST(SimplexStress, ChebyshevOfRandomPolygonsInsideAndDeep) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    Rows A = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+    std::vector<double> b = {2, 2, 2, 2};
+    for (int k = 0; k < 5; ++k) {
+      const double ang = rng.uniform(0, 6.283185307179586);
+      A.push_back({std::cos(ang), std::sin(ang)});
+      b.push_back(rng.uniform(0.5, 1.8));
+    }
+    const auto c = chebyshev_center(A, b);
+    ASSERT_TRUE(c.feasible);
+    EXPECT_GT(c.radius, 0.0);
+    // The center satisfies every constraint with slack >= radius * ||a||.
+    for (std::size_t i = 0; i < A.size(); ++i) {
+      const double norm = std::sqrt(A[i][0] * A[i][0] + A[i][1] * A[i][1]);
+      const double lhs = A[i][0] * c.center[0] + A[i][1] * c.center[1];
+      EXPECT_LE(lhs + c.radius * norm, b[i] + 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chc::lp

@@ -1,0 +1,160 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace chc::lp {
+namespace {
+
+using Rows = std::vector<std::vector<double>>;
+
+TEST(Simplex, SimpleBoundedMaximum) {
+  // max x + y s.t. x <= 2, y <= 3, x + y <= 4  -> optimum 4.
+  const auto sol = maximize({1, 1}, Rows{{1, 0}, {0, 1}, {1, 1}}, {2, 3, 4});
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.objective, 4.0, 1e-9);
+  EXPECT_NEAR(sol.x[0] + sol.x[1], 4.0, 1e-9);
+}
+
+TEST(Simplex, MinimizationWithNegativeRegion) {
+  // min x s.t. -x <= 5 (x >= -5), x <= 10 -> optimum -5.
+  const auto sol = minimize({1}, Rows{{-1}, {1}}, {5, 10});
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.objective, -5.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], -5.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x <= -1 and -x <= -1 (x >= 1) is empty.
+  const auto sol = minimize({1}, Rows{{1}, {-1}}, {-1, -1});
+  EXPECT_EQ(sol.status, Status::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // min x with only x <= 5: unbounded below.
+  const auto sol = minimize({1}, Rows{{1}}, {5});
+  EXPECT_EQ(sol.status, Status::kUnbounded);
+}
+
+TEST(Simplex, EqualityViaInequalityPair) {
+  // min x + y s.t. x + y = 2 (as <= and >=), x >= 0, y >= 0.
+  const auto sol = minimize(
+      {1, 1}, Rows{{1, 1}, {-1, -1}, {-1, 0}, {0, -1}}, {2, -2, 0, 0});
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, NegativeRhsRequiresArtificials) {
+  // x >= 3 (as -x <= -3), x <= 7; min x -> 3.
+  const auto sol = minimize({1}, Rows{{-1}, {1}}, {-3, 7});
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateVertexStillSolves) {
+  // Three constraints meeting at one point (degenerate): x <= 1, y <= 1,
+  // x + y <= 2; max x + y -> 2.
+  const auto sol = maximize({1, 1}, Rows{{1, 0}, {0, 1}, {1, 1}}, {1, 1, 2});
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, RedundantConstraintsHarmless) {
+  const auto sol =
+      maximize({1, 0}, Rows{{1, 0}, {1, 0}, {1, 0}, {0, 1}, {0, -1}},
+               {4, 5, 6, 1, 0});
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.x[0], 4.0, 1e-9);
+}
+
+TEST(Simplex, ThreeDimensionalLp) {
+  // max x+2y+3z over the simplex x,y,z >= 0, x+y+z <= 1 -> 3 at (0,0,1).
+  const auto sol = maximize(
+      {1, 2, 3},
+      Rows{{-1, 0, 0}, {0, -1, 0}, {0, 0, -1}, {1, 1, 1}}, {0, 0, 0, 1});
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[2], 1.0, 1e-9);
+}
+
+TEST(Feasible, TrueForBoxFalseForEmpty) {
+  EXPECT_TRUE(feasible(Rows{{1}, {-1}}, {1, 1}));           // [-1, 1]
+  EXPECT_FALSE(feasible(Rows{{1}, {-1}}, {-2, 1}));         // x<=-2 & x>=-1
+}
+
+TEST(Chebyshev, UnitSquareCenter) {
+  // 0 <= x,y <= 2: center (1,1), radius 1.
+  const Rows A{{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  const auto c = chebyshev_center(A, {2, 0, 2, 0});
+  ASSERT_TRUE(c.feasible);
+  EXPECT_NEAR(c.center[0], 1.0, 1e-7);
+  EXPECT_NEAR(c.center[1], 1.0, 1e-7);
+  EXPECT_NEAR(c.radius, 1.0, 1e-7);
+}
+
+TEST(Chebyshev, TriangleInradius) {
+  // Right triangle (0,0),(4,0),(0,3): inradius r = (a+b-c)/2 = (4+3-5)/2 = 1.
+  const Rows A{{0, -1}, {-1, 0}, {3.0 / 5.0, 4.0 / 5.0}};
+  const auto c = chebyshev_center(A, {0, 0, 12.0 / 5.0});
+  ASSERT_TRUE(c.feasible);
+  EXPECT_NEAR(c.radius, 1.0, 1e-7);
+  EXPECT_NEAR(c.center[0], 1.0, 1e-6);
+  EXPECT_NEAR(c.center[1], 1.0, 1e-6);
+}
+
+TEST(Chebyshev, FlatSystemHasZeroRadius) {
+  // x = 1 exactly (pair), 0 <= y <= 2: radius 0 (flat in x).
+  const Rows A{{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  const auto c = chebyshev_center(A, {1, -1, 2, 0});
+  ASSERT_TRUE(c.feasible);
+  EXPECT_NEAR(c.radius, 0.0, 1e-7);
+  EXPECT_NEAR(c.center[0], 1.0, 1e-7);
+}
+
+TEST(Chebyshev, InfeasibleReported) {
+  const Rows A{{1}, {-1}};
+  const auto c = chebyshev_center(A, {-2, 1});
+  EXPECT_FALSE(c.feasible);
+}
+
+TEST(Chebyshev, ZeroRowsHandled) {
+  // A zero row with negative rhs is an immediate contradiction.
+  const Rows bad{{0, 0}, {1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  const auto c = chebyshev_center(bad, {-1, 1, 1, 1, 1});
+  EXPECT_FALSE(c.feasible);
+  // A zero row with non-negative rhs is ignored.
+  const auto ok = chebyshev_center(bad, {0, 1, 1, 1, 1});
+  EXPECT_TRUE(ok.feasible);
+}
+
+TEST(Chebyshev, UnboundedInteriorCapped) {
+  // Halfplane x <= 0 in 2-D: unbounded; must still return something finite.
+  const auto c = chebyshev_center(Rows{{1, 0}}, {0});
+  ASSERT_TRUE(c.feasible);
+  EXPECT_TRUE(std::isfinite(c.radius));
+  EXPECT_LE(c.center[0], 0.0 + 1e-7);
+}
+
+TEST(Simplex, RandomLpsAgreeWithVertexEnumeration) {
+  // min c·x over the box [-1,1]^2 intersected with x+y <= 1: optimum is at
+  // one of the 5 polygon vertices. Compare against direct enumeration.
+  const Rows A{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}};
+  const std::vector<double> b{1, 1, 1, 1, 1};
+  const std::vector<std::vector<double>> verts = {
+      {-1, -1}, {1, -1}, {-1, 1}, {1, 0}, {0, 1}};
+  const std::vector<std::vector<double>> costs = {
+      {1, 0}, {0, 1}, {1, 1}, {-1, 2}, {0.3, -0.7}, {-2, -1}};
+  for (const auto& c : costs) {
+    const auto sol = minimize(c, A, b);
+    ASSERT_EQ(sol.status, Status::kOptimal);
+    double best = 1e100;
+    for (const auto& v : verts) {
+      best = std::min(best, c[0] * v[0] + c[1] * v[1]);
+    }
+    EXPECT_NEAR(sol.objective, best, 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace chc::lp

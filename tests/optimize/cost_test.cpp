@@ -1,0 +1,54 @@
+#include "optimize/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace chc::opt {
+namespace {
+
+TEST(LinearCost, ValueAndGradient) {
+  const LinearCost c(geo::Vec{2, -1}, 3.0);
+  EXPECT_DOUBLE_EQ(c.value(geo::Vec{1, 1}), 4.0);
+  ASSERT_TRUE(c.gradient(geo::Vec{0, 0}).has_value());
+  EXPECT_TRUE(approx_eq(*c.gradient(geo::Vec{0, 0}), geo::Vec{2, -1}, 1e-15));
+  EXPECT_TRUE(c.is_convex());
+  EXPECT_NEAR(*c.lipschitz_on(geo::Vec{0, 0}, geo::Vec{1, 1}),
+              std::sqrt(5.0), 1e-12);
+}
+
+TEST(QuadraticCost, ValueGradientLipschitz) {
+  const QuadraticCost c(geo::Vec{1, 1});
+  EXPECT_DOUBLE_EQ(c.value(geo::Vec{1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(c.value(geo::Vec{2, 1}), 1.0);
+  EXPECT_TRUE(approx_eq(*c.gradient(geo::Vec{2, 1}), geo::Vec{2, 0}, 1e-15));
+  // On the box [0,1]^2 the farthest corner from (1,1) is (0,0): L = 2√2.
+  EXPECT_NEAR(*c.lipschitz_on(geo::Vec{0, 0}, geo::Vec{1, 1}),
+              2.0 * std::sqrt(2.0), 1e-12);
+}
+
+TEST(Theorem4Cost, ShapeMatchesPaper) {
+  const Theorem4Cost c;
+  // c(x) = 4 - (2x-1)^2 on [0,1]: minimum value 3 at BOTH endpoints,
+  // maximum 4 at the midpoint; 3 outside.
+  EXPECT_DOUBLE_EQ(c.value(geo::Vec{0.0}), 3.0);
+  EXPECT_DOUBLE_EQ(c.value(geo::Vec{1.0}), 3.0);
+  EXPECT_DOUBLE_EQ(c.value(geo::Vec{0.5}), 4.0);
+  EXPECT_DOUBLE_EQ(c.value(geo::Vec{-5.0}), 3.0);
+  EXPECT_DOUBLE_EQ(c.value(geo::Vec{2.0}), 3.0);
+  EXPECT_THROW(c.value(geo::Vec{0.0, 0.0}), ContractViolation);
+}
+
+TEST(MultiWellCost, MinAtAnchors) {
+  const MultiWellCost c({geo::Vec{0, 0}, geo::Vec{2, 0}});
+  EXPECT_DOUBLE_EQ(c.value(geo::Vec{0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(c.value(geo::Vec{2, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(c.value(geo::Vec{1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(c.value(geo::Vec{3, 0}), 1.0);
+  EXPECT_THROW(MultiWellCost({}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace chc::opt

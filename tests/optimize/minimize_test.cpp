@@ -1,0 +1,118 @@
+#include "optimize/minimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "geometry/polytope.hpp"
+
+namespace chc::opt {
+namespace {
+
+geo::Polytope unit_square() {
+  return geo::Polytope::box(geo::Vec{0, 0}, geo::Vec{1, 1});
+}
+
+TEST(Minimize, LinearExactAtVertex) {
+  const LinearCost c(geo::Vec{1, 1});
+  const auto r = minimize_over_polytope(c, unit_square());
+  EXPECT_TRUE(approx_eq(r.argmin, geo::Vec{0, 0}, 1e-12));
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+}
+
+TEST(Minimize, LinearOverTiltedPolytope) {
+  const auto tri = geo::Polytope::from_points(
+      {geo::Vec{0, 0}, geo::Vec{4, 1}, geo::Vec{1, 4}});
+  const LinearCost c(geo::Vec{-1, 0});  // maximize x
+  const auto r = minimize_over_polytope(c, tri);
+  EXPECT_TRUE(approx_eq(r.argmin, geo::Vec{4, 1}, 1e-12));
+}
+
+TEST(Minimize, QuadraticInteriorMinimum) {
+  const QuadraticCost c(geo::Vec{0.5, 0.5});
+  const auto r = minimize_over_polytope(c, unit_square());
+  EXPECT_NEAR(r.value, 0.0, 1e-8);
+  EXPECT_LT(r.argmin.dist(geo::Vec{0.5, 0.5}), 1e-4);
+}
+
+TEST(Minimize, QuadraticExteriorTargetProjects) {
+  // Target outside the square: minimizer is the projection (1, 0.5).
+  const QuadraticCost c(geo::Vec{3.0, 0.5});
+  const auto r = minimize_over_polytope(c, unit_square());
+  EXPECT_LT(r.argmin.dist(geo::Vec{1.0, 0.5}), 1e-5);
+  EXPECT_NEAR(r.value, 4.0, 1e-4);
+}
+
+TEST(Minimize, QuadraticOnSegment) {
+  // Degenerate polytope: a segment in the plane.
+  const auto seg =
+      geo::Polytope::from_points({geo::Vec{0, 0}, geo::Vec{2, 2}});
+  const QuadraticCost c(geo::Vec{2, 0});
+  // min over t of ||(t,t)-(2,0)||^2 -> t = 1: point (1,1), value 2.
+  const auto r = minimize_over_polytope(c, seg);
+  EXPECT_LT(r.argmin.dist(geo::Vec{1, 1}), 1e-5);
+  EXPECT_NEAR(r.value, 2.0, 1e-6);
+}
+
+TEST(Minimize, SinglePointPolytope) {
+  const auto pt = geo::Polytope::from_points({geo::Vec{3, 4}});
+  const QuadraticCost c(geo::Vec{0, 0});
+  const auto r = minimize_over_polytope(c, pt);
+  EXPECT_TRUE(approx_eq(r.argmin, geo::Vec{3, 4}, 1e-12));
+  EXPECT_DOUBLE_EQ(r.value, 25.0);
+}
+
+TEST(Minimize, Theorem4CostFindsAGlobalMinimum) {
+  // On [0,1] the Theorem-4 cost has minima exactly at 0 and 1 (value 3).
+  const auto interval =
+      geo::Polytope::from_points({geo::Vec{0.0}, geo::Vec{1.0}});
+  const Theorem4Cost c;
+  const auto r = minimize_over_polytope(c, interval);
+  EXPECT_NEAR(r.value, 3.0, 1e-6);
+  const bool at_endpoint = std::fabs(r.argmin[0]) < 1e-4 ||
+                           std::fabs(r.argmin[0] - 1.0) < 1e-4;
+  EXPECT_TRUE(at_endpoint) << "argmin = " << r.argmin[0];
+}
+
+TEST(Minimize, MultiWellFindsAnchorInside) {
+  // Anchor (0.25, 0.25) lies inside; (5,5) does not. Global min is 0.
+  const MultiWellCost c({geo::Vec{0.25, 0.25}, geo::Vec{5, 5}});
+  const auto r = minimize_over_polytope(c, unit_square());
+  EXPECT_NEAR(r.value, 0.0, 1e-6);
+  EXPECT_LT(r.argmin.dist(geo::Vec{0.25, 0.25}), 1e-4);
+}
+
+TEST(Minimize, MultiWellAllAnchorsOutside) {
+  // Both anchors outside: minimum is on the boundary nearest an anchor.
+  const MultiWellCost c({geo::Vec{2.0, 0.5}});
+  const auto r = minimize_over_polytope(c, unit_square());
+  EXPECT_NEAR(r.value, 1.0, 1e-6);
+  EXPECT_LT(r.argmin.dist(geo::Vec{1.0, 0.5}), 1e-3);
+}
+
+TEST(Minimize, ThreeDimensionalQuadratic) {
+  const auto cube = geo::Polytope::box(geo::Vec{0, 0, 0}, geo::Vec{1, 1, 1});
+  const QuadraticCost c(geo::Vec{2, 2, 2});
+  const auto r = minimize_over_polytope(c, cube);
+  EXPECT_LT(r.argmin.dist(geo::Vec{1, 1, 1}), 1e-4);
+  EXPECT_NEAR(r.value, 3.0, 1e-3);
+}
+
+TEST(Minimize, EmptyPolytopeRejected) {
+  const QuadraticCost c(geo::Vec{0, 0});
+  EXPECT_THROW(minimize_over_polytope(c, geo::Polytope::empty(2)),
+               ContractViolation);
+}
+
+TEST(Minimize, ResultAlwaysInsidePolytope) {
+  const auto tri = geo::Polytope::from_points(
+      {geo::Vec{0, 0}, geo::Vec{1, 0}, geo::Vec{0, 1}});
+  const QuadraticCost cq(geo::Vec{5, 5});
+  EXPECT_TRUE(tri.contains(minimize_over_polytope(cq, tri).argmin, 1e-6));
+  const MultiWellCost cm({geo::Vec{5, 5}});
+  EXPECT_TRUE(tri.contains(minimize_over_polytope(cm, tri).argmin, 1e-6));
+}
+
+}  // namespace
+}  // namespace chc::opt

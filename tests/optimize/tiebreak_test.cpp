@@ -1,0 +1,58 @@
+// Tie-breaking policies in step 2 (the "break tie arbitrarily" freedom).
+#include <gtest/gtest.h>
+
+#include "geometry/polytope.hpp"
+#include "optimize/minimize.hpp"
+
+namespace chc::opt {
+namespace {
+
+TEST(TieBreak, SymmetricCostPicksRequestedEnd) {
+  // Theorem-4 cost over [0, 1]: global minima at both ends, value 3.
+  const auto interval =
+      geo::Polytope::from_points({geo::Vec{0.0}, geo::Vec{1.0}});
+  const Theorem4Cost cost;
+
+  MinimizeOptions lo;
+  lo.tie_break = TieBreak::kLexMin;
+  const auto rl = minimize_over_polytope(cost, interval, lo);
+  EXPECT_NEAR(rl.argmin[0], 0.0, 1e-4);
+  EXPECT_NEAR(rl.value, 3.0, 1e-6);
+
+  MinimizeOptions hi;
+  hi.tie_break = TieBreak::kLexMax;
+  const auto rh = minimize_over_polytope(cost, interval, hi);
+  EXPECT_NEAR(rh.argmin[0], 1.0, 1e-4);
+  EXPECT_NEAR(rh.value, 3.0, 1e-6);
+}
+
+TEST(TieBreak, LinearCostTiedEdge) {
+  // Cost depends only on x: the whole left edge of the square minimizes.
+  const auto sq = geo::Polytope::box(geo::Vec{0, 0}, geo::Vec{1, 1});
+  const LinearCost cost(geo::Vec{1.0, 0.0});
+  MinimizeOptions lo;
+  lo.tie_break = TieBreak::kLexMin;
+  const auto rl = minimize_over_polytope(cost, sq, lo);
+  EXPECT_NEAR(rl.argmin[0], 0.0, 1e-12);
+  EXPECT_NEAR(rl.argmin[1], 0.0, 1e-12);  // lexicographically smallest
+  MinimizeOptions hi;
+  hi.tie_break = TieBreak::kLexMax;
+  const auto rh = minimize_over_polytope(cost, sq, hi);
+  EXPECT_NEAR(rh.argmin[0], 0.0, 1e-12);
+  EXPECT_NEAR(rh.argmin[1], 1.0, 1e-12);  // lexicographically largest tie
+}
+
+TEST(TieBreak, NoEffectOnUniqueMinimum) {
+  const auto sq = geo::Polytope::box(geo::Vec{0, 0}, geo::Vec{1, 1});
+  const QuadraticCost cost(geo::Vec{0.3, 0.6});
+  for (const auto tb :
+       {TieBreak::kFirst, TieBreak::kLexMin, TieBreak::kLexMax}) {
+    MinimizeOptions mo;
+    mo.tie_break = tb;
+    const auto r = minimize_over_polytope(cost, sq, mo);
+    EXPECT_LT(r.argmin.dist(geo::Vec{0.3, 0.6}), 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace chc::opt

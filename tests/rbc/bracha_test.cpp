@@ -1,0 +1,242 @@
+// Reliable-broadcast tests with genuine Byzantine behaviour: equivocating
+// senders, forged INITs, spurious READYs and crash faults.
+#include "rbc/bracha.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "common/check.hpp"
+#include "sim/simulation.hpp"
+
+namespace chc::rbc {
+namespace {
+
+/// Honest host: broadcasts its value, records deliveries.
+class Honest : public sim::Process {
+ public:
+  Honest(std::size_t n, std::size_t f, std::optional<geo::Vec> value)
+      : n_(n), f_(f), value_(std::move(value)) {}
+
+  void on_start(sim::Context& ctx) override {
+    rb_ = std::make_unique<ReliableBroadcast>(
+        n_, f_, ctx.self(),
+        [this](sim::Context&, sim::ProcessId, const geo::Vec&) {});
+    if (value_) rb_->broadcast(ctx, *value_);
+  }
+  void on_message(sim::Context& ctx, const sim::Message& msg) override {
+    rb_->on_message(ctx, msg);
+  }
+  const std::map<sim::ProcessId, geo::Vec>& delivered() const {
+    return rb_->delivered();
+  }
+
+ protected:
+  std::size_t n_, f_;
+  std::optional<geo::Vec> value_;
+  std::unique_ptr<ReliableBroadcast> rb_;
+};
+
+/// Byzantine sender: equivocates — INIT v1 to the first half, v2 to the
+/// rest — and otherwise stays silent (no echoes for anyone).
+class Equivocator final : public sim::Process {
+ public:
+  void on_start(sim::Context& ctx) override {
+    const std::size_t n = ctx.n();
+    for (sim::ProcessId to = 0; to < n; ++to) {
+      if (to == ctx.self()) continue;
+      const geo::Vec v = (to < n / 2) ? geo::Vec{1.0} : geo::Vec{2.0};
+      ctx.send(to, kTagInit, BrachaMsg{ctx.self(), v});
+    }
+  }
+  void on_message(sim::Context&, const sim::Message&) override {}
+};
+
+/// Byzantine process that forges an INIT pretending to be process 0 and
+/// floods READYs for a bogus value.
+class Forger final : public sim::Process {
+ public:
+  void on_start(sim::Context& ctx) override {
+    ctx.broadcast_others(kTagInit, BrachaMsg{0, geo::Vec{99.0}});
+    ctx.broadcast_others(kTagReady, BrachaMsg{0, geo::Vec{99.0}});
+  }
+  void on_message(sim::Context&, const sim::Message&) override {}
+};
+
+struct Run {
+  std::vector<Honest*> honest;  // indexed by pid; nullptr for byzantine
+  std::unique_ptr<sim::Simulation> sim;
+};
+
+TEST(Bracha, AllHonestAllDeliverAll) {
+  const std::size_t n = 4, f = 1;
+  sim::Simulation sim(n, 1, std::make_unique<sim::UniformDelay>(0.1, 1.0), {});
+  std::vector<Honest*> hosts;
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    auto h = std::make_unique<Honest>(n, f, geo::Vec{double(p)});
+    hosts.push_back(h.get());
+    sim.add_process(std::move(h));
+  }
+  EXPECT_TRUE(sim.run().quiescent);
+  for (const Honest* h : hosts) {
+    ASSERT_EQ(h->delivered().size(), n);
+    for (sim::ProcessId p = 0; p < n; ++p) {
+      EXPECT_DOUBLE_EQ(h->delivered().at(p)[0], double(p));
+    }
+  }
+}
+
+TEST(Bracha, EquivocatorNeverSplitsCorrectProcesses) {
+  // Agreement: across seeds, correct processes deliver the same value for
+  // the equivocator's slot — or none deliver at all.
+  const std::size_t n = 7, f = 2;  // Byzantine process 6 (plus 1 spare fault)
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Simulation sim(n, seed, std::make_unique<sim::UniformDelay>(0.1, 1.0),
+                        {});
+    std::vector<Honest*> hosts;
+    for (sim::ProcessId p = 0; p + 1 < n; ++p) {
+      auto h = std::make_unique<Honest>(n, f, geo::Vec{double(p)});
+      hosts.push_back(h.get());
+      sim.add_process(std::move(h));
+    }
+    sim.add_process(std::make_unique<Equivocator>());
+    EXPECT_TRUE(sim.run().quiescent);
+
+    std::optional<double> agreed;
+    for (const Honest* h : hosts) {
+      const auto it = h->delivered().find(6);
+      if (it == h->delivered().end()) continue;
+      if (!agreed) {
+        agreed = it->second[0];
+      } else {
+        EXPECT_DOUBLE_EQ(*agreed, it->second[0]) << "seed " << seed;
+      }
+    }
+    // Totality: all-or-none across correct processes.
+    std::size_t delivered_count = 0;
+    for (const Honest* h : hosts) {
+      delivered_count += h->delivered().count(6);
+    }
+    EXPECT_TRUE(delivered_count == 0 || delivered_count == hosts.size())
+        << "seed " << seed << ": " << delivered_count;
+    // Honest broadcasts always go through.
+    for (const Honest* h : hosts) {
+      for (sim::ProcessId p = 0; p + 1 < n; ++p) {
+        EXPECT_TRUE(h->delivered().count(p)) << "seed " << seed;
+      }
+    }
+  }
+}
+
+/// Byzantine sender that equivocates with a LOPSIDED split: enough correct
+/// processes echo v1 that it reaches the echo quorum and gets delivered.
+class LopsidedEquivocator final : public sim::Process {
+ public:
+  void on_start(sim::Context& ctx) override {
+    const std::size_t n = ctx.n();
+    for (sim::ProcessId to = 0; to < n; ++to) {
+      if (to == ctx.self()) continue;
+      const geo::Vec v = (to == 0) ? geo::Vec{2.0} : geo::Vec{1.0};
+      ctx.send(to, kTagInit, BrachaMsg{ctx.self(), v});
+    }
+  }
+  void on_message(sim::Context&, const sim::Message&) override {}
+};
+
+TEST(Bracha, LopsidedEquivocationDeliversOneValueEverywhere) {
+  // n = 7, f = 2: five of six correct processes echo v1 = 1.0 (echo quorum
+  // n-f = 5 reached); all correct processes must deliver exactly 1.0 for
+  // the Byzantine slot — including process 0, which was told 2.0.
+  const std::size_t n = 7, f = 2;
+  std::size_t delivered_runs = 0;
+  for (std::uint64_t seed = 40; seed < 50; ++seed) {
+    sim::Simulation sim(n, seed, std::make_unique<sim::UniformDelay>(0.1, 1.0),
+                        {});
+    std::vector<Honest*> hosts;
+    for (sim::ProcessId p = 0; p + 1 < n; ++p) {
+      auto h = std::make_unique<Honest>(n, f, geo::Vec{double(p)});
+      hosts.push_back(h.get());
+      sim.add_process(std::move(h));
+    }
+    sim.add_process(std::make_unique<LopsidedEquivocator>());
+    EXPECT_TRUE(sim.run().quiescent);
+    std::size_t got = 0;
+    for (const Honest* h : hosts) {
+      const auto it = h->delivered().find(6);
+      if (it == h->delivered().end()) continue;
+      ++got;
+      EXPECT_DOUBLE_EQ(it->second[0], 1.0) << "seed " << seed;
+    }
+    EXPECT_TRUE(got == 0 || got == hosts.size());
+    if (got == hosts.size()) ++delivered_runs;
+  }
+  // The lopsided split reaches quorum in (essentially) every schedule.
+  EXPECT_GT(delivered_runs, 5u);
+}
+
+TEST(Bracha, ForgedInitAndReadyFloodIgnored) {
+  // Process 3 forges INIT/(READY burst) in process 0's name with value 99;
+  // process 0 honestly broadcasts 0. No correct process may deliver 99.
+  const std::size_t n = 4, f = 1;
+  sim::Simulation sim(n, 5, std::make_unique<sim::UniformDelay>(0.1, 1.0), {});
+  std::vector<Honest*> hosts;
+  for (sim::ProcessId p = 0; p < 3; ++p) {
+    auto h = std::make_unique<Honest>(n, f, geo::Vec{double(p)});
+    hosts.push_back(h.get());
+    sim.add_process(std::move(h));
+  }
+  sim.add_process(std::make_unique<Forger>());
+  EXPECT_TRUE(sim.run().quiescent);
+  for (const Honest* h : hosts) {
+    ASSERT_TRUE(h->delivered().count(0));
+    EXPECT_DOUBLE_EQ(h->delivered().at(0)[0], 0.0);
+  }
+}
+
+TEST(Bracha, CrashedSenderAllOrNothing) {
+  // Sender crashes mid-INIT-broadcast: totality demands all correct
+  // processes deliver its value or none do.
+  const std::size_t n = 4, f = 1;
+  for (std::size_t cut = 0; cut <= 3; ++cut) {
+    sim::CrashSchedule cs;
+    cs.set(0, sim::CrashPlan::after(cut));
+    sim::Simulation sim(n, 11 + cut,
+                        std::make_unique<sim::UniformDelay>(0.1, 1.0), cs);
+    std::vector<Honest*> hosts;
+    for (sim::ProcessId p = 0; p < n; ++p) {
+      auto h = std::make_unique<Honest>(n, f, geo::Vec{double(p)});
+      if (p != 0) hosts.push_back(h.get());
+      sim.add_process(std::move(h));
+    }
+    EXPECT_TRUE(sim.run().quiescent);
+    std::size_t got = 0;
+    for (const Honest* h : hosts) got += h->delivered().count(0);
+    EXPECT_TRUE(got == 0 || got == hosts.size())
+        << "cut=" << cut << " got=" << got;
+  }
+}
+
+TEST(Bracha, RejectsBadConfigAndDoubleBroadcast) {
+  EXPECT_THROW(ReliableBroadcast(3, 1, 0,
+                                 [](sim::Context&, sim::ProcessId,
+                                    const geo::Vec&) {}),
+               ContractViolation);  // n < 3f+1
+  class Doubler final : public sim::Process {
+   public:
+    void on_start(sim::Context& ctx) override {
+      ReliableBroadcast rb(
+          4, 1, ctx.self(),
+          [](sim::Context&, sim::ProcessId, const geo::Vec&) {});
+      rb.broadcast(ctx, geo::Vec{1.0});
+      EXPECT_THROW(rb.broadcast(ctx, geo::Vec{2.0}), ContractViolation);
+    }
+    void on_message(sim::Context&, const sim::Message&) override {}
+  };
+  sim::Simulation sim(4, 1, std::make_unique<sim::FixedDelay>(1.0), {});
+  for (int i = 0; i < 4; ++i) sim.add_process(std::make_unique<Doubler>());
+  sim.run(100000);
+}
+
+}  // namespace
+}  // namespace chc::rbc

@@ -1,0 +1,177 @@
+// Threaded-runtime tests: the same protocol code certified on the
+// discrete-event simulator must also work on real threads.
+#include "rt/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/check.hpp"
+#include "core/process_cc.hpp"
+#include "geometry/polytope.hpp"
+
+namespace chc::rt {
+namespace {
+
+constexpr int kTagPing = 1;
+
+/// Counts deliveries; broadcasts once on start if asked.
+class Counter final : public sim::Process {
+ public:
+  explicit Counter(bool broadcaster) : broadcaster_(broadcaster) {}
+  void on_start(sim::Context& ctx) override {
+    if (broadcaster_) ctx.broadcast_others(kTagPing, int{7});
+  }
+  void on_message(sim::Context&, const sim::Message& msg) override {
+    EXPECT_EQ(std::any_cast<int>(msg.payload), 7);
+    ++received_;
+  }
+  int received() const { return received_; }
+
+ private:
+  bool broadcaster_;
+  int received_ = 0;
+};
+
+class TimerOnce final : public sim::Process {
+ public:
+  void on_start(sim::Context& ctx) override { ctx.set_timer(2.0, 5); }
+  void on_message(sim::Context&, const sim::Message&) override {}
+  void on_timer(sim::Context&, int token) override {
+    EXPECT_EQ(token, 5);
+    fired_ = true;
+  }
+  bool fired() const { return fired_; }
+
+ private:
+  bool fired_ = false;
+};
+
+TEST(ThreadedRuntime, BroadcastReachesEveryone) {
+  ThreadedRuntime rt(4, 1, std::make_unique<sim::UniformDelay>(0.1, 1.0), {});
+  for (std::size_t p = 0; p < 4; ++p) {
+    rt.add_process(std::make_unique<Counter>(p == 0));
+  }
+  rt.start();
+  const bool done = rt.run_until(
+      [](ThreadedRuntime& r) {
+        for (std::size_t p = 1; p < 4; ++p) {
+          const int got = r.with_process(
+              p, [](sim::Process& proc) {
+                return static_cast<Counter&>(proc).received();
+              });
+          if (got < 1) return false;
+        }
+        return true;
+      },
+      5.0);
+  rt.stop();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rt.messages_sent(), 3u);
+  EXPECT_EQ(rt.messages_delivered(), 3u);
+}
+
+TEST(ThreadedRuntime, TimersFire) {
+  ThreadedRuntime rt(1, 2, std::make_unique<sim::FixedDelay>(1.0), {});
+  rt.add_process(std::make_unique<TimerOnce>());
+  rt.start();
+  const bool done = rt.run_until(
+      [](ThreadedRuntime& r) {
+        return r.with_process(0, [](sim::Process& p) {
+          return static_cast<TimerOnce&>(p).fired();
+        });
+      },
+      5.0);
+  rt.stop();
+  EXPECT_TRUE(done);
+}
+
+TEST(ThreadedRuntime, CrashAfterSendsTruncatesBroadcast) {
+  sim::CrashSchedule cs;
+  cs.set(0, sim::CrashPlan::after(2));
+  ThreadedRuntime rt(5, 3, std::make_unique<sim::FixedDelay>(0.5), cs);
+  for (std::size_t p = 0; p < 5; ++p) {
+    rt.add_process(std::make_unique<Counter>(p == 0));
+  }
+  rt.start();
+  rt.run_until([](ThreadedRuntime& r) { return r.messages_delivered() >= 2; },
+               5.0);
+  rt.stop();
+  EXPECT_TRUE(rt.crashed(0));
+  EXPECT_EQ(rt.messages_sent(), 2u);
+}
+
+TEST(ThreadedRuntime, AlgorithmCcEndToEnd) {
+  // Full Algorithm CC on real threads: all fault-free processes decide and
+  // their decisions satisfy validity and eps-agreement.
+  const core::CCConfig cfg{.n = 5, .f = 1, .d = 2, .eps = 0.1};
+  sim::CrashSchedule cs;
+  cs.set(4, sim::CrashPlan::after(40));  // mid-protocol crash
+  ThreadedRuntime rt(cfg.n, 7,
+                     std::make_unique<sim::UniformDelay>(0.05, 0.2), cs);
+  const std::vector<geo::Vec> inputs = {
+      geo::Vec{0.0, 0.0}, geo::Vec{1.0, 0.0}, geo::Vec{0.0, 1.0},
+      geo::Vec{1.0, 1.0}, geo::Vec{1.8, 1.9}};  // process 4: incorrect
+  for (std::size_t p = 0; p < cfg.n; ++p) {
+    rt.add_process(std::make_unique<core::CCProcess>(cfg, inputs[p], nullptr));
+  }
+  rt.start();
+  const bool done = rt.run_until(
+      [](ThreadedRuntime& r) {
+        for (std::size_t p = 0; p < 4; ++p) {
+          const bool decided = r.with_process(p, [](sim::Process& proc) {
+            return static_cast<core::CCProcess&>(proc)
+                .decision()
+                .has_value();
+          });
+          if (!decided) return false;
+        }
+        return true;
+      },
+      30.0);
+  rt.stop();
+  ASSERT_TRUE(done) << "processes did not decide within the timeout";
+
+  std::vector<geo::Polytope> decisions;
+  for (std::size_t p = 0; p < 4; ++p) {
+    decisions.push_back(rt.with_process(p, [](sim::Process& proc) {
+      return *static_cast<core::CCProcess&>(proc).decision();
+    }));
+  }
+  const geo::Polytope correct_hull = geo::Polytope::from_points(
+      {inputs[0], inputs[1], inputs[2], inputs[3]});
+  for (const auto& dec : decisions) {
+    EXPECT_TRUE(correct_hull.contains(dec, 1e-6));
+  }
+  for (std::size_t a = 0; a < decisions.size(); ++a) {
+    for (std::size_t b = a + 1; b < decisions.size(); ++b) {
+      EXPECT_LT(geo::hausdorff(decisions[a], decisions[b]), cfg.eps);
+    }
+  }
+}
+
+TEST(ThreadedRuntime, StopIsIdempotentAndDestructorSafe) {
+  auto rt = std::make_unique<ThreadedRuntime>(
+      2, 9, std::make_unique<sim::FixedDelay>(1.0), sim::CrashSchedule{});
+  rt->add_process(std::make_unique<Counter>(true));
+  rt->add_process(std::make_unique<Counter>(false));
+  rt->start();
+  rt->stop();
+  rt->stop();  // no-op
+  rt.reset();  // destructor must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadedRuntime, RejectsDoubleStartAndOverRegistration) {
+  ThreadedRuntime rt(1, 1, std::make_unique<sim::FixedDelay>(1.0), {});
+  rt.add_process(std::make_unique<Counter>(false));
+  EXPECT_THROW(rt.add_process(std::make_unique<Counter>(false)),
+               ContractViolation);
+  rt.start();
+  EXPECT_THROW(rt.start(), ContractViolation);
+  rt.stop();
+}
+
+}  // namespace
+}  // namespace chc::rt

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stablevector.dir/bench_stablevector.cpp.o"
+  "CMakeFiles/bench_stablevector.dir/bench_stablevector.cpp.o.d"
+  "bench_stablevector"
+  "bench_stablevector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stablevector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

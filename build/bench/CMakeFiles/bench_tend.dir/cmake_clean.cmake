@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tend.dir/bench_tend.cpp.o"
+  "CMakeFiles/bench_tend.dir/bench_tend.cpp.o.d"
+  "bench_tend"
+  "bench_tend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

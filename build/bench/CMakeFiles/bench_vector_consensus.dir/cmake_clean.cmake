@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vector_consensus.dir/bench_vector_consensus.cpp.o"
+  "CMakeFiles/bench_vector_consensus.dir/bench_vector_consensus.cpp.o.d"
+  "bench_vector_consensus"
+  "bench_vector_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vector_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_replay.dir/adversarial_replay.cpp.o"
+  "CMakeFiles/adversarial_replay.dir/adversarial_replay.cpp.o.d"
+  "adversarial_replay"
+  "adversarial_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chc_cli.dir/chc_cli.cpp.o"
+  "CMakeFiles/chc_cli.dir/chc_cli.cpp.o.d"
+  "chc_cli"
+  "chc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/function_optimization.dir/function_optimization.cpp.o"
+  "CMakeFiles/function_optimization.dir/function_optimization.cpp.o.d"
+  "function_optimization"
+  "function_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/function_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tverberg_demo.dir/tverberg_demo.cpp.o"
+  "CMakeFiles/tverberg_demo.dir/tverberg_demo.cpp.o.d"
+  "tverberg_demo"
+  "tverberg_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tverberg_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

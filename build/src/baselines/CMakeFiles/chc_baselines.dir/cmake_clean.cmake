@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chc_baselines.dir/vector_consensus.cpp.o"
+  "CMakeFiles/chc_baselines.dir/vector_consensus.cpp.o.d"
+  "libchc_baselines.a"
+  "libchc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

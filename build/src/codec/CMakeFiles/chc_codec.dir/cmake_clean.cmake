@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chc_codec.dir/codec.cpp.o"
+  "CMakeFiles/chc_codec.dir/codec.cpp.o.d"
+  "libchc_codec.a"
+  "libchc_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chc_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chc_common.dir/combinatorics.cpp.o"
+  "CMakeFiles/chc_common.dir/combinatorics.cpp.o.d"
+  "CMakeFiles/chc_common.dir/rng.cpp.o"
+  "CMakeFiles/chc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/chc_common.dir/table.cpp.o"
+  "CMakeFiles/chc_common.dir/table.cpp.o.d"
+  "libchc_common.a"
+  "libchc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/chc_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/chc_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/chc_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/chc_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/harness.cpp" "src/core/CMakeFiles/chc_core.dir/harness.cpp.o" "gcc" "src/core/CMakeFiles/chc_core.dir/harness.cpp.o.d"
+  "/root/repo/src/core/process_cc.cpp" "src/core/CMakeFiles/chc_core.dir/process_cc.cpp.o" "gcc" "src/core/CMakeFiles/chc_core.dir/process_cc.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/chc_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/chc_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/chc_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/chc_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/chc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/chc_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/chc_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chc_core.dir/analysis.cpp.o"
+  "CMakeFiles/chc_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/chc_core.dir/config.cpp.o"
+  "CMakeFiles/chc_core.dir/config.cpp.o.d"
+  "CMakeFiles/chc_core.dir/harness.cpp.o"
+  "CMakeFiles/chc_core.dir/harness.cpp.o.d"
+  "CMakeFiles/chc_core.dir/process_cc.cpp.o"
+  "CMakeFiles/chc_core.dir/process_cc.cpp.o.d"
+  "CMakeFiles/chc_core.dir/trace.cpp.o"
+  "CMakeFiles/chc_core.dir/trace.cpp.o.d"
+  "CMakeFiles/chc_core.dir/workload.cpp.o"
+  "CMakeFiles/chc_core.dir/workload.cpp.o.d"
+  "libchc_core.a"
+  "libchc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

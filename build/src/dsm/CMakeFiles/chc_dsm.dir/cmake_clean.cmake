@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chc_dsm.dir/stable_vector.cpp.o"
+  "CMakeFiles/chc_dsm.dir/stable_vector.cpp.o.d"
+  "CMakeFiles/chc_dsm.dir/store.cpp.o"
+  "CMakeFiles/chc_dsm.dir/store.cpp.o.d"
+  "libchc_dsm.a"
+  "libchc_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chc_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/affine.cpp" "src/geometry/CMakeFiles/chc_geometry.dir/affine.cpp.o" "gcc" "src/geometry/CMakeFiles/chc_geometry.dir/affine.cpp.o.d"
+  "/root/repo/src/geometry/distance.cpp" "src/geometry/CMakeFiles/chc_geometry.dir/distance.cpp.o" "gcc" "src/geometry/CMakeFiles/chc_geometry.dir/distance.cpp.o.d"
+  "/root/repo/src/geometry/hull2d.cpp" "src/geometry/CMakeFiles/chc_geometry.dir/hull2d.cpp.o" "gcc" "src/geometry/CMakeFiles/chc_geometry.dir/hull2d.cpp.o.d"
+  "/root/repo/src/geometry/ops.cpp" "src/geometry/CMakeFiles/chc_geometry.dir/ops.cpp.o" "gcc" "src/geometry/CMakeFiles/chc_geometry.dir/ops.cpp.o.d"
+  "/root/repo/src/geometry/polytope.cpp" "src/geometry/CMakeFiles/chc_geometry.dir/polytope.cpp.o" "gcc" "src/geometry/CMakeFiles/chc_geometry.dir/polytope.cpp.o.d"
+  "/root/repo/src/geometry/quickhull.cpp" "src/geometry/CMakeFiles/chc_geometry.dir/quickhull.cpp.o" "gcc" "src/geometry/CMakeFiles/chc_geometry.dir/quickhull.cpp.o.d"
+  "/root/repo/src/geometry/simplify.cpp" "src/geometry/CMakeFiles/chc_geometry.dir/simplify.cpp.o" "gcc" "src/geometry/CMakeFiles/chc_geometry.dir/simplify.cpp.o.d"
+  "/root/repo/src/geometry/tverberg.cpp" "src/geometry/CMakeFiles/chc_geometry.dir/tverberg.cpp.o" "gcc" "src/geometry/CMakeFiles/chc_geometry.dir/tverberg.cpp.o.d"
+  "/root/repo/src/geometry/vec.cpp" "src/geometry/CMakeFiles/chc_geometry.dir/vec.cpp.o" "gcc" "src/geometry/CMakeFiles/chc_geometry.dir/vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/chc_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

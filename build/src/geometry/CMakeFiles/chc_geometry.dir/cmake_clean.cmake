@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chc_geometry.dir/affine.cpp.o"
+  "CMakeFiles/chc_geometry.dir/affine.cpp.o.d"
+  "CMakeFiles/chc_geometry.dir/distance.cpp.o"
+  "CMakeFiles/chc_geometry.dir/distance.cpp.o.d"
+  "CMakeFiles/chc_geometry.dir/hull2d.cpp.o"
+  "CMakeFiles/chc_geometry.dir/hull2d.cpp.o.d"
+  "CMakeFiles/chc_geometry.dir/ops.cpp.o"
+  "CMakeFiles/chc_geometry.dir/ops.cpp.o.d"
+  "CMakeFiles/chc_geometry.dir/polytope.cpp.o"
+  "CMakeFiles/chc_geometry.dir/polytope.cpp.o.d"
+  "CMakeFiles/chc_geometry.dir/quickhull.cpp.o"
+  "CMakeFiles/chc_geometry.dir/quickhull.cpp.o.d"
+  "CMakeFiles/chc_geometry.dir/simplify.cpp.o"
+  "CMakeFiles/chc_geometry.dir/simplify.cpp.o.d"
+  "CMakeFiles/chc_geometry.dir/tverberg.cpp.o"
+  "CMakeFiles/chc_geometry.dir/tverberg.cpp.o.d"
+  "CMakeFiles/chc_geometry.dir/vec.cpp.o"
+  "CMakeFiles/chc_geometry.dir/vec.cpp.o.d"
+  "libchc_geometry.a"
+  "libchc_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chc_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chc_lp.dir/simplex.cpp.o"
+  "CMakeFiles/chc_lp.dir/simplex.cpp.o.d"
+  "libchc_lp.a"
+  "libchc_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chc_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

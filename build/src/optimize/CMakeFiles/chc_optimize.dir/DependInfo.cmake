@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimize/cost.cpp" "src/optimize/CMakeFiles/chc_optimize.dir/cost.cpp.o" "gcc" "src/optimize/CMakeFiles/chc_optimize.dir/cost.cpp.o.d"
+  "/root/repo/src/optimize/minimize.cpp" "src/optimize/CMakeFiles/chc_optimize.dir/minimize.cpp.o" "gcc" "src/optimize/CMakeFiles/chc_optimize.dir/minimize.cpp.o.d"
+  "/root/repo/src/optimize/two_step.cpp" "src/optimize/CMakeFiles/chc_optimize.dir/two_step.cpp.o" "gcc" "src/optimize/CMakeFiles/chc_optimize.dir/two_step.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/chc_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/chc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/chc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

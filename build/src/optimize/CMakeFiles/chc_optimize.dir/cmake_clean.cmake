@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chc_optimize.dir/cost.cpp.o"
+  "CMakeFiles/chc_optimize.dir/cost.cpp.o.d"
+  "CMakeFiles/chc_optimize.dir/minimize.cpp.o"
+  "CMakeFiles/chc_optimize.dir/minimize.cpp.o.d"
+  "CMakeFiles/chc_optimize.dir/two_step.cpp.o"
+  "CMakeFiles/chc_optimize.dir/two_step.cpp.o.d"
+  "libchc_optimize.a"
+  "libchc_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chc_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

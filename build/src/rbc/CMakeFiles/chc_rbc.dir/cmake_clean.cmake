@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chc_rbc.dir/bracha.cpp.o"
+  "CMakeFiles/chc_rbc.dir/bracha.cpp.o.d"
+  "libchc_rbc.a"
+  "libchc_rbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chc_rbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chc_rt.dir/runtime.cpp.o"
+  "CMakeFiles/chc_rt.dir/runtime.cpp.o.d"
+  "libchc_rt.a"
+  "libchc_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chc_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chc_sim.dir/delay.cpp.o"
+  "CMakeFiles/chc_sim.dir/delay.cpp.o.d"
+  "CMakeFiles/chc_sim.dir/simulation.cpp.o"
+  "CMakeFiles/chc_sim.dir/simulation.cpp.o.d"
+  "libchc_sim.a"
+  "libchc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

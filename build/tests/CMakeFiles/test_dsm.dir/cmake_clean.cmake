@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsm.dir/dsm/stable_vector_test.cpp.o"
+  "CMakeFiles/test_dsm.dir/dsm/stable_vector_test.cpp.o.d"
+  "CMakeFiles/test_dsm.dir/dsm/store_test.cpp.o"
+  "CMakeFiles/test_dsm.dir/dsm/store_test.cpp.o.d"
+  "test_dsm"
+  "test_dsm.pdb"
+  "test_dsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geometry/affine_test.cpp" "tests/CMakeFiles/test_geometry.dir/geometry/affine_test.cpp.o" "gcc" "tests/CMakeFiles/test_geometry.dir/geometry/affine_test.cpp.o.d"
+  "/root/repo/tests/geometry/distance_test.cpp" "tests/CMakeFiles/test_geometry.dir/geometry/distance_test.cpp.o" "gcc" "tests/CMakeFiles/test_geometry.dir/geometry/distance_test.cpp.o.d"
+  "/root/repo/tests/geometry/hull2d_test.cpp" "tests/CMakeFiles/test_geometry.dir/geometry/hull2d_test.cpp.o" "gcc" "tests/CMakeFiles/test_geometry.dir/geometry/hull2d_test.cpp.o.d"
+  "/root/repo/tests/geometry/ops_test.cpp" "tests/CMakeFiles/test_geometry.dir/geometry/ops_test.cpp.o" "gcc" "tests/CMakeFiles/test_geometry.dir/geometry/ops_test.cpp.o.d"
+  "/root/repo/tests/geometry/polytope_test.cpp" "tests/CMakeFiles/test_geometry.dir/geometry/polytope_test.cpp.o" "gcc" "tests/CMakeFiles/test_geometry.dir/geometry/polytope_test.cpp.o.d"
+  "/root/repo/tests/geometry/property_test.cpp" "tests/CMakeFiles/test_geometry.dir/geometry/property_test.cpp.o" "gcc" "tests/CMakeFiles/test_geometry.dir/geometry/property_test.cpp.o.d"
+  "/root/repo/tests/geometry/quickhull_test.cpp" "tests/CMakeFiles/test_geometry.dir/geometry/quickhull_test.cpp.o" "gcc" "tests/CMakeFiles/test_geometry.dir/geometry/quickhull_test.cpp.o.d"
+  "/root/repo/tests/geometry/simplify_test.cpp" "tests/CMakeFiles/test_geometry.dir/geometry/simplify_test.cpp.o" "gcc" "tests/CMakeFiles/test_geometry.dir/geometry/simplify_test.cpp.o.d"
+  "/root/repo/tests/geometry/tverberg_test.cpp" "tests/CMakeFiles/test_geometry.dir/geometry/tverberg_test.cpp.o" "gcc" "tests/CMakeFiles/test_geometry.dir/geometry/tverberg_test.cpp.o.d"
+  "/root/repo/tests/geometry/vec_test.cpp" "tests/CMakeFiles/test_geometry.dir/geometry/vec_test.cpp.o" "gcc" "tests/CMakeFiles/test_geometry.dir/geometry/vec_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/chc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/chc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

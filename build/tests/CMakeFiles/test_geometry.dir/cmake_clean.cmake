@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry.dir/geometry/affine_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/affine_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/distance_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/distance_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/hull2d_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/hull2d_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/ops_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/ops_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/polytope_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/polytope_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/property_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/property_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/quickhull_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/quickhull_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/simplify_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/simplify_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/tverberg_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/tverberg_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/vec_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/vec_test.cpp.o.d"
+  "test_geometry"
+  "test_geometry.pdb"
+  "test_geometry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimize.dir/optimize/cost_test.cpp.o"
+  "CMakeFiles/test_optimize.dir/optimize/cost_test.cpp.o.d"
+  "CMakeFiles/test_optimize.dir/optimize/minimize_test.cpp.o"
+  "CMakeFiles/test_optimize.dir/optimize/minimize_test.cpp.o.d"
+  "CMakeFiles/test_optimize.dir/optimize/tiebreak_test.cpp.o"
+  "CMakeFiles/test_optimize.dir/optimize/tiebreak_test.cpp.o.d"
+  "CMakeFiles/test_optimize.dir/optimize/two_step_test.cpp.o"
+  "CMakeFiles/test_optimize.dir/optimize/two_step_test.cpp.o.d"
+  "test_optimize"
+  "test_optimize.pdb"
+  "test_optimize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -151,6 +151,47 @@ std::optional<dsm::View> decode_view(const Buffer& buf,
   return view;
 }
 
+Buffer encode(const RelFrame& f) {
+  Writer w;
+  w.put_u64(f.seq);
+  w.put_u64(f.cum_ack);
+  w.put_u32(static_cast<std::uint32_t>(f.inner_tag));
+  w.put_u32(static_cast<std::uint32_t>(f.inner.size()));
+  Buffer out = w.take();
+  out.insert(out.end(), f.inner.begin(), f.inner.end());
+  return out;
+}
+
+std::optional<RelFrame> decode_rel_frame(const Buffer& buf,
+                                         std::size_t max_inner) {
+  Reader r(buf);
+  const auto seq = r.read_u64();
+  const auto cum_ack = r.read_u64();
+  const auto tag = r.read_u32();
+  const auto len = r.read_u32();
+  if (!seq || !cum_ack || !tag || !len) return std::nullopt;
+  if (*len > max_inner || r.remaining() != *len) return std::nullopt;
+  RelFrame f;
+  f.seq = *seq;
+  f.cum_ack = *cum_ack;
+  f.inner_tag = static_cast<std::int32_t>(*tag);
+  f.inner.assign(buf.end() - *len, buf.end());
+  return f;
+}
+
+Buffer encode_rel_ack(std::uint64_t cum_ack) {
+  Writer w;
+  w.put_u64(cum_ack);
+  return w.take();
+}
+
+std::optional<std::uint64_t> decode_rel_ack(const Buffer& buf) {
+  Reader r(buf);
+  const auto cum = r.read_u64();
+  if (!cum || !r.exhausted()) return std::nullopt;
+  return cum;
+}
+
 std::size_t encoded_size(const geo::Vec& v) { return 4 + 8 * v.dim(); }
 
 std::size_t encoded_size(const geo::Polytope& p) {
@@ -169,5 +210,7 @@ std::size_t encoded_size(const dsm::View& view) {
   }
   return s;
 }
+
+std::size_t encoded_size(const RelFrame& f) { return 24 + f.inner.size(); }
 
 }  // namespace chc::codec

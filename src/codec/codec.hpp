@@ -81,9 +81,31 @@ Buffer encode(const dsm::View& view);
 std::optional<dsm::View> decode_view(const Buffer& buf,
                                      std::size_t max_slots = 4096);
 
+// --- Reliable-channel frames (net/reliable_channel.hpp wire format) ------
+// DATA frame header: seq, cumulative ack, inner tag, then the inner
+// payload as length-prefixed opaque bytes (encoded with this codec by the
+// tag's documented type). ACK frames carry the cumulative ack alone. This
+// is the byte format a cross-address-space ReliableChannel would put on
+// the wire; the in-process runtimes keep payloads as std::any.
+struct RelFrame {
+  std::uint64_t seq = 0;
+  std::uint64_t cum_ack = 0;
+  std::int32_t inner_tag = 0;
+  Buffer inner;  ///< encoded inner payload (opaque at this layer)
+};
+
+Buffer encode(const RelFrame& f);
+/// `max_inner` rejects absurd nested-payload lengths before allocation.
+std::optional<RelFrame> decode_rel_frame(const Buffer& buf,
+                                         std::size_t max_inner = 1 << 20);
+
+Buffer encode_rel_ack(std::uint64_t cum_ack);
+std::optional<std::uint64_t> decode_rel_ack(const Buffer& buf);
+
 /// Wire size in bytes of each payload (for experiment accounting).
 std::size_t encoded_size(const geo::Vec& v);
 std::size_t encoded_size(const geo::Polytope& p);
 std::size_t encoded_size(const dsm::View& view);
+std::size_t encoded_size(const RelFrame& f);
 
 }  // namespace chc::codec

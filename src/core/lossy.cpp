@@ -1,0 +1,77 @@
+#include "core/lossy.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/check.hpp"
+#include "core/process_cc.hpp"
+#include "net/faulty_link.hpp"
+
+namespace chc::core {
+
+LossyRunOutput run_cc_lossy(const LossyRunConfig& lc) {
+  const RunConfig& rc = lc.base;
+  const Workload workload = make_workload(
+      rc.cc.n, rc.cc.f, rc.cc.d, rc.pattern, rc.seed,
+      rc.cc.fault_model == FaultModel::kCrashIncorrectInputs);
+
+  LossyRunOutput out;
+  out.workload = workload;
+
+  CCConfig cfg = rc.cc;
+  cfg.input_magnitude =
+      std::max(rc.cc.input_magnitude, workload.correct_magnitude);
+
+  sim::Simulation sim(cfg.n, rc.seed,
+                      make_delay_model(rc.delay, workload.faulty, cfg.n),
+                      make_crash_schedule(workload, rc.crash_style, rc.seed));
+  if (lc.policy.enabled()) {
+    sim.set_fault_model(std::make_unique<net::FaultyLinkModel>(lc.policy));
+  }
+
+  out.trace = std::make_unique<TraceCollector>(cfg.n);
+  std::vector<net::ReliableChannel*> shims;
+  for (sim::ProcessId p = 0; p < cfg.n; ++p) {
+    auto cc = std::make_unique<CCProcess>(cfg, workload.inputs[p],
+                                          out.trace.get());
+    if (lc.reliable) {
+      auto shim = std::make_unique<net::ReliableChannel>(std::move(cc),
+                                                         lc.rel);
+      shims.push_back(shim.get());
+      sim.add_process(std::move(shim));
+    } else {
+      sim.add_process(std::move(cc));
+    }
+  }
+
+  const sim::RunResult rr = sim.run(lc.max_events);
+  out.quiescent = rr.quiescent;
+  out.stats = rr.stats;
+  for (const net::ReliableChannel* shim : shims) {
+    out.shims += shim->stats();
+  }
+  // The simulator cannot distinguish a retransmission from a fresh send;
+  // fold the shims' accounting into SimStats so one struct tells the whole
+  // network story.
+  out.stats.retransmits = out.shims.retransmits;
+  out.stats.retransmit_by_tag = out.shims.retransmit_by_tag;
+
+  const std::set<sim::ProcessId> faulty(workload.faulty.begin(),
+                                        workload.faulty.end());
+  std::vector<geo::Vec> correct_inputs;
+  for (sim::ProcessId p = 0; p < cfg.n; ++p) {
+    if (faulty.count(p) == 0) {
+      out.correct.push_back(p);
+      correct_inputs.push_back(workload.inputs[p]);
+    }
+  }
+  const std::vector<geo::Vec>& validity_inputs =
+      (cfg.fault_model == FaultModel::kCrashCorrectInputs)
+          ? workload.inputs
+          : correct_inputs;
+  out.cert = certify(*out.trace, out.correct, validity_inputs, cfg);
+  return out;
+}
+
+}  // namespace chc::core

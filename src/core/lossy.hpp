@@ -1,0 +1,44 @@
+// Lossy-network experiment harness: Algorithm CC over fair-lossy links.
+//
+// Mirrors run_cc_once/run_cc_custom (harness.hpp) but installs a
+// net::FaultyLinkModel built from a NetworkPolicy and, by default, wraps
+// every CCProcess in a net::ReliableChannel shim. This is the entry point
+// of the randomized adversary fuzzer (tests/net/adversary_fuzz_test.cpp)
+// and the lossy sweep bench (bench/bench_lossy.cpp): the same core/analysis
+// certificate is computed, so validity / ε-agreement / optimality are
+// checked on every lossy execution exactly as on reliable ones.
+//
+// With `reliable = false` the processes face the raw lossy network — the
+// configuration that demonstrates the injector bites (CC generally fails
+// to decide once round-0 quorum traffic is dropped).
+#pragma once
+
+#include "core/harness.hpp"
+#include "net/policy.hpp"
+#include "net/reliable_channel.hpp"
+
+namespace chc::core {
+
+struct LossyRunConfig {
+  RunConfig base;             ///< cc / pattern / crash style / delay / seed
+  net::NetworkPolicy policy;  ///< injected link faults
+  net::ReliableParams rel;    ///< shim tuning (used when reliable)
+  bool reliable = true;       ///< wrap processes in net::ReliableChannel
+  std::uint64_t max_events = 50'000'000;
+};
+
+struct LossyRunOutput {
+  std::unique_ptr<TraceCollector> trace;
+  Certificate cert;
+  sim::SimStats stats;   ///< includes injector counters and, when reliable,
+                         ///< merged shim retransmit counters
+  net::ShimStats shims;  ///< aggregate over all processes' shims
+  Workload workload;
+  std::vector<sim::ProcessId> correct;
+  bool quiescent = false;
+};
+
+/// One complete lossy execution of Algorithm CC, certified.
+LossyRunOutput run_cc_lossy(const LossyRunConfig& lc);
+
+}  // namespace chc::core

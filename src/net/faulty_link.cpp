@@ -1,0 +1,56 @@
+#include "net/faulty_link.hpp"
+
+#include "common/check.hpp"
+
+namespace chc::net {
+
+namespace {
+void check_rate(double rate, const char* what) {
+  CHC_CHECK(rate >= 0.0 && rate <= 1.0, what);
+}
+}  // namespace
+
+FaultyLinkModel::FaultyLinkModel(NetworkPolicy policy)
+    : policy_(std::move(policy)) {
+  const auto validate = [](const LinkFaults& f) {
+    check_rate(f.drop_rate, "drop_rate must be in [0, 1]");
+    check_rate(f.dup_rate, "dup_rate must be in [0, 1]");
+    check_rate(f.reorder_rate, "reorder_rate must be in [0, 1]");
+    CHC_CHECK(f.drop_rate < 1.0, "drop_rate 1.0 is not fair-lossy");
+    CHC_CHECK(0.0 < f.reorder_delay_min &&
+                  f.reorder_delay_min <= f.reorder_delay_max,
+              "reorder delay range must be positive and ordered");
+  };
+  validate(policy_.link);
+  for (const auto& [channel, faults] : policy_.overrides) {
+    (void)channel;
+    validate(faults);
+  }
+}
+
+sim::LinkFaultDecision FaultyLinkModel::decide(sim::ProcessId from,
+                                               sim::ProcessId to, int tag,
+                                               sim::Time now, Rng& rng) {
+  (void)tag, (void)now;
+  const LinkFaults& f = policy_.for_channel(from, to);
+  sim::LinkFaultDecision d;
+  // Draw every coin regardless of earlier outcomes so the RNG stream
+  // position per send is fixed — decisions on later sends never shift when
+  // a rate is tuned.
+  const bool drop = rng.bernoulli(f.drop_rate);
+  const bool dup = rng.bernoulli(f.dup_rate);
+  const bool reorder = rng.bernoulli(f.reorder_rate);
+  const double extra = rng.uniform(f.reorder_delay_min, f.reorder_delay_max);
+  if (drop) {
+    d.drop = true;
+    return d;
+  }
+  if (dup) d.copies = 2;
+  if (reorder) {
+    d.bypass_fifo = true;
+    d.extra_delay = extra;
+  }
+  return d;
+}
+
+}  // namespace chc::net

@@ -1,0 +1,34 @@
+// Policy-driven fair-lossy link fault injector.
+//
+// Implements the sim::LinkFaultModel hook from a NetworkPolicy: each
+// accepted send is independently dropped, duplicated, or marked for
+// reordering according to its channel's configured rates. The injector is
+// stateless (thread-safe for the threaded runtime) and draws only from the
+// RNG the runtime passes in, so executions stay a pure function of
+// (processes, delay model, crash schedule, policy, seed).
+//
+// Composability with DelayModel: the injector only decides a message's
+// fate; every surviving copy still draws its latency from whatever
+// DelayModel the runtime was built with. Reordered messages additionally
+// pick up a uniform extra delay and bypass the per-channel FIFO clamp.
+#pragma once
+
+#include "net/policy.hpp"
+#include "sim/fault.hpp"
+
+namespace chc::net {
+
+class FaultyLinkModel final : public sim::LinkFaultModel {
+ public:
+  explicit FaultyLinkModel(NetworkPolicy policy);
+
+  sim::LinkFaultDecision decide(sim::ProcessId from, sim::ProcessId to,
+                                int tag, sim::Time now, Rng& rng) override;
+
+  const NetworkPolicy& policy() const { return policy_; }
+
+ private:
+  const NetworkPolicy policy_;
+};
+
+}  // namespace chc::net

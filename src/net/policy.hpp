@@ -1,0 +1,98 @@
+// Network robustness configuration shared by both execution environments.
+//
+// A NetworkPolicy describes how far a network deviates from the paper's
+// reliable exactly-once FIFO model: per-channel probabilities of message
+// drop, duplication and reordering. net::FaultyLinkModel turns a policy
+// into the sim::LinkFaultModel hook both sim::Simulation and
+// rt::ThreadedRuntime consume, and net::ReliableChannel is the recovery
+// shim that restores the strong model on top (see reliable_channel.hpp).
+//
+// The injected faults stay *fair-lossy* as long as drop_rate < 1: every
+// send is dropped independently, so a message retransmitted forever is
+// eventually delivered — the assumption the reliable channel needs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "sim/message.hpp"
+
+namespace chc::net {
+
+/// Fault rates of one (class of) directed link. All probabilities are
+/// independent per accepted send.
+struct LinkFaults {
+  double drop_rate = 0.0;     ///< P(message vanishes)
+  double dup_rate = 0.0;      ///< P(one extra copy is enqueued)
+  double reorder_rate = 0.0;  ///< P(message bypasses FIFO, delayed extra)
+  /// Extra delay (delay-model time units) a reordered message picks up,
+  /// uniform in [min, max] — enough for later traffic to overtake it.
+  double reorder_delay_min = 0.5;
+  double reorder_delay_max = 3.0;
+
+  bool faulty() const {
+    return drop_rate > 0.0 || dup_rate > 0.0 || reorder_rate > 0.0;
+  }
+};
+
+/// Whole-network policy: one default link class plus optional per-directed-
+/// channel overrides (e.g. a single flaky link, or an asymmetric cut).
+struct NetworkPolicy {
+  LinkFaults link;
+  std::map<std::pair<sim::ProcessId, sim::ProcessId>, LinkFaults> overrides;
+
+  NetworkPolicy& set_channel(sim::ProcessId from, sim::ProcessId to,
+                             LinkFaults f) {
+    overrides[{from, to}] = f;
+    return *this;
+  }
+
+  const LinkFaults& for_channel(sim::ProcessId from,
+                                sim::ProcessId to) const {
+    const auto it = overrides.find({from, to});
+    return it == overrides.end() ? link : it->second;
+  }
+
+  bool enabled() const {
+    if (link.faulty()) return true;
+    for (const auto& [channel, faults] : overrides) {
+      (void)channel;
+      if (faults.faulty()) return true;
+    }
+    return false;
+  }
+
+  /// Uniform lossy network (the fuzzer's bread and butter).
+  static NetworkPolicy lossy(double drop, double dup = 0.0,
+                             double reorder = 0.0) {
+    NetworkPolicy p;
+    p.link.drop_rate = drop;
+    p.link.dup_rate = dup;
+    p.link.reorder_rate = reorder;
+    return p;
+  }
+};
+
+/// Tuning of the reliable-channel shim's retransmission machinery, in
+/// delay-model time units (the threaded runtime scales them by time_scale
+/// like every other delay).
+struct ReliableParams {
+  /// Initial retransmission timeout. The stock delay models draw one-way
+  /// latencies <= 1.0, so with the scan-timer quantization (+tick) and the
+  /// jitter low end (x(1-jitter)) a 3.0 initial RTO stays above the
+  /// worst-case RTT — a clean network sees zero spurious retransmissions.
+  double rto = 3.0;
+  double backoff = 2.0;    ///< exponential backoff factor per retry
+  double rto_max = 20.0;   ///< backoff ceiling
+  double jitter = 0.25;    ///< +/- fraction of randomization on each RTO
+  double tick = 0.5;       ///< period of the retransmit-scan timer
+  /// Per-packet retry budget. Fair-lossy links only need "retransmit until
+  /// acked", but a crashed receiver never acks — after this many retries
+  /// the channel declares the peer unreachable and stops, so executions
+  /// quiesce. At rto=3, backoff 2x capped at 20: ~15 retries span ~260
+  /// time units, far beyond any CC execution against a live peer.
+  std::size_t max_retries = 15;
+};
+
+}  // namespace chc::net

@@ -1,0 +1,213 @@
+#include "net/reliable_channel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace chc::net {
+
+ShimStats& ShimStats::operator+=(const ShimStats& o) {
+  data_sent += o.data_sent;
+  retransmits += o.retransmits;
+  acks_sent += o.acks_sent;
+  delivered += o.delivered;
+  dups_suppressed += o.dups_suppressed;
+  buffered_out_of_order += o.buffered_out_of_order;
+  sends_abandoned += o.sends_abandoned;
+  channels_abandoned += o.channels_abandoned;
+  for (const auto& [tag, count] : o.retransmit_by_tag) {
+    retransmit_by_tag[tag] += count;
+  }
+  return *this;
+}
+
+/// Context seen by the wrapped process: sends are intercepted and carried
+/// over the reliable channel; everything else forwards to the real context.
+class ReliableChannel::CtxWrap final : public sim::Context {
+ public:
+  CtxWrap(ReliableChannel* shim, sim::Context* outer)
+      : shim_(shim), outer_(outer) {}
+
+  sim::ProcessId self() const override { return outer_->self(); }
+  std::size_t n() const override { return outer_->n(); }
+  sim::Time now() const override { return outer_->now(); }
+  Rng& rng() override { return outer_->rng(); }
+
+  void send(sim::ProcessId to, int tag, std::any payload) override {
+    CHC_CHECK(!ReliableChannel::handles(tag),
+              "wrapped process may not use the shim's reserved wire tags");
+    shim_->reliable_send(*outer_, to, tag, std::move(payload));
+  }
+
+  void broadcast_others(int tag, const std::any& payload) override {
+    // Per-recipient reliable sends: each wire transmission individually
+    // consumes the sender's crash budget, preserving mid-broadcast-crash
+    // partial delivery semantics at the wire level.
+    for (sim::ProcessId to = 0; to < outer_->n(); ++to) {
+      if (to == self()) continue;
+      shim_->reliable_send(*outer_, to, tag, payload);
+    }
+  }
+
+  void set_timer(sim::Time delay, int token) override {
+    CHC_CHECK(token != kRelTickToken,
+              "wrapped process may not use the shim's reserved timer token");
+    outer_->set_timer(delay, token);
+  }
+
+ private:
+  ReliableChannel* shim_;
+  sim::Context* outer_;
+};
+
+ReliableChannel::ReliableChannel(std::unique_ptr<sim::Process> inner,
+                                 ReliableParams params)
+    : inner_(std::move(inner)), params_(params) {
+  CHC_CHECK(inner_ != nullptr, "null wrapped process");
+  CHC_CHECK(params_.rto > 0.0 && params_.tick > 0.0, "timeouts must be > 0");
+  CHC_CHECK(params_.backoff >= 1.0, "backoff factor must be >= 1");
+  CHC_CHECK(params_.rto_max >= params_.rto, "rto_max below initial rto");
+  CHC_CHECK(params_.jitter >= 0.0 && params_.jitter < 1.0,
+            "jitter fraction must be in [0, 1)");
+}
+
+void ReliableChannel::ensure_peers(sim::Context& ctx) {
+  if (peers_.empty()) peers_.resize(ctx.n());
+}
+
+void ReliableChannel::ensure_tick(sim::Context& ctx) {
+  if (tick_pending_) return;
+  tick_pending_ = true;
+  ctx.set_timer(params_.tick, kRelTickToken);
+}
+
+sim::Time ReliableChannel::jittered(sim::Time rto, Rng& rng) const {
+  if (params_.jitter == 0.0) return rto;
+  return rto * rng.uniform(1.0 - params_.jitter, 1.0 + params_.jitter);
+}
+
+void ReliableChannel::reliable_send(sim::Context& ctx, sim::ProcessId to,
+                                    int tag, std::any payload) {
+  ensure_peers(ctx);
+  Peer& peer = peers_[to];
+  if (peer.gave_up) {
+    ++stats_.sends_abandoned;
+    return;
+  }
+  Outstanding o;
+  o.seq = peer.next_seq++;
+  o.tag = tag;
+  o.payload = payload;  // kept for retransmission
+  o.cur_rto = params_.rto;
+  o.next_at = ctx.now() + jittered(params_.rto, ctx.rng());
+  peer.window.push_back(std::move(o));
+  ++stats_.data_sent;
+  ctx.send(to, kTagRelData,
+           RelData{peer.window.back().seq, peer.recv_next, tag,
+                   std::move(payload)});
+  ensure_tick(ctx);
+}
+
+void ReliableChannel::apply_ack(sim::ProcessId peer_id,
+                                std::uint64_t cum_ack) {
+  Peer& peer = peers_[peer_id];
+  while (!peer.window.empty() && peer.window.front().seq < cum_ack) {
+    peer.window.pop_front();
+  }
+}
+
+void ReliableChannel::deliver_to_inner(sim::Context& ctx, sim::ProcessId from,
+                                       int tag, std::any payload) {
+  ++stats_.delivered;
+  sim::Message m{from, ctx.self(), tag, std::move(payload)};
+  CtxWrap wrapped(this, &ctx);
+  inner_->on_message(wrapped, m);
+}
+
+void ReliableChannel::deliver_in_order(sim::Context& ctx, sim::ProcessId from,
+                                       const RelData& first) {
+  Peer& peer = peers_[from];
+  ++peer.recv_next;
+  deliver_to_inner(ctx, from, first.tag, first.payload);
+  // Release any buffered successors that are now in sequence.
+  for (auto it = peer.reorder.find(peer.recv_next);
+       it != peer.reorder.end();
+       it = peer.reorder.find(peer.recv_next)) {
+    auto [tag, payload] = std::move(it->second);
+    peer.reorder.erase(it);
+    ++peer.recv_next;
+    deliver_to_inner(ctx, from, tag, std::move(payload));
+  }
+}
+
+void ReliableChannel::on_start(sim::Context& ctx) {
+  ensure_peers(ctx);
+  CtxWrap wrapped(this, &ctx);
+  inner_->on_start(wrapped);
+}
+
+void ReliableChannel::on_message(sim::Context& ctx, const sim::Message& msg) {
+  ensure_peers(ctx);
+  if (msg.tag == kTagRelData) {
+    const auto& data = std::any_cast<const RelData&>(msg.payload);
+    Peer& peer = peers_[msg.from];
+    apply_ack(msg.from, data.cum_ack);
+    if (data.seq < peer.recv_next) {
+      ++stats_.dups_suppressed;  // already delivered; ack below repairs
+    } else if (data.seq == peer.recv_next) {
+      deliver_in_order(ctx, msg.from, data);
+    } else if (peer.reorder
+                   .emplace(data.seq, std::make_pair(data.tag, data.payload))
+                   .second) {
+      ++stats_.buffered_out_of_order;  // gap: hold until in sequence
+    } else {
+      ++stats_.dups_suppressed;  // duplicate of an already-buffered frame
+    }
+    ++stats_.acks_sent;
+    ctx.send(msg.from, kTagRelAck, RelAck{peer.recv_next});
+  } else if (msg.tag == kTagRelAck) {
+    apply_ack(msg.from, std::any_cast<const RelAck&>(msg.payload).cum_ack);
+  } else {
+    // Traffic from an unwrapped peer: pass through (mixed deployments).
+    CtxWrap wrapped(this, &ctx);
+    inner_->on_message(wrapped, msg);
+  }
+}
+
+void ReliableChannel::on_timer(sim::Context& ctx, int token) {
+  if (token != kRelTickToken) {
+    CtxWrap wrapped(this, &ctx);
+    inner_->on_timer(wrapped, token);
+    return;
+  }
+  tick_pending_ = false;
+  const sim::Time now = ctx.now();
+  bool outstanding = false;
+  for (sim::ProcessId p = 0; p < peers_.size(); ++p) {
+    Peer& peer = peers_[p];
+    if (peer.gave_up) continue;
+    for (Outstanding& o : peer.window) {
+      if (o.next_at > now) continue;
+      if (o.retries >= params_.max_retries) {
+        // Retry budget exhausted: the peer is presumed crashed — abandon
+        // the whole channel so the execution can quiesce.
+        peer.gave_up = true;
+        peer.window.clear();
+        ++stats_.channels_abandoned;
+        break;
+      }
+      ++o.retries;
+      ++stats_.retransmits;
+      ++stats_.retransmit_by_tag[o.tag];
+      o.cur_rto = std::min(o.cur_rto * params_.backoff, params_.rto_max);
+      o.next_at = now + jittered(o.cur_rto, ctx.rng());
+      ctx.send(p, kTagRelData,
+               RelData{o.seq, peer.recv_next, o.tag, o.payload});
+    }
+    if (!peer.window.empty()) outstanding = true;
+  }
+  if (outstanding) ensure_tick(ctx);
+}
+
+}  // namespace chc::net

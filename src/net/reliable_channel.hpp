@@ -1,0 +1,132 @@
+// Reliable-channel protocol shim: exactly-once FIFO over fair-lossy links.
+//
+// Wraps any sim::Process and rebuilds the paper's channel model on top of
+// a network that drops, duplicates and reorders (net::FaultyLinkModel), so
+// Algorithm CC, Bracha RBC and the stable-vector primitive run *unchanged*
+// on lossy networks. Per directed channel the shim maintains:
+//
+//   sender side    per-message sequence numbers; an unacked window kept
+//                  for retransmission; a periodic scan timer retransmits
+//                  due packets with exponential backoff + jitter;
+//   receiver side  cumulative acks (piggybacked on data and sent
+//                  standalone), a dedup filter (seq < expected), and a
+//                  reorder buffer that releases messages to the wrapped
+//                  process strictly in sequence order.
+//
+// Fair-lossy links (drop probability < 1, independent per send) guarantee
+// a retransmitted packet eventually gets through and its ack eventually
+// returns, so every send to a live peer is delivered to the inner process
+// exactly once, in order. A *crashed* peer never acks; after
+// ReliableParams::max_retries the channel is abandoned so executions
+// still quiesce.
+//
+// Tag/token budget: wire tags 900-901 and timer token 910000 are reserved
+// for the shim; wrapped protocols must not use them (the repo's layers use
+// tags 100-402 and tokens < 1000).
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/policy.hpp"
+#include "sim/process.hpp"
+
+namespace chc::net {
+
+/// Wire tags of the shim (payloads: RelData / RelAck).
+inline constexpr int kTagRelData = 900;
+inline constexpr int kTagRelAck = 901;
+/// Timer token reserved for the retransmit-scan tick.
+inline constexpr int kRelTickToken = 910'000;
+
+/// DATA frame: one wrapped protocol message plus channel bookkeeping.
+struct RelData {
+  std::uint64_t seq = 0;      ///< per directed channel, from 0
+  std::uint64_t cum_ack = 0;  ///< piggyback: next seq expected from peer
+  int tag = 0;                ///< wrapped message's tag
+  std::any payload;           ///< wrapped message's payload
+};
+
+/// Standalone cumulative acknowledgement.
+struct RelAck {
+  std::uint64_t cum_ack = 0;  ///< next seq expected from the ack's target
+};
+
+/// Work counters of one shim instance (aggregate across processes with +=).
+struct ShimStats {
+  std::uint64_t data_sent = 0;    ///< fresh DATA frames (first transmission)
+  std::uint64_t retransmits = 0;  ///< DATA frames re-sent by the scan timer
+  std::uint64_t acks_sent = 0;
+  std::uint64_t delivered = 0;  ///< in-order deliveries to the inner process
+  std::uint64_t dups_suppressed = 0;
+  std::uint64_t buffered_out_of_order = 0;
+  std::uint64_t sends_abandoned = 0;     ///< queued after channel gave up
+  std::uint64_t channels_abandoned = 0;  ///< peers presumed crashed
+  std::map<int, std::uint64_t> retransmit_by_tag;  ///< by wrapped tag
+
+  ShimStats& operator+=(const ShimStats& o);
+};
+
+class ReliableChannel final : public sim::Process {
+ public:
+  ReliableChannel(std::unique_ptr<sim::Process> inner, ReliableParams params);
+
+  static bool handles(int tag) {
+    return tag == kTagRelData || tag == kTagRelAck;
+  }
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_timer(sim::Context& ctx, int token) override;
+
+  /// The wrapped process (for inspecting protocol state from outside).
+  sim::Process& inner() { return *inner_; }
+  const sim::Process& inner() const { return *inner_; }
+
+  const ShimStats& stats() const { return stats_; }
+
+ private:
+  struct Outstanding {
+    std::uint64_t seq = 0;
+    int tag = 0;
+    std::any payload;
+    sim::Time next_at = 0.0;  ///< earliest retransmission time
+    sim::Time cur_rto = 0.0;
+    std::size_t retries = 0;
+  };
+
+  /// Both directions of the channel to/from one peer.
+  struct Peer {
+    std::uint64_t next_seq = 0;        // sender: next seq to assign
+    std::deque<Outstanding> window;    // sender: unacked, seq-ascending
+    bool gave_up = false;              // sender: peer presumed crashed
+    std::uint64_t recv_next = 0;       // receiver: next seq expected
+    std::map<std::uint64_t, std::pair<int, std::any>> reorder;
+  };
+
+  class CtxWrap;
+  friend class CtxWrap;
+
+  void ensure_peers(sim::Context& ctx);
+  void ensure_tick(sim::Context& ctx);
+  sim::Time jittered(sim::Time rto, Rng& rng) const;
+  void reliable_send(sim::Context& ctx, sim::ProcessId to, int tag,
+                     std::any payload);
+  void apply_ack(sim::ProcessId peer_id, std::uint64_t cum_ack);
+  void deliver_in_order(sim::Context& ctx, sim::ProcessId from,
+                        const RelData& first);
+  void deliver_to_inner(sim::Context& ctx, sim::ProcessId from, int tag,
+                        std::any payload);
+
+  std::unique_ptr<sim::Process> inner_;
+  ReliableParams params_;
+  std::vector<Peer> peers_;  // sized on first callback
+  bool tick_pending_ = false;
+  ShimStats stats_;
+};
+
+}  // namespace chc::net

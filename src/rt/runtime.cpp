@@ -48,23 +48,49 @@ class ThreadedRuntime::ContextImpl final : public sim::Context {
 
  private:
   void deliver(Cell& cell, std::size_t to, int tag, std::any payload) {
-    double model_delay;
-    {
-      std::lock_guard<std::mutex> lock(rt_->delay_mu_);
-      model_delay = rt_->delay_->delay(pid_, to, now(), cell.rng);
-    }
-    const double now_real = rt_->now_s();
-    double& front = cell.channel_front[to];
-    const double due =
-        std::max(now_real + model_delay * rt_->time_scale_, front + 1e-9);
-    front = due;
-
-    Item item;
-    item.due = due;
-    item.is_timer = false;
-    item.msg = sim::Message{pid_, to, tag, std::move(payload)};
     rt_->messages_sent_.fetch_add(1, std::memory_order_relaxed);
-    rt_->enqueue(to, std::move(item));
+
+    sim::LinkFaultDecision fate;
+    if (rt_->faults_ != nullptr) {
+      fate = rt_->faults_->decide(pid_, to, tag, now(), cell.net_rng);
+      CHC_INTERNAL(fate.drop || fate.copies >= 1,
+                   "fault model must enqueue at least one copy");
+    }
+    if (fate.drop) {
+      rt_->messages_lost_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (fate.copies > 1) {
+      rt_->messages_duplicated_.fetch_add(fate.copies - 1,
+                                          std::memory_order_relaxed);
+    }
+    if (fate.bypass_fifo) {
+      rt_->messages_reordered_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    for (std::size_t copy = 0; copy < fate.copies; ++copy) {
+      double model_delay;
+      {
+        std::lock_guard<std::mutex> lock(rt_->delay_mu_);
+        model_delay = rt_->delay_->delay(pid_, to, now(), cell.rng);
+      }
+      model_delay += fate.extra_delay;
+      const double now_real = rt_->now_s();
+      double due = now_real + model_delay * rt_->time_scale_;
+      if (!fate.bypass_fifo) {
+        double& front = cell.channel_front[to];
+        due = std::max(due, front + 1e-9);
+        front = due;
+      }
+
+      Item item;
+      item.due = due;
+      item.is_timer = false;
+      item.msg = sim::Message{
+          pid_, to, tag,
+          copy + 1 == fate.copies ? std::move(payload) : payload};
+      rt_->enqueue(to, std::move(item));
+    }
   }
 
   ThreadedRuntime* rt_;
@@ -79,11 +105,14 @@ ThreadedRuntime::ThreadedRuntime(std::size_t n, std::uint64_t seed,
   CHC_CHECK(n_ >= 1, "runtime needs at least one process");
   CHC_CHECK(delay_ != nullptr, "delay model required");
   CHC_CHECK(time_scale_ > 0.0, "time scale must be positive");
+  // Every cell's RNG streams are forked from the runtime seed + pid, the
+  // threaded counterpart of the simulator's proc_rngs_: a process's draws
+  // are a function of (seed, pid) alone, independent of thread scheduling.
   Rng root(seed);
   cells_.reserve(n_);
   for (std::size_t i = 0; i < n_; ++i) {
-    cells_.push_back(std::make_unique<Cell>());
-    cells_.back()->rng = root.fork(2000 + i);
+    cells_.push_back(
+        std::make_unique<Cell>(root.fork(2000 + i), root.fork(3000 + i)));
   }
 }
 
@@ -98,6 +127,12 @@ void ThreadedRuntime::add_process(std::unique_ptr<sim::Process> p) {
     }
   }
   CHC_CHECK(false, "more processes than configured n");
+}
+
+void ThreadedRuntime::set_fault_model(
+    std::unique_ptr<sim::LinkFaultModel> faults) {
+  CHC_CHECK(!started_.load(), "fault model must be installed before start()");
+  faults_ = std::move(faults);
 }
 
 double ThreadedRuntime::now_s() const {

@@ -30,6 +30,7 @@
 #include "common/rng.hpp"
 #include "sim/crash.hpp"
 #include "sim/delay.hpp"
+#include "sim/fault.hpp"
 #include "sim/message.hpp"
 #include "sim/process.hpp"
 
@@ -50,6 +51,11 @@ class ThreadedRuntime {
   /// Registers the next process (call exactly n times before start()).
   void add_process(std::unique_ptr<sim::Process> p);
 
+  /// Installs a link-fault injector (before start(); optional). decide() is
+  /// invoked concurrently from sender threads, each with its own per-cell
+  /// RNG stream — the model must be stateless (see sim/fault.hpp).
+  void set_fault_model(std::unique_ptr<sim::LinkFaultModel> faults);
+
   /// Launches all process threads (delivers on_start on each thread).
   void start();
 
@@ -67,6 +73,14 @@ class ThreadedRuntime {
   std::uint64_t messages_sent() const { return messages_sent_.load(); }
   std::uint64_t messages_delivered() const {
     return messages_delivered_.load();
+  }
+  /// Injected-fault counters (zero unless a fault model is installed).
+  std::uint64_t messages_lost() const { return messages_lost_.load(); }
+  std::uint64_t messages_duplicated() const {
+    return messages_duplicated_.load();
+  }
+  std::uint64_t messages_reordered() const {
+    return messages_reordered_.load();
   }
 
   /// Runs `f(Process&)` under the process's monitor lock — the only safe
@@ -90,6 +104,12 @@ class ThreadedRuntime {
   };
 
   struct Cell {
+    /// Both streams are derived from the runtime seed + pid at
+    /// construction (mirroring the simulator's proc_rngs_), so threaded
+    /// runs draw seed-reproducible randomness per process.
+    Cell(Rng proc_rng, Rng fault_rng)
+        : rng(std::move(proc_rng)), net_rng(std::move(fault_rng)) {}
+
     std::unique_ptr<sim::Process> proc;
     std::mutex monitor;                 // guards proc callbacks & inspection
     std::mutex inbox_mu;
@@ -98,7 +118,8 @@ class ThreadedRuntime {
     std::atomic<bool> crashed{false};
     std::uint64_t sends_done = 0;            // owned by the cell's thread
     std::map<std::size_t, double> channel_front;  // per-target FIFO deadline
-    Rng rng{0};
+    Rng rng;      // protocol stream (Context::rng), sender-thread owned
+    Rng net_rng;  // fault-injection stream, sender-thread owned
     std::thread thread;
   };
 
@@ -114,6 +135,7 @@ class ThreadedRuntime {
   double time_scale_;
   std::unique_ptr<sim::DelayModel> delay_;
   std::mutex delay_mu_;  // delay models are not required to be thread-safe
+  std::unique_ptr<sim::LinkFaultModel> faults_;  // stateless; no lock needed
   sim::CrashSchedule crashes_;
   std::vector<std::unique_ptr<Cell>> cells_;
   std::atomic<bool> stop_{false};
@@ -121,6 +143,9 @@ class ThreadedRuntime {
   std::atomic<std::uint64_t> seq_{0};
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> messages_delivered_{0};
+  std::atomic<std::uint64_t> messages_lost_{0};
+  std::atomic<std::uint64_t> messages_duplicated_{0};
+  std::atomic<std::uint64_t> messages_reordered_{0};
   std::chrono::steady_clock::time_point epoch_;
 };
 

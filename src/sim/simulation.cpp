@@ -55,6 +55,7 @@ Simulation::Simulation(std::size_t n, std::uint64_t seed,
                        CrashSchedule crashes)
     : n_(n),
       rng_(seed),
+      net_rng_(rng_.fork(777)),
       delay_(std::move(delay)),
       crashes_(std::move(crashes)),
       crashed_(n, false),
@@ -72,6 +73,11 @@ void Simulation::add_process(std::unique_ptr<Process> p) {
   CHC_CHECK(p != nullptr, "null process");
   CHC_CHECK(procs_.size() < n_, "more processes than configured n");
   procs_.push_back(std::move(p));
+}
+
+void Simulation::set_fault_model(std::unique_ptr<LinkFaultModel> faults) {
+  CHC_CHECK(!started_, "fault model must be installed before run()");
+  faults_ = std::move(faults);
 }
 
 void Simulation::push_event(Event e) {
@@ -97,21 +103,47 @@ bool Simulation::consume_send_budget(ProcessId from, Time now) {
 
 void Simulation::enqueue_send(ProcessId from, ProcessId to, int tag,
                               std::any payload, Time now) {
-  const Time raw = delay_->delay(from, to, now, rng_);
-  CHC_INTERNAL(raw > 0.0, "delay model must return positive delays");
-  // Reliable FIFO: never deliver before an earlier message on this channel.
-  Time& front = channel_front_[{from, to}];
-  const Time at = std::max(now + raw, front + 1e-9);
-  front = at;
-
-  Event e;
-  e.t = at;
-  e.kind = EventKind::kDeliver;
-  e.target = to;
-  e.msg = Message{from, to, tag, std::move(payload)};
-  push_event(std::move(e));
   ++stats_.messages_sent;
   ++stats_.sent_by_tag[tag];
+
+  LinkFaultDecision fate;
+  if (faults_ != nullptr) {
+    fate = faults_->decide(from, to, tag, now, net_rng_);
+    CHC_INTERNAL(fate.drop || fate.copies >= 1,
+                 "fault model must enqueue at least one copy");
+  }
+  if (fate.drop) {
+    ++stats_.net_dropped;
+    ++stats_.dropped_by_tag[tag];
+    return;
+  }
+  if (fate.copies > 1) {
+    stats_.net_duplicated += fate.copies - 1;
+    stats_.duplicated_by_tag[tag] += fate.copies - 1;
+  }
+  if (fate.bypass_fifo) ++stats_.net_reordered;
+
+  for (std::size_t copy = 0; copy < fate.copies; ++copy) {
+    const Time raw = delay_->delay(from, to, now, rng_) + fate.extra_delay;
+    CHC_INTERNAL(raw > 0.0, "delay model must return positive delays");
+    Time at = now + raw;
+    if (!fate.bypass_fifo) {
+      // Reliable FIFO: never deliver before an earlier message on this
+      // channel. Reordered messages skip the clamp entirely — they neither
+      // wait for nor advance the channel front.
+      Time& front = channel_front_[{from, to}];
+      at = std::max(at, front + 1e-9);
+      front = at;
+    }
+
+    Event e;
+    e.t = at;
+    e.kind = EventKind::kDeliver;
+    e.target = to;
+    e.msg = Message{from, to, tag,
+                    copy + 1 == fate.copies ? std::move(payload) : payload};
+    push_event(std::move(e));
+  }
 }
 
 void Simulation::crash_now(ProcessId p, Time now) {

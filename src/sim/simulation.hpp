@@ -14,12 +14,16 @@
 #include "common/rng.hpp"
 #include "sim/crash.hpp"
 #include "sim/delay.hpp"
+#include "sim/fault.hpp"
 #include "sim/message.hpp"
 #include "sim/process.hpp"
 
 namespace chc::sim {
 
 /// Aggregate statistics of a run (experiment E8 reports message counts).
+/// `messages_sent` counts *accepted* sends (before fault injection), so
+/// under an installed LinkFaultModel, delivered may fall short of sent
+/// (drops) or exceed it (duplicates).
 struct SimStats {
   std::uint64_t messages_sent = 0;       ///< accepted into the network
   std::uint64_t messages_delivered = 0;  ///< delivered to a live process
@@ -29,6 +33,18 @@ struct SimStats {
   std::uint64_t events_processed = 0;
   Time end_time = 0.0;
   std::map<int, std::uint64_t> sent_by_tag;
+
+  // Injected link faults (zero unless a LinkFaultModel is installed).
+  std::uint64_t net_dropped = 0;     ///< sends the injector vanished
+  std::uint64_t net_duplicated = 0;  ///< extra copies the injector enqueued
+  std::uint64_t net_reordered = 0;   ///< sends exempted from the FIFO clamp
+  std::map<int, std::uint64_t> dropped_by_tag;
+  std::map<int, std::uint64_t> duplicated_by_tag;
+
+  // Recovery-layer work, merged post-run by the lossy harness (the
+  // simulator itself cannot tell a retransmission from a fresh send).
+  std::uint64_t retransmits = 0;
+  std::map<int, std::uint64_t> retransmit_by_tag;
 };
 
 struct RunResult {
@@ -47,6 +63,12 @@ class Simulation {
   /// Registers the process with the next free id (call exactly n times
   /// before run()).
   void add_process(std::unique_ptr<Process> p);
+
+  /// Installs a link-fault injector (call before run(); optional). With no
+  /// model the network keeps the paper's reliable exactly-once FIFO
+  /// semantics. The injector draws from a dedicated forked RNG stream, so
+  /// installing it never perturbs delay/process streams.
+  void set_fault_model(std::unique_ptr<LinkFaultModel> faults);
 
   /// Runs to quiescence or until `max_events` events have been processed.
   RunResult run(std::uint64_t max_events = 50'000'000);
@@ -92,7 +114,9 @@ class Simulation {
 
   std::size_t n_;
   Rng rng_;
+  Rng net_rng_;  ///< dedicated stream for fault injection
   std::unique_ptr<DelayModel> delay_;
+  std::unique_ptr<LinkFaultModel> faults_;
   CrashSchedule crashes_;
   std::vector<std::unique_ptr<Process>> procs_;
   std::vector<Rng> proc_rngs_;

@@ -130,6 +130,71 @@ TEST(Codec, RandomGarbageNeverCrashes) {
   SUCCEED();
 }
 
+TEST(Codec, RelFrameRoundTrip) {
+  RelFrame f;
+  f.seq = 0xDEADBEEFCAFE0001ULL;
+  f.cum_ack = 42;
+  f.inner_tag = 203;
+  f.inner = encode(geo::Vec{1.0, -2.5});
+  const auto buf = encode(f);
+  EXPECT_EQ(buf.size(), encoded_size(f));
+  const auto back = decode_rel_frame(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seq, f.seq);
+  EXPECT_EQ(back->cum_ack, f.cum_ack);
+  EXPECT_EQ(back->inner_tag, f.inner_tag);
+  EXPECT_EQ(back->inner, f.inner);
+  // Nested payload decodes in turn.
+  const auto inner = decode_vec(back->inner);
+  ASSERT_TRUE(inner.has_value());
+  EXPECT_TRUE(approx_eq(*inner, geo::Vec{1.0, -2.5}, 0.0));
+}
+
+TEST(Codec, RelFrameEmptyPayloadRoundTrip) {
+  RelFrame f;
+  f.seq = 7;
+  const auto back = decode_rel_frame(encode(f));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seq, 7u);
+  EXPECT_TRUE(back->inner.empty());
+}
+
+TEST(Codec, RelFrameMalformedRejected) {
+  RelFrame f;
+  f.seq = 9;
+  f.inner = {1, 2, 3, 4};
+  auto buf = encode(f);
+
+  // Truncated anywhere in the frame.
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    Buffer trunc(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(decode_rel_frame(trunc).has_value()) << "cut=" << cut;
+  }
+  // Trailing garbage (claimed length below actual remainder).
+  buf.push_back(0xFF);
+  EXPECT_FALSE(decode_rel_frame(buf).has_value());
+  // Claimed inner length beyond the cap.
+  Writer w;
+  w.put_u64(0);
+  w.put_u64(0);
+  w.put_u32(1);
+  w.put_u32(1u << 30);
+  EXPECT_FALSE(decode_rel_frame(w.take()).has_value());
+}
+
+TEST(Codec, RelAckRoundTripAndRejection) {
+  const auto buf = encode_rel_ack(0x0123456789ABCDEFULL);
+  EXPECT_EQ(buf.size(), 8u);
+  const auto back = decode_rel_ack(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, 0x0123456789ABCDEFULL);
+
+  EXPECT_FALSE(decode_rel_ack(Buffer{1, 2, 3}).has_value());  // truncated
+  Buffer extra = buf;
+  extra.push_back(0);
+  EXPECT_FALSE(decode_rel_ack(extra).has_value());  // trailing garbage
+}
+
 TEST(Codec, DecodedPolytopeIsCanonicalized) {
   // Duplicate + interior points on the wire: the decoder re-canonicalizes.
   Writer w;

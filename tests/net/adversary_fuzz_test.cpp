@@ -1,0 +1,183 @@
+// Randomized adversary fuzzer: Algorithm CC under sampled (drop rate, dup
+// rate, reorder rate, crash style, delay regime, seed) tuples.
+//
+// With the reliable-channel shim installed, every sampled lossy execution
+// must terminate and earn the full certificate (validity + eps-agreement),
+// on the discrete-event simulator and on the threaded runtime. With the
+// shim disabled, the control group shows the injector genuinely bites:
+// lossy executions fail to decide.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/lossy.hpp"
+#include "core/process_cc.hpp"
+#include "geometry/polytope.hpp"
+#include "net/faulty_link.hpp"
+#include "net/reliable_channel.hpp"
+#include "rt/runtime.hpp"
+
+namespace chc::net {
+namespace {
+
+struct FuzzCase {
+  double drop = 0.0;
+  double dup = 0.0;
+  double reorder = 0.0;
+  core::CrashStyle crash = core::CrashStyle::kNone;
+  core::DelayRegime delay = core::DelayRegime::kUniform;
+  std::uint64_t seed = 0;
+};
+
+/// Samples one adversary tuple. Rates stay inside the acceptance envelope
+/// (drop <= 0.3, dup <= 0.1) and the fair-lossy requirement (drop < 1).
+FuzzCase sample_case(std::uint64_t seed) {
+  Rng rng(seed);
+  FuzzCase c;
+  c.seed = seed;
+  c.drop = rng.uniform(0.02, 0.30);
+  c.dup = rng.uniform(0.0, 0.10);
+  c.reorder = rng.uniform(0.0, 0.20);
+  static constexpr core::CrashStyle kStyles[] = {
+      core::CrashStyle::kNone, core::CrashStyle::kEarly,
+      core::CrashStyle::kMidBroadcast, core::CrashStyle::kLate};
+  c.crash = kStyles[rng.uniform_int(0, 3)];
+  c.delay = rng.bernoulli(0.5) ? core::DelayRegime::kUniform
+                               : core::DelayRegime::kExponential;
+  return c;
+}
+
+std::string describe(const FuzzCase& c) {
+  std::ostringstream os;
+  os << "seed=" << c.seed << " drop=" << c.drop << " dup=" << c.dup
+     << " reorder=" << c.reorder
+     << " crash=" << static_cast<int>(c.crash)
+     << " delay=" << static_cast<int>(c.delay);
+  return os.str();
+}
+
+core::LossyRunConfig make_config(const FuzzCase& c, bool reliable) {
+  core::LossyRunConfig lc;
+  lc.base.cc = core::CCConfig{.n = 5, .f = 1, .d = 2, .eps = 0.15};
+  lc.base.pattern = core::InputPattern::kUniform;
+  lc.base.crash_style = c.crash;
+  lc.base.delay = c.delay;
+  lc.base.seed = c.seed;
+  lc.policy = NetworkPolicy::lossy(c.drop, c.dup, c.reorder);
+  lc.reliable = reliable;
+  return lc;
+}
+
+TEST(AdversaryFuzz, ShimmedCcSurvivesSampledAdversaries) {
+  constexpr int kCases = 60;  // acceptance floor is 50 sampled tuples
+  std::uint64_t total_drops = 0;
+  std::uint64_t total_retransmits = 0;
+  for (int i = 0; i < kCases; ++i) {
+    const FuzzCase c = sample_case(5000 + static_cast<std::uint64_t>(i));
+    const auto out = core::run_cc_lossy(make_config(c, /*reliable=*/true));
+    ASSERT_TRUE(out.quiescent) << describe(c);
+    EXPECT_TRUE(out.cert.all_decided) << describe(c);
+    EXPECT_TRUE(out.cert.validity) << describe(c);
+    EXPECT_TRUE(out.cert.agreement)
+        << describe(c) << " d_H=" << out.cert.max_pairwise_hausdorff;
+    total_drops += out.stats.net_dropped;
+    total_retransmits += out.stats.retransmits;
+  }
+  // The adversary really was active, and the recovery layer really worked.
+  EXPECT_GT(total_drops, 0u);
+  EXPECT_GT(total_retransmits, 0u);
+}
+
+TEST(AdversaryFuzz, UnshimmedControlGroupFailsToDecide) {
+  // Same sampled adversaries, shim disabled: injected faults hit the
+  // protocol directly, so executions demonstrably violate delivery. Two
+  // symptoms count: a quorum wait that never completes (dropped message,
+  // nobody retransmits), and CCProcess's reliable-channel invariant firing
+  // on a duplicated round message.
+  int violated = 0;
+  for (int i = 0; i < 10; ++i) {
+    const FuzzCase c = sample_case(5000 + static_cast<std::uint64_t>(i));
+    auto lc = make_config(c, /*reliable=*/false);
+    lc.max_events = 2'000'000;  // lossy runs quiesce early; cap regardless
+    try {
+      const auto out = core::run_cc_lossy(lc);
+      EXPECT_GT(out.stats.net_dropped, 0u) << describe(c);
+      if (!out.cert.all_decided) ++violated;
+    } catch (const ContractViolation&) {
+      ++violated;  // duplicate delivery reached the protocol
+    }
+  }
+  EXPECT_GE(violated, 1) << "no unshimmed lossy execution showed a failure";
+}
+
+TEST(AdversaryFuzz, ShimmedCcOnThreadedRuntime) {
+  // A smaller sweep on real threads: CC processes wrapped in the shim, the
+  // injector dropping/duplicating underneath, plus a mid-protocol crash of
+  // the incorrect-input process. Decisions are pulled out through the
+  // shims and checked for validity and eps-agreement directly.
+  const core::CCConfig cfg{.n = 5, .f = 1, .d = 2, .eps = 0.15};
+  const std::vector<geo::Vec> inputs = {
+      geo::Vec{0.0, 0.0}, geo::Vec{1.0, 0.0}, geo::Vec{0.0, 1.0},
+      geo::Vec{1.0, 1.0}, geo::Vec{1.8, 1.9}};  // process 4: incorrect
+  const geo::Polytope correct_hull = geo::Polytope::from_points(
+      {inputs[0], inputs[1], inputs[2], inputs[3]});
+
+  for (std::uint64_t seed : {101u, 202u, 303u}) {
+    sim::CrashSchedule cs;
+    cs.set(4, sim::CrashPlan::after(40));  // counts wire transmissions
+    rt::ThreadedRuntime rt(cfg.n, seed,
+                           std::make_unique<sim::UniformDelay>(0.05, 0.2),
+                           cs);
+    rt.set_fault_model(
+        std::make_unique<FaultyLinkModel>(NetworkPolicy::lossy(0.2, 0.05)));
+    for (std::size_t p = 0; p < cfg.n; ++p) {
+      rt.add_process(std::make_unique<ReliableChannel>(
+          std::make_unique<core::CCProcess>(cfg, inputs[p], nullptr),
+          ReliableParams{}));
+    }
+    rt.start();
+    const bool done = rt.run_until(
+        [](rt::ThreadedRuntime& r) {
+          for (std::size_t p = 0; p < 4; ++p) {
+            const bool decided = r.with_process(p, [](sim::Process& proc) {
+              return static_cast<core::CCProcess&>(
+                         static_cast<ReliableChannel&>(proc).inner())
+                  .decision()
+                  .has_value();
+            });
+            if (!decided) return false;
+          }
+          return true;
+        },
+        60.0);
+    rt.stop();
+    ASSERT_TRUE(done) << "seed " << seed
+                      << ": processes did not decide over the lossy network";
+    EXPECT_GT(rt.messages_lost(), 0u) << "seed " << seed;
+
+    std::vector<geo::Polytope> decisions;
+    for (std::size_t p = 0; p < 4; ++p) {
+      decisions.push_back(rt.with_process(p, [](sim::Process& proc) {
+        return *static_cast<core::CCProcess&>(
+                    static_cast<ReliableChannel&>(proc).inner())
+                    .decision();
+      }));
+    }
+    for (const auto& dec : decisions) {
+      EXPECT_TRUE(correct_hull.contains(dec, 1e-6)) << "seed " << seed;
+    }
+    for (std::size_t a = 0; a < decisions.size(); ++a) {
+      for (std::size_t b = a + 1; b < decisions.size(); ++b) {
+        EXPECT_LT(geo::hausdorff(decisions[a], decisions[b]), cfg.eps)
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chc::net

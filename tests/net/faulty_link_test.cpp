@@ -1,0 +1,183 @@
+// Fault-injection layer tests: seeded determinism, configured rates
+// approximately realized, per-channel overrides, FIFO-breaking reordering,
+// and stat accounting on both runtimes.
+#include "net/faulty_link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "rt/runtime.hpp"
+#include "sim/simulation.hpp"
+
+namespace chc::net {
+namespace {
+
+constexpr int kTagData = 2;
+
+/// Sends `burst` numbered messages to `target` on start; records deliveries.
+class Burst final : public sim::Process {
+ public:
+  struct Log {
+    std::vector<std::pair<sim::ProcessId, int>> deliveries;
+  };
+
+  Burst(Log* log, sim::ProcessId target, int burst)
+      : log_(log), target_(target), burst_(burst) {}
+
+  void on_start(sim::Context& ctx) override {
+    for (int i = 1; i <= burst_; ++i) ctx.send(target_, kTagData, int{i});
+  }
+  void on_message(sim::Context&, const sim::Message& msg) override {
+    log_->deliveries.emplace_back(msg.from, std::any_cast<int>(msg.payload));
+  }
+
+ private:
+  Log* log_;
+  sim::ProcessId target_;
+  int burst_;
+};
+
+sim::RunResult run_burst(const NetworkPolicy& policy, std::uint64_t seed,
+                         int burst, Burst::Log* log) {
+  sim::Simulation sim(2, seed, std::make_unique<sim::UniformDelay>(0.1, 1.0),
+                      {});
+  sim.set_fault_model(std::make_unique<FaultyLinkModel>(policy));
+  sim.add_process(std::make_unique<Burst>(log, 1, burst));
+  sim.add_process(std::make_unique<Burst>(log, 0, 0));
+  return sim.run();
+}
+
+TEST(FaultyLink, DropRateApproximatelyRealized) {
+  Burst::Log log;
+  const auto rr = run_burst(NetworkPolicy::lossy(0.3), 42, 1000, &log);
+  EXPECT_TRUE(rr.quiescent);
+  EXPECT_EQ(rr.stats.messages_sent, 1000u);
+  // 3-sigma band around 300 expected drops.
+  EXPECT_GT(rr.stats.net_dropped, 250u);
+  EXPECT_LT(rr.stats.net_dropped, 350u);
+  EXPECT_EQ(rr.stats.messages_delivered,
+            rr.stats.messages_sent - rr.stats.net_dropped);
+  EXPECT_EQ(rr.stats.dropped_by_tag.at(kTagData), rr.stats.net_dropped);
+  EXPECT_EQ(log.deliveries.size(), rr.stats.messages_delivered);
+}
+
+TEST(FaultyLink, DuplicatesDeliverExtraCopies) {
+  Burst::Log log;
+  const auto rr = run_burst(NetworkPolicy::lossy(0.0, 0.5), 43, 500, &log);
+  EXPECT_GT(rr.stats.net_duplicated, 180u);
+  EXPECT_LT(rr.stats.net_duplicated, 320u);
+  EXPECT_EQ(rr.stats.messages_delivered,
+            rr.stats.messages_sent + rr.stats.net_duplicated);
+  EXPECT_EQ(rr.stats.duplicated_by_tag.at(kTagData),
+            rr.stats.net_duplicated);
+  EXPECT_EQ(rr.stats.net_dropped, 0u);
+}
+
+TEST(FaultyLink, ReorderingBreaksFifo) {
+  Burst::Log log;
+  const auto rr = run_burst(NetworkPolicy::lossy(0.0, 0.0, 0.5), 44, 200,
+                            &log);
+  EXPECT_GT(rr.stats.net_reordered, 0u);
+  ASSERT_EQ(log.deliveries.size(), 200u);
+  bool out_of_order = false;
+  for (std::size_t i = 1; i < log.deliveries.size(); ++i) {
+    if (log.deliveries[i].second < log.deliveries[i - 1].second) {
+      out_of_order = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(out_of_order) << "reordering injected but FIFO survived";
+}
+
+TEST(FaultyLink, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    Burst::Log log;
+    const auto rr =
+        run_burst(NetworkPolicy::lossy(0.25, 0.1, 0.1), seed, 300, &log);
+    return std::make_pair(log.deliveries, rr.stats.net_dropped);
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  const auto c = run(8);
+  EXPECT_NE(a.first, c.first);  // different seed, different fault pattern
+}
+
+TEST(FaultyLink, PerChannelOverridesApply) {
+  // Only channel 0->1 is lossy; 0->2 stays clean.
+  NetworkPolicy policy;
+  policy.set_channel(0, 1, LinkFaults{.drop_rate = 0.5});
+  std::vector<Burst::Log> logs(3);
+
+  sim::Simulation sim(3, 5, std::make_unique<sim::UniformDelay>(0.1, 1.0),
+                      {});
+  sim.set_fault_model(std::make_unique<FaultyLinkModel>(policy));
+  // Process 0 bursts to 1; a second burst goes to 2 via a dedicated sender
+  // class reusing Burst with a different target.
+  class TwoTargets final : public sim::Process {
+   public:
+    void on_start(sim::Context& ctx) override {
+      for (int i = 1; i <= 200; ++i) {
+        ctx.send(1, kTagData, int{i});
+        ctx.send(2, kTagData, int{i});
+      }
+    }
+    void on_message(sim::Context&, const sim::Message&) override {}
+  };
+  sim.add_process(std::make_unique<TwoTargets>());
+  sim.add_process(std::make_unique<Burst>(&logs[1], 0, 0));
+  sim.add_process(std::make_unique<Burst>(&logs[2], 0, 0));
+  sim.run();
+  EXPECT_LT(logs[1].deliveries.size(), 160u);   // lossy channel bit
+  EXPECT_EQ(logs[2].deliveries.size(), 200u);   // clean channel intact
+}
+
+TEST(FaultyLink, InvalidRatesRejected) {
+  EXPECT_THROW(FaultyLinkModel(NetworkPolicy::lossy(1.0)),
+               ContractViolation);  // not fair-lossy
+  EXPECT_THROW(FaultyLinkModel(NetworkPolicy::lossy(-0.1)),
+               ContractViolation);
+  EXPECT_THROW(FaultyLinkModel(NetworkPolicy::lossy(0.0, 1.5)),
+               ContractViolation);
+  NetworkPolicy bad;
+  bad.link.reorder_delay_min = 2.0;
+  bad.link.reorder_delay_max = 1.0;
+  EXPECT_THROW(FaultyLinkModel{bad}, ContractViolation);
+}
+
+TEST(FaultyLink, PolicyEnabledDetection) {
+  EXPECT_FALSE(NetworkPolicy{}.enabled());
+  EXPECT_TRUE(NetworkPolicy::lossy(0.1).enabled());
+  NetworkPolicy p;
+  p.set_channel(1, 2, LinkFaults{.dup_rate = 0.2});
+  EXPECT_TRUE(p.enabled());
+}
+
+TEST(FaultyLink, ThreadedRuntimeCountsInjectedFaults) {
+  Burst::Log log;
+  rt::ThreadedRuntime rt(2, 11,
+                         std::make_unique<sim::FixedDelay>(0.5), {});
+  rt.set_fault_model(
+      std::make_unique<FaultyLinkModel>(NetworkPolicy::lossy(0.4, 0.2)));
+  rt.add_process(std::make_unique<Burst>(&log, 1, 400));
+  rt.add_process(std::make_unique<Burst>(&log, 0, 0));
+  rt.start();
+  rt.run_until(
+      [](rt::ThreadedRuntime& r) {
+        return r.messages_delivered() + r.messages_lost() >= 400;
+      },
+      10.0);
+  rt.stop();
+  EXPECT_EQ(rt.messages_sent(), 400u);
+  EXPECT_GT(rt.messages_lost(), 100u);
+  EXPECT_LT(rt.messages_lost(), 250u);
+  EXPECT_GT(rt.messages_duplicated(), 20u);
+}
+
+}  // namespace
+}  // namespace chc::net

@@ -6,10 +6,12 @@
 
 #include <memory>
 #include <set>
+#include <vector>
 
 #include "common/check.hpp"
 #include "core/process_cc.hpp"
 #include "geometry/polytope.hpp"
+#include "net/faulty_link.hpp"
 
 namespace chc::rt {
 namespace {
@@ -149,6 +151,83 @@ TEST(ThreadedRuntime, AlgorithmCcEndToEnd) {
       EXPECT_LT(geo::hausdorff(decisions[a], decisions[b]), cfg.eps);
     }
   }
+}
+
+/// Records the first draws from the per-process RNG stream (Context::rng).
+class RngProbe final : public sim::Process {
+ public:
+  void on_start(sim::Context& ctx) override {
+    for (int i = 0; i < 8; ++i) draws_.push_back(ctx.rng().next_u64());
+  }
+  void on_message(sim::Context&, const sim::Message&) override {}
+  const std::vector<std::uint64_t>& draws() const { return draws_; }
+
+ private:
+  std::vector<std::uint64_t> draws_;
+};
+
+TEST(ThreadedRuntime, ProcessRngStreamsDeriveFromRuntimeSeed) {
+  // Regression: per-process RNG streams must be a pure function of
+  // (runtime seed, process id) — not a fixed default seed, and not shared
+  // between processes.
+  auto collect = [](std::uint64_t seed) {
+    ThreadedRuntime rt(3, seed, std::make_unique<sim::FixedDelay>(1.0), {});
+    for (std::size_t p = 0; p < 3; ++p) {
+      rt.add_process(std::make_unique<RngProbe>());
+    }
+    rt.start();
+    rt.run_until(
+        [](ThreadedRuntime& r) {
+          for (std::size_t p = 0; p < 3; ++p) {
+            const bool ready = r.with_process(p, [](sim::Process& proc) {
+              return static_cast<RngProbe&>(proc).draws().size() == 8u;
+            });
+            if (!ready) return false;
+          }
+          return true;
+        },
+        5.0);
+    std::vector<std::vector<std::uint64_t>> draws;
+    for (std::size_t p = 0; p < 3; ++p) {
+      draws.push_back(rt.with_process(p, [](sim::Process& proc) {
+        return static_cast<RngProbe&>(proc).draws();
+      }));
+    }
+    rt.stop();
+    return draws;
+  };
+  const auto a = collect(11);
+  const auto b = collect(11);
+  EXPECT_EQ(a, b) << "same seed must reproduce every process stream";
+  EXPECT_NE(a[0], a[1]) << "processes must not share one stream";
+  EXPECT_NE(a[1], a[2]);
+  const auto c = collect(12);
+  EXPECT_NE(a[0], c[0]) << "streams must depend on the runtime seed";
+}
+
+TEST(ThreadedRuntime, MidBroadcastCrashUnderMessageLoss) {
+  // Combined adversary: the broadcaster crashes after two wire sends AND
+  // the network is lossy. The crash budget is consumed before injection,
+  // so exactly two sends are accepted and every accepted send is either
+  // delivered or counted as injector-dropped.
+  sim::CrashSchedule cs;
+  cs.set(0, sim::CrashPlan::after(2));
+  ThreadedRuntime rt(5, 21, std::make_unique<sim::FixedDelay>(0.5), cs);
+  rt.set_fault_model(std::make_unique<net::FaultyLinkModel>(
+      net::NetworkPolicy::lossy(0.4)));
+  for (std::size_t p = 0; p < 5; ++p) {
+    rt.add_process(std::make_unique<Counter>(p == 0));
+  }
+  rt.start();
+  rt.run_until(
+      [](ThreadedRuntime& r) {
+        return r.messages_delivered() + r.messages_lost() >= 2;
+      },
+      5.0);
+  rt.stop();
+  EXPECT_TRUE(rt.crashed(0));
+  EXPECT_EQ(rt.messages_sent(), 2u);
+  EXPECT_EQ(rt.messages_delivered() + rt.messages_lost(), 2u);
 }
 
 TEST(ThreadedRuntime, StopIsIdempotentAndDestructorSafe) {

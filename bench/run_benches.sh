@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# E8a driver: runs the geometry kernel microbenchmarks, writes the raw
+# google-benchmark JSON to BENCH_geometry.json, and (when python3 is
+# available) appends a before/after speedup summary comparing each engine
+# bench against its `_Reference` twin.
+#
+# Usage: bench/run_benches.sh [build-dir] [output-json]
+#   CHC_BENCH_MIN_TIME overrides --benchmark_min_time (default 0.05;
+#   older google-benchmark releases reject the "s"-suffixed form, so pass
+#   whichever spelling the installed library accepts, e.g. "0.01s" in CI).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_geometry.json}"
+MIN_TIME="${CHC_BENCH_MIN_TIME:-0.05}"
+BIN="$BUILD_DIR/bench/bench_geometry_micro"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (cmake --build $BUILD_DIR --target bench_geometry_micro)" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_counters_tabular=true
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$OUT" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+times = {}
+for b in doc.get("benchmarks", []):
+    if b.get("run_type", "iteration") == "iteration":
+        times[b["name"]] = (b["real_time"], b["time_unit"])
+
+speedups = {}
+for name, (t, unit) in sorted(times.items()):
+    if "_Reference/" not in name:
+        continue
+    engine = name.replace("_Reference", "")
+    if engine in times:
+        et, eunit = times[engine]
+        assert eunit == unit
+        speedups[engine] = {
+            "reference_" + unit: round(t, 1),
+            "engine_" + unit: round(et, 1),
+            "speedup": round(t / et, 2),
+        }
+
+doc["speedup_summary"] = speedups
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+
+width = max((len(k) for k in speedups), default=10)
+print("\n== engine vs reference ==")
+for name, s in speedups.items():
+    print(f"{name:<{width}}  {s['speedup']:>6.2f}x")
+EOF
+else
+  echo "python3 not found: wrote raw JSON without speedup summary" >&2
+fi
+
+echo "wrote $OUT"

@@ -50,7 +50,7 @@ void CCProcess::on_round0(sim::Context& ctx,
 
   // h_i[0] := intersection of hulls of all (|X_i|-f)-subsets (line 5);
   // under the correct-inputs model nothing is dropped (plain hull).
-  const geo::Polytope h0 = geo::intersection_of_subset_hulls(
+  geo::Polytope h0 = geo::intersection_of_subset_hulls(
       points, cfg_.round0_drop(), cfg_.rel_tol);
 
   if (h0.is_empty()) {
@@ -61,17 +61,21 @@ void CCProcess::on_round0(sim::Context& ctx,
     return;
   }
 
-  h_ = h0;
-  history_.push_back(h_);
-  if (trace_ != nullptr) trace_->record_round0(ctx.self(), view, h0);
+  h_ = geo::intern(std::move(h0));
+  history_.push_back(*h_);
+  if (trace_ != nullptr) trace_->record_round0(ctx.self(), view, *h_);
   enter_round(ctx, 1);
+}
+
+void CCProcess::begin_round(sim::Context& ctx) {
+  // Line 8: own message joins MSG_i[t]; line 9: send to all others.
+  inbox_[current_round_].emplace(ctx.self(), h_);
+  ctx.broadcast_others(kTagRound, RoundMsg{current_round_, h_});
 }
 
 void CCProcess::enter_round(sim::Context& ctx, std::size_t t) {
   current_round_ = t;
-  // Line 8: own message joins MSG_i[t]; line 9: send to all others.
-  inbox_[t].emplace(ctx.self(), h_);
-  ctx.broadcast_others(kTagRound, RoundMsg{t, h_});
+  begin_round(ctx);
   maybe_complete_round(ctx);
 }
 
@@ -81,33 +85,39 @@ void CCProcess::maybe_complete_round(sim::Context& ctx) {
     if (msgs.size() < cfg_.n - cfg_.f) return;  // line 12 threshold not met
 
     // Lines 13-14: Y_i[t] and the equal-weight linear combination L.
-    std::vector<geo::Polytope> y;
+    // Operands are interned handles, so identical message multisets across
+    // processes (the common case as states converge) hit the memo cache.
+    std::vector<geo::PolytopeHandle> y;
     std::set<sim::ProcessId> senders;
     y.reserve(msgs.size());
     for (const auto& [from, poly] : msgs) {
       y.push_back(poly);
       senders.insert(from);
     }
-    h_ = geo::equal_weight_combination(y, cfg_.rel_tol);
+    geo::PolytopeHandle next =
+        geo::equal_weight_combination_interned(y, cfg_.rel_tol);
     if (cfg_.max_polytope_vertices > 0) {
-      h_ = geo::simplify(h_, cfg_.max_polytope_vertices, cfg_.rel_tol);
+      next = geo::intern(
+          geo::simplify(*next, cfg_.max_polytope_vertices, cfg_.rel_tol));
     }
-    history_.push_back(h_);
+    h_ = std::move(next);
+    history_.push_back(*h_);
     if (trace_ != nullptr) {
-      trace_->record_round(ctx.self(), current_round_, std::move(senders), h_);
+      trace_->record_round(ctx.self(), current_round_, std::move(senders),
+                           *h_);
     }
     inbox_.erase(current_round_);
 
     if (current_round_ >= t_end_) {  // line 15 / termination
-      decision_ = h_;
-      if (trace_ != nullptr) trace_->record_decision(ctx.self(), h_);
+      decision_ = *h_;
+      if (trace_ != nullptr) trace_->record_decision(ctx.self(), *h_);
+      inbox_.clear();  // late messages are dropped on arrival from here on
       return;
     }
     // Enter the next round inline (buffered messages may complete it too,
     // hence the surrounding loop).
     ++current_round_;
-    inbox_[current_round_].emplace(ctx.self(), h_);
-    ctx.broadcast_others(kTagRound, RoundMsg{current_round_, h_});
+    begin_round(ctx);
   }
 }
 
@@ -125,6 +135,11 @@ void CCProcess::on_message(sim::Context& ctx, const sim::Message& msg) {
   const auto& rm = std::any_cast<const RoundMsg&>(msg.payload);
   CHC_INTERNAL(rm.round >= 1, "round messages start at round 1");
   if (decision_.has_value()) return;  // already terminated
+  if (rm.round < current_round_) {
+    // Stale: that round already completed with n-f messages; the laggards'
+    // copies must not re-create an inbox entry that nothing ever erases.
+    return;
+  }
   // At most one message per sender per round on reliable channels.
   const bool inserted = inbox_[rm.round].emplace(msg.from, rm.h).second;
   CHC_INTERNAL(inserted, "duplicate round message from one sender");

@@ -18,6 +18,7 @@
 #include "core/config.hpp"
 #include "core/trace.hpp"
 #include "dsm/stable_vector.hpp"
+#include "geometry/intern.hpp"
 #include "geometry/polytope.hpp"
 #include "sim/process.hpp"
 
@@ -31,7 +32,10 @@ inline constexpr int kTagNaiveInput = 201;
 
 struct RoundMsg {
   std::size_t round;
-  geo::Polytope h;
+  // Interned handle: broadcast_others copies the payload per recipient, and
+  // with interning that is a pointer copy instead of a deep polytope copy
+  // (vertex + halfspace arrays) for each of the n-1 peers.
+  geo::PolytopeHandle h;
 };
 
 class CCProcess final : public sim::Process {
@@ -55,8 +59,16 @@ class CCProcess final : public sim::Process {
 
   const geo::Vec& input() const { return input_; }
 
+  /// Number of rounds with buffered messages (regression hook: stale
+  /// rounds must not linger here, and the buffer empties on decision).
+  std::size_t buffered_rounds() const { return inbox_.size(); }
+
  private:
   void on_round0(sim::Context& ctx, const dsm::StableVectorResult& view);
+  /// Lines 8-9 for current_round_: insert the own message into the round's
+  /// inbox and broadcast it (shared by enter_round and the inline round
+  /// advance in maybe_complete_round).
+  void begin_round(sim::Context& ctx);
   void enter_round(sim::Context& ctx, std::size_t t);
   void maybe_complete_round(sim::Context& ctx);
   void maybe_complete_naive_round0(sim::Context& ctx);
@@ -67,16 +79,18 @@ class CCProcess final : public sim::Process {
   TraceCollector* trace_;
 
   std::unique_ptr<dsm::StableVector> sv_;
-  geo::Polytope h_;  // current state h_i[current_round_ - 1]
+  geo::PolytopeHandle h_;  // current state h_i[current_round_ - 1], interned
   std::vector<geo::Polytope> history_;
   std::size_t current_round_ = 0;  // round being executed
   bool round0_done_ = false;
   bool round0_failed_ = false;
   std::optional<geo::Polytope> decision_;
 
-  // Buffered round messages: round -> (sender -> polytope). FIFO channels
-  // and the round structure mean at most one message per sender per round.
-  std::map<std::size_t, std::map<sim::ProcessId, geo::Polytope>> inbox_;
+  // Buffered round messages: round -> (sender -> interned polytope). FIFO
+  // channels and the round structure mean at most one message per sender
+  // per round. Only rounds >= current_round_ live here: stale messages are
+  // dropped on arrival and the buffer is cleared on decision.
+  std::map<std::size_t, std::map<sim::ProcessId, geo::PolytopeHandle>> inbox_;
 
   // Naive round-0 ablation: inputs received so far.
   std::map<sim::ProcessId, geo::Vec> naive_inbox_;

@@ -1,0 +1,181 @@
+#include "geometry/intern.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "geometry/ops.hpp"
+
+namespace chc::geo {
+namespace {
+
+/// FNV-1a over the polytope's exact content (dimension + vertex bits).
+std::uint64_t content_hash(const Polytope& p) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(p.ambient_dim());
+  mix(p.vertices().size());
+  for (const Vec& v : p.vertices()) {
+    for (double c : v) mix(std::bit_cast<std::uint64_t>(c));
+  }
+  return h;
+}
+
+bool same_value(const Polytope& a, const Polytope& b) {
+  if (a.ambient_dim() != b.ambient_dim()) return false;
+  if (a.vertices().size() != b.vertices().size()) return false;
+  for (std::size_t i = 0; i < a.vertices().size(); ++i) {
+    if (!(a.vertices()[i] == b.vertices()[i])) return false;
+  }
+  return true;
+}
+
+struct ComboKey {
+  std::vector<PolytopeHandle> ops;  // sorted by pointer; keeps operands alive
+  double rel_tol = 0.0;
+
+  bool operator==(const ComboKey& o) const {
+    if (rel_tol != o.rel_tol || ops.size() != o.ops.size()) return false;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].get() != o.ops[i].get()) return false;
+    }
+    return true;
+  }
+};
+
+std::uint64_t combo_hash(const ComboKey& k) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(std::bit_cast<std::uint64_t>(k.rel_tol));
+  for (const auto& p : k.ops) {
+    mix(reinterpret_cast<std::uintptr_t>(p.get()));
+  }
+  return h;
+}
+
+constexpr std::size_t kComboCacheCap = 512;
+
+struct Caches {
+  std::mutex mu;
+  // hash -> interned polytopes with that hash (weak: the table never keeps
+  // a polytope alive by itself).
+  std::unordered_map<std::uint64_t, std::vector<std::weak_ptr<const Polytope>>>
+      table;
+  // Memoized equal-weight combinations, FIFO-bounded.
+  std::unordered_map<std::uint64_t, std::vector<std::pair<ComboKey, PolytopeHandle>>>
+      combos;
+  std::deque<std::uint64_t> combo_order;  // insertion order for eviction
+  std::size_t combo_entries = 0;
+  InternStats stats;
+};
+
+Caches& caches() {
+  static Caches c;
+  return c;
+}
+
+}  // namespace
+
+PolytopeHandle intern(Polytope p) {
+  const std::uint64_t h = content_hash(p);
+  Caches& c = caches();
+  std::lock_guard<std::mutex> lock(c.mu);
+  auto& bucket = c.table[h];
+  // Prune expired entries while scanning for a live match.
+  std::size_t live = 0;
+  PolytopeHandle found;
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    if (PolytopeHandle sp = bucket[i].lock()) {
+      if (found == nullptr && same_value(*sp, p)) found = std::move(sp);
+      if (live != i) bucket[live] = std::move(bucket[i]);
+      ++live;
+    }
+  }
+  bucket.resize(live);
+  if (found != nullptr) {
+    ++c.stats.intern_hits;
+    return found;
+  }
+  ++c.stats.intern_misses;
+  auto sp = std::make_shared<const Polytope>(std::move(p));
+  bucket.emplace_back(sp);
+  return sp;
+}
+
+PolytopeHandle equal_weight_combination_interned(
+    const std::vector<PolytopeHandle>& polys, double rel_tol) {
+  ComboKey key;
+  key.ops = polys;
+  key.rel_tol = rel_tol;
+  std::sort(key.ops.begin(), key.ops.end(),
+            [](const PolytopeHandle& a, const PolytopeHandle& b) {
+              return a.get() < b.get();
+            });
+  const std::uint64_t h = combo_hash(key);
+
+  Caches& c = caches();
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    auto it = c.combos.find(h);
+    if (it != c.combos.end()) {
+      for (const auto& [k, v] : it->second) {
+        if (k == key) {
+          ++c.stats.combo_hits;
+          return v;
+        }
+      }
+    }
+    ++c.stats.combo_misses;
+  }
+
+  // Compute outside the lock: the combination is the expensive part and
+  // two concurrent misses at worst duplicate work, never corrupt state.
+  std::vector<Polytope> ops;
+  ops.reserve(polys.size());
+  for (const auto& p : polys) ops.push_back(*p);
+  PolytopeHandle result =
+      intern(equal_weight_combination(ops, rel_tol));
+
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.combos[h].emplace_back(std::move(key), result);
+  c.combo_order.push_back(h);
+  ++c.combo_entries;
+  while (c.combo_entries > kComboCacheCap && !c.combo_order.empty()) {
+    const std::uint64_t victim = c.combo_order.front();
+    c.combo_order.pop_front();
+    auto it = c.combos.find(victim);
+    if (it != c.combos.end() && !it->second.empty()) {
+      it->second.erase(it->second.begin());
+      if (it->second.empty()) c.combos.erase(it);
+      --c.combo_entries;
+    }
+  }
+  return result;
+}
+
+InternStats intern_stats() {
+  Caches& c = caches();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return c.stats;
+}
+
+void clear_intern_caches() {
+  Caches& c = caches();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.table.clear();
+  c.combos.clear();
+  c.combo_order.clear();
+  c.combo_entries = 0;
+  c.stats = InternStats{};
+}
+
+}  // namespace chc::geo

@@ -1,0 +1,56 @@
+// Polytope interning and memoized round combination.
+//
+// Algorithm CC broadcasts its round state to n-1 peers every round, and as
+// processes converge their states become literally identical polytopes.
+// Interning gives every distinct polytope value one immutable heap object
+// behind a shared_ptr, so
+//  * broadcast fan-out copies a pointer instead of deep-copying the vertex
+//    and halfspace arrays n-1 times, and
+//  * value identity becomes pointer identity, which makes the per-round
+//    equal-weight combination memoizable: once two processes hold the same
+//    message multiset (the common case from round 1 under full crash
+//    fault-load, see E1), the second L(Y) is a cache hit.
+//
+// Handles are shared_ptr<const Polytope>: safe to pass across runtime
+// threads (the pointee is immutable) and to stash in std::any payloads.
+// The intern table holds weak references only — dropping every handle
+// frees the polytope.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geometry/polytope.hpp"
+
+namespace chc::geo {
+
+using PolytopeHandle = std::shared_ptr<const Polytope>;
+
+/// Returns the canonical shared handle for `p`'s exact value (ambient
+/// dimension + bitwise-equal vertex list). Two interned polytopes are
+/// value-equal iff their handles are pointer-equal. Thread-safe.
+PolytopeHandle intern(Polytope p);
+
+/// Equal-weight L (Definition 2 with weights 1/k) over interned operands,
+/// memoized on the operand multiset: repeated calls with the same handles
+/// (in any order) return the same interned result without recomputing the
+/// Minkowski combination. Thread-safe; the cache is bounded (LRU-ish
+/// eviction), so memory stays proportional to the working set.
+PolytopeHandle equal_weight_combination_interned(
+    const std::vector<PolytopeHandle>& polys, double rel_tol = 1e-9);
+
+/// Counters for tests and benchmarks (process-wide totals).
+struct InternStats {
+  std::uint64_t intern_hits = 0;    ///< intern() found an existing object
+  std::uint64_t intern_misses = 0;  ///< intern() created a new object
+  std::uint64_t combo_hits = 0;     ///< memoized L reused a cached result
+  std::uint64_t combo_misses = 0;   ///< memoized L computed from scratch
+};
+InternStats intern_stats();
+
+/// Drops the intern table and the combination cache (test isolation; live
+/// handles stay valid). Resets the statistics counters.
+void clear_intern_caches();
+
+}  // namespace chc::geo

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/combinatorics.hpp"
+#include "common/thread_pool.hpp"
 #include "geometry/hull2d.hpp"
 #include "geometry/quickhull.hpp"
 #include "lp/simplex.hpp"
@@ -12,17 +15,25 @@
 namespace chc::geo {
 namespace {
 
-/// Splits halfspaces into LP matrices.
-void to_matrices(const std::vector<Halfspace>& hs,
-                 std::vector<std::vector<double>>* A,
-                 std::vector<double>* b) {
-  A->clear();
-  b->clear();
-  A->reserve(hs.size());
-  b->reserve(hs.size());
-  for (const Halfspace& h : hs) {
-    A->push_back(h.a.coords());
-    b->push_back(h.b);
+// --- Halfspace intersection (LP + polar duality) -------------------------
+
+/// Scratch buffers threaded through one intersect_halfspaces call,
+/// including its lower-dimensional recursion: the LP matrices and the dual
+/// point set are rebuilt at every recursion step, so they reuse capacity
+/// instead of reallocating per step.
+struct IntersectWorkspace {
+  std::vector<std::vector<double>> A;
+  std::vector<double> b;
+  std::vector<Vec> dual_pts;
+};
+
+/// Splits halfspaces into LP matrices, reusing workspace capacity.
+void to_matrices(const std::vector<Halfspace>& hs, IntersectWorkspace& ws) {
+  ws.A.resize(hs.size());
+  ws.b.resize(hs.size());
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    ws.A[i].assign(hs[i].a.begin(), hs[i].a.end());
+    ws.b[i] = hs[i].b;
   }
 }
 
@@ -40,20 +51,21 @@ double system_scale(const std::vector<Halfspace>& hs) {
 /// halfspace a·x <= b (b > 0 after translation) to the point a/b; facets of
 /// the dual hull map back to primal vertices.
 std::vector<Vec> dual_vertices(const std::vector<Halfspace>& hs,
-                               const Vec& x0, double rel_tol) {
-  std::vector<Vec> dual_pts;
-  dual_pts.reserve(hs.size());
+                               const Vec& x0, double rel_tol,
+                               IntersectWorkspace& ws) {
+  ws.dual_pts.clear();
+  ws.dual_pts.reserve(hs.size());
   for (const Halfspace& h : hs) {
     const double bb = h.b - h.a.dot(x0);
     const double norm = h.a.norm();
     if (norm < 1e-13) continue;  // trivial constraint
     CHC_INTERNAL(bb > 0.0, "interior point must satisfy all constraints strictly");
-    dual_pts.push_back(h.a * (1.0 / bb));
+    ws.dual_pts.push_back(h.a * (1.0 / bb));
   }
-  const Hull dual = quickhull(dual_pts, rel_tol);
+  const Hull dual = quickhull(ws.dual_pts, rel_tol);
 
   double dscale = 1.0;
-  for (const Vec& p : dual_pts) dscale = std::max(dscale, p.max_abs());
+  for (const Vec& p : ws.dual_pts) dscale = std::max(dscale, p.max_abs());
   std::vector<Vec> verts;
   verts.reserve(dual.facets.size());
   for (const auto& f : dual.facets) {
@@ -68,22 +80,20 @@ std::vector<Vec> dual_vertices(const std::vector<Halfspace>& hs,
 }
 
 Polytope intersect_impl(std::size_t d, const std::vector<Halfspace>& hs,
-                        double rel_tol, int depth) {
+                        double rel_tol, int depth, IntersectWorkspace& ws) {
   CHC_CHECK(d >= 1, "halfspace intersection needs dimension >= 1");
   CHC_INTERNAL(depth <= 64, "halfspace intersection recursion runaway");
 
-  std::vector<std::vector<double>> A;
-  std::vector<double> b;
-  to_matrices(hs, &A, &b);
+  to_matrices(hs, ws);
 
-  const auto cheb = lp::chebyshev_center(A, b);
+  const auto cheb = lp::chebyshev_center(ws.A, ws.b);
   if (!cheb.feasible) return Polytope::empty(d);
   const Vec x0(cheb.center);
   const double scale = std::max(system_scale(hs), x0.max_abs());
   const double flat_tol = 1e-7 * scale;
 
   if (cheb.radius > flat_tol) {
-    return Polytope::from_points(dual_vertices(hs, x0, rel_tol), rel_tol);
+    return Polytope::from_points(dual_vertices(hs, x0, rel_tol, ws), rel_tol);
   }
 
   // Flat (lower-dimensional) feasible set: find implicit equalities
@@ -92,7 +102,7 @@ Polytope intersect_impl(std::size_t d, const std::vector<Halfspace>& hs,
   for (std::size_t i = 0; i < hs.size(); ++i) {
     const double norm = hs[i].a.norm();
     if (norm < 1e-13) continue;
-    const auto sol = lp::minimize(hs[i].a.coords(), A, b);
+    const auto sol = lp::minimize(hs[i].a.coords(), ws.A, ws.b);
     CHC_INTERNAL(sol.status == lp::Status::kOptimal,
                  "feasible bounded subproblem must solve");
     if ((hs[i].b - sol.objective) / norm <= 10 * flat_tol) {
@@ -153,7 +163,7 @@ Polytope intersect_impl(std::size_t d, const std::vector<Halfspace>& hs,
     if (ar.norm() < 1e-11 * std::max(1.0, h.a.norm())) continue;  // tight dir
     reduced.push_back({std::move(ar), br});
   }
-  const Polytope local = intersect_impl(k, reduced, rel_tol, depth + 1);
+  const Polytope local = intersect_impl(k, reduced, rel_tol, depth + 1, ws);
   if (local.is_empty()) {
     // The flat itself is feasible (x0 is), so at minimum the point survives.
     return Polytope::from_points({x0}, rel_tol);
@@ -179,6 +189,274 @@ std::vector<Vec> ccw2(const std::vector<Vec>& poly) {
   return poly;
 }
 
+// --- Engine: k-way Minkowski edge merge (d = 2) --------------------------
+
+/// One directed boundary edge of a scaled operand polygon, tagged with its
+/// (operand, edge) rank for a deterministic sort tie-break.
+struct MergeEdge {
+  double ex, ey;
+  std::uint32_t poly, idx;
+};
+
+/// 0 when the edge direction lies in the half-open upper halfplane
+/// (angle ∈ [0, π)), 1 for the lower ([π, 2π)) — the exact pseudo-angle
+/// ordering a CCW polygon's edges already follow from its bottom vertex.
+int angle_half(const MergeEdge& e) {
+  if (e.ey > 0.0) return 0;
+  if (e.ey < 0.0) return 1;
+  return e.ex > 0.0 ? 0 : 1;
+}
+
+bool angle_less(const MergeEdge& a, const MergeEdge& b) {
+  const int ha = angle_half(a), hb = angle_half(b);
+  if (ha != hb) return ha < hb;
+  const double cr = a.ex * b.ey - a.ey * b.ex;
+  if (cr != 0.0) return cr > 0.0;
+  if (a.poly != b.poly) return a.poly < b.poly;
+  return a.idx < b.idx;
+}
+
+/// L for d = 2 by a single k-way rotating edge-vector merge: the Minkowski
+/// sum's boundary is the angle-sorted concatenation of every operand's
+/// edge vectors, started from the sum of the operands' bottom-most
+/// vertices. O(E log E) in the total edge count E — replaces k sequential
+/// minkowski_sum2d re-hulls of growing intermediate polygons.
+Polytope linear_combination_kway2d(const std::vector<Polytope>& polys,
+                                   const std::vector<double>& weights,
+                                   double rel_tol) {
+  Vec start(2, 0.0);
+  std::vector<MergeEdge> edges;
+  std::uint32_t rank = 0;
+  for (std::size_t i = 0; i < polys.size(); ++i) {
+    if (weights[i] == 0.0) continue;
+    std::vector<Vec> v = ccw2(polys[i].vertices());
+    for (Vec& p : v) p *= weights[i];
+    std::size_t lo = 0;
+    for (std::size_t j = 1; j < v.size(); ++j) {
+      if (v[j][1] < v[lo][1] ||
+          (v[j][1] == v[lo][1] && v[j][0] < v[lo][0])) {
+        lo = j;
+      }
+    }
+    start += v[lo];
+    const std::size_t m = v.size();
+    for (std::size_t j = 0; j < m && m >= 2; ++j) {
+      const Vec& a = v[(lo + j) % m];
+      const Vec& b = v[(lo + j + 1) % m];
+      const MergeEdge e{b[0] - a[0], b[1] - a[1], rank,
+                        static_cast<std::uint32_t>(j)};
+      // Zero edges cannot come from canonical polytopes, but guard anyway:
+      // they have no pseudo-angle and would break the sort's ordering.
+      if (e.ex != 0.0 || e.ey != 0.0) edges.push_back(e);
+    }
+    ++rank;
+  }
+  if (edges.empty()) return Polytope::from_points({start}, rel_tol);
+
+  std::sort(edges.begin(), edges.end(), angle_less);
+
+  std::vector<Vec> out;
+  out.reserve(edges.size());
+  Vec cur = start;
+  out.push_back(cur);
+  // The edge vectors of each operand sum to zero, so the walk closes back
+  // at `start` (up to roundoff): the last edge is dropped rather than
+  // emitting a near-duplicate of the start vertex.
+  for (std::size_t j = 0; j + 1 < edges.size(); ++j) {
+    cur = Vec{cur[0] + edges[j].ex, cur[1] + edges[j].ey};
+    out.push_back(cur);
+  }
+  return Polytope::from_points(out, rel_tol);
+}
+
+// --- Engine: balanced merge tree (general d) ------------------------------
+
+/// Candidate budget per pruning call in the merge tree. One huge
+/// from_points call is superlinear in its input and output (quickhull +
+/// facet canonicalization), so merges above this budget are split into
+/// chunks whose extreme points are found independently and re-pruned —
+/// exact (hull of union of chunk-hull vertices = hull of the whole set)
+/// and it turns the root merge into pool-wide parallel work.
+constexpr std::size_t kMergeChunkCands = 1024;
+
+/// L in general dimension by a balanced pairwise merge tree: each level
+/// merges adjacent operands (candidate vertex products, hull-pruned) on
+/// the shared pool. Large merges are chunked (kMergeChunkCands). Tree
+/// shape and chunk boundaries depend only on operand sizes, so the result
+/// is identical for every thread count.
+Polytope linear_combination_tree(const std::vector<Polytope>& polys,
+                                 const std::vector<double>& weights,
+                                 double rel_tol) {
+  std::vector<std::vector<Vec>> ops;
+  ops.reserve(polys.size());
+  for (std::size_t i = 0; i < polys.size(); ++i) {
+    if (weights[i] == 0.0) continue;
+    std::vector<Vec> scaled;
+    scaled.reserve(polys[i].vertices().size());
+    for (const Vec& v : polys[i].vertices()) scaled.push_back(v * weights[i]);
+    ops.push_back(std::move(scaled));
+  }
+  CHC_INTERNAL(!ops.empty(), "weights sum to 1, so one is positive");
+
+  common::ThreadPool& pool = common::ThreadPool::global();
+  while (ops.size() > 1) {
+    const std::size_t pairs = ops.size() / 2;
+
+    // Split each pair's candidate product a x b into chunks of contiguous
+    // a-rows, at most kMergeChunkCands candidates each. The flat chunk
+    // list is the parallel job space, so a level with a single huge merge
+    // (the tree root) still fans out across the pool.
+    struct Chunk {
+      std::size_t pair, a_begin, a_end;
+    };
+    std::vector<Chunk> chunks;
+    for (std::size_t p = 0; p < pairs; ++p) {
+      const std::size_t na = ops[2 * p].size();
+      const std::size_t nb = ops[2 * p + 1].size();
+      const std::size_t rows =
+          std::max<std::size_t>(1, kMergeChunkCands / std::max<std::size_t>(nb, 1));
+      for (std::size_t r = 0; r < na; r += rows) {
+        chunks.push_back({p, r, std::min(na, r + rows)});
+      }
+    }
+
+    std::vector<std::vector<Vec>> pruned(chunks.size());
+    pool.parallel_for(chunks.size(), [&](std::size_t c) {
+      const Chunk& ch = chunks[c];
+      const std::vector<Vec>& a = ops[2 * ch.pair];
+      const std::vector<Vec>& b = ops[2 * ch.pair + 1];
+      std::vector<Vec> cands;
+      cands.reserve((ch.a_end - ch.a_begin) * b.size());
+      for (std::size_t i = ch.a_begin; i < ch.a_end; ++i) {
+        for (const Vec& v : b) cands.push_back(a[i] + v);
+      }
+      pruned[c] = Polytope::from_points(cands, rel_tol).vertices();
+    });
+
+    // Re-prune each pair over its chunks' surviving vertices (chunk order
+    // is fixed, so concatenation is deterministic). Single-chunk pairs are
+    // already exact and skip the second pass.
+    std::vector<std::vector<Vec>> next(pairs);
+    std::vector<std::size_t> multi;  // pairs needing the re-prune pass
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      auto& dst = next[chunks[c].pair];
+      if (dst.empty()) {
+        dst = std::move(pruned[c]);
+      } else {
+        dst.insert(dst.end(), std::make_move_iterator(pruned[c].begin()),
+                   std::make_move_iterator(pruned[c].end()));
+        if (multi.empty() || multi.back() != chunks[c].pair) {
+          multi.push_back(chunks[c].pair);
+        }
+      }
+    }
+    pool.parallel_for(multi.size(), [&](std::size_t m) {
+      next[multi[m]] =
+          Polytope::from_points(next[multi[m]], rel_tol).vertices();
+    });
+
+    if (ops.size() % 2 == 1) next.push_back(std::move(ops.back()));
+    ops = std::move(next);
+  }
+  return Polytope::from_points(ops[0], rel_tol);
+}
+
+/// Shared operand validation for L; returns the ambient dimension.
+std::size_t validate_combination(const std::vector<Polytope>& polys,
+                                 const std::vector<double>& weights) {
+  CHC_CHECK(!polys.empty(), "L of zero polytopes");
+  CHC_CHECK(polys.size() == weights.size(),
+            "L needs one weight per polytope");
+  const std::size_t d = polys[0].ambient_dim();
+  double wsum = 0.0;
+  for (std::size_t i = 0; i < polys.size(); ++i) {
+    CHC_CHECK(!polys[i].is_empty(), "L of an empty polytope (Definition 2)");
+    CHC_CHECK(polys[i].ambient_dim() == d, "L operands must share dimension");
+    CHC_CHECK(weights[i] >= -1e-12, "L weights must be non-negative");
+    wsum += weights[i];
+  }
+  CHC_CHECK(std::fabs(wsum - 1.0) <= 1e-9, "L weights must sum to 1");
+  return d;
+}
+
+Polytope linear_combination_1d(const std::vector<Polytope>& polys,
+                               const std::vector<double>& weights,
+                               double rel_tol) {
+  double lo = 0.0, hi = 0.0;
+  for (std::size_t i = 0; i < polys.size(); ++i) {
+    const auto [plo, phi] = polys[i].bounding_box();
+    lo += weights[i] * plo[0];
+    hi += weights[i] * phi[0];
+  }
+  return Polytope::from_points({Vec{lo}, Vec{hi}}, rel_tol);
+}
+
+// --- Engine: parallel subset hulls ---------------------------------------
+
+/// One (|X|-drop)-subset's hull in 2-D: CCW vertex polygon plus the edge
+/// halfplanes the ordered reduction clips with.
+struct SubsetHull2d {
+  std::vector<Vec> poly;
+  std::vector<Halfspace> hs;
+};
+
+SubsetHull2d build_subset_hull2d(const std::vector<Vec>& points,
+                                 const std::vector<std::size_t>& kept,
+                                 double rel_tol) {
+  std::vector<Vec> sub;
+  sub.reserve(kept.size());
+  for (std::size_t i : kept) sub.push_back(points[i]);
+  double scale = 1.0;
+  for (const Vec& p : sub) scale = std::max(scale, p.max_abs());
+
+  SubsetHull2d out;
+  out.poly = hull2d(std::move(sub), rel_tol * scale);
+  if (out.poly.size() >= 3) {
+    // Full-dimensional: edge halfplanes straight off the CCW polygon (the
+    // same normals Polytope::finalize derives, without the affine-subspace
+    // and H-rep lifting machinery).
+    out.hs.reserve(out.poly.size());
+    for (std::size_t i = 0; i < out.poly.size(); ++i) {
+      const Vec& a = out.poly[i];
+      const Vec& b = out.poly[(i + 1) % out.poly.size()];
+      Vec n{b[1] - a[1], a[0] - b[0]};
+      const double len = n.norm();
+      CHC_INTERNAL(len > 1e-300, "degenerate polygon edge");
+      n *= 1.0 / len;
+      out.hs.push_back({n, n.dot(a)});
+    }
+  } else {
+    // Degenerate subset (segment or point): the canonical Polytope path
+    // pins the affine hull with equality pairs.
+    std::vector<Vec> again;
+    again.reserve(kept.size());
+    for (std::size_t i : kept) again.push_back(points[i]);
+    const Polytope p = Polytope::from_points(again, rel_tol);
+    out.poly = p.vertices();
+    out.hs = p.halfspaces();
+  }
+  return out;
+}
+
+/// clip_halfplane with a containment pre-check: when every vertex already
+/// satisfies the halfplane the clip is the identity, so the (sorting)
+/// re-canonicalization inside clip_halfplane is skipped entirely. In the
+/// subset-hull reduction almost all clips are no-ops — the intersection
+/// shrinks once and then stays inside most subsequent hulls.
+std::vector<Vec> clip_halfplane_checked(std::vector<Vec> poly, const Vec& a,
+                                        double b, double tol) {
+  const double dist_tol = tol * std::max(1.0, a.norm());
+  bool all_inside = true;
+  for (const Vec& p : poly) {
+    if (a.dot(p) > b + dist_tol) {
+      all_inside = false;
+      break;
+    }
+  }
+  if (all_inside) return poly;
+  return clip_halfplane(poly, a, b, tol);
+}
+
 }  // namespace
 
 Polytope intersect_halfspaces(std::size_t dim,
@@ -188,7 +466,8 @@ Polytope intersect_halfspaces(std::size_t dim,
     CHC_CHECK(h.a.dim() == dim, "halfspace dimension mismatch");
   }
   CHC_CHECK(!halfspaces.empty(), "unbounded: empty halfspace system");
-  return intersect_impl(dim, halfspaces, rel_tol, 0);
+  IntersectWorkspace ws;
+  return intersect_impl(dim, halfspaces, rel_tol, 0, ws);
 }
 
 Polytope intersect(const std::vector<Polytope>& polys, double rel_tol) {
@@ -235,28 +514,87 @@ Polytope intersect2d_clip(const std::vector<Polytope>& polys,
 Polytope linear_combination(const std::vector<Polytope>& polys,
                             const std::vector<double>& weights,
                             double rel_tol) {
-  CHC_CHECK(!polys.empty(), "L of zero polytopes");
-  CHC_CHECK(polys.size() == weights.size(),
-            "L needs one weight per polytope");
-  const std::size_t d = polys[0].ambient_dim();
-  double wsum = 0.0;
-  for (std::size_t i = 0; i < polys.size(); ++i) {
-    CHC_CHECK(!polys[i].is_empty(), "L of an empty polytope (Definition 2)");
-    CHC_CHECK(polys[i].ambient_dim() == d, "L operands must share dimension");
-    CHC_CHECK(weights[i] >= -1e-12, "L weights must be non-negative");
-    wsum += weights[i];
-  }
-  CHC_CHECK(std::fabs(wsum - 1.0) <= 1e-9, "L weights must sum to 1");
+  const std::size_t d = validate_combination(polys, weights);
+  if (d == 1) return linear_combination_1d(polys, weights, rel_tol);
+  if (d == 2) return linear_combination_kway2d(polys, weights, rel_tol);
+  return linear_combination_tree(polys, weights, rel_tol);
+}
 
-  if (d == 1) {
-    double lo = 0.0, hi = 0.0;
-    for (std::size_t i = 0; i < polys.size(); ++i) {
-      const auto [plo, phi] = polys[i].bounding_box();
-      lo += weights[i] * plo[0];
-      hi += weights[i] * phi[0];
+Polytope equal_weight_combination(const std::vector<Polytope>& polys,
+                                  double rel_tol) {
+  CHC_CHECK(!polys.empty(), "L of zero polytopes");
+  const double w = 1.0 / static_cast<double>(polys.size());
+  return linear_combination(polys, std::vector<double>(polys.size(), w),
+                            rel_tol);
+}
+
+Polytope intersection_of_subset_hulls(const std::vector<Vec>& points,
+                                      std::size_t drop, double rel_tol) {
+  CHC_CHECK(!points.empty(), "subset-hull intersection of no points");
+  CHC_CHECK(drop < points.size(), "must keep at least one point per subset");
+  const std::size_t d = points[0].dim();
+
+  if (drop == 0) return Polytope::from_points(points, rel_tol);
+
+  // Materialize the lexicographic subset order once: the fan-out below is
+  // indexed by subset rank, so the reduction consumes hulls in exactly the
+  // order the serial enumeration would produce them — bit-identical
+  // results for every CHC_GEO_THREADS value.
+  std::vector<std::vector<std::size_t>> subsets;
+  for_each_drop(points.size(), drop,
+                [&](const std::vector<std::size_t>& kept) {
+                  subsets.push_back(kept);
+                  return true;
+                });
+  common::ThreadPool& pool = common::ThreadPool::global();
+
+  if (d == 2) {
+    std::vector<SubsetHull2d> hulls(subsets.size());
+    pool.parallel_for(subsets.size(), [&](std::size_t i) {
+      hulls[i] = build_subset_hull2d(points, subsets[i], rel_tol);
+    });
+
+    double scale = 1.0;
+    for (const SubsetHull2d& h : hulls) {
+      for (const Vec& v : h.poly) scale = std::max(scale, v.max_abs());
     }
-    return Polytope::from_points({Vec{lo}, Vec{hi}}, rel_tol);
+    const double tol = rel_tol * scale;
+    // Ordered reduction: clip the first subset's polygon with every later
+    // subset's halfplanes, in rank order.
+    std::vector<Vec> poly = hulls[0].poly;
+    for (std::size_t i = 1; i < hulls.size() && !poly.empty(); ++i) {
+      for (const Halfspace& hs : hulls[i].hs) {
+        poly = clip_halfplane_checked(std::move(poly), hs.a, hs.b, tol);
+        if (poly.empty()) break;
+      }
+    }
+    if (poly.empty()) return Polytope::empty(2);
+    return Polytope::from_points(poly, rel_tol);
   }
+
+  std::vector<std::vector<Halfspace>> sub_hs(subsets.size());
+  pool.parallel_for(subsets.size(), [&](std::size_t i) {
+    std::vector<Vec> sub;
+    sub.reserve(subsets[i].size());
+    for (std::size_t k : subsets[i]) sub.push_back(points[k]);
+    sub_hs[i] = Polytope::from_points(sub, rel_tol).halfspaces();
+  });
+  std::vector<Halfspace> hs;  // concatenated in subset-rank order
+  for (std::vector<Halfspace>& shs : sub_hs) {
+    hs.insert(hs.end(), std::make_move_iterator(shs.begin()),
+              std::make_move_iterator(shs.end()));
+  }
+  return intersect_halfspaces(d, hs, rel_tol);
+}
+
+// --- Reference kernels (pre-engine serial implementations) ----------------
+
+Polytope linear_combination_pairwise(const std::vector<Polytope>& polys,
+                                     const std::vector<double>& weights,
+                                     double rel_tol) {
+  const std::size_t d = validate_combination(polys, weights);
+
+  if (d == 1) return linear_combination_1d(polys, weights, rel_tol);
 
   if (d == 2) {
     std::vector<Vec> acc = {Vec(2, 0.0)};
@@ -288,16 +626,9 @@ Polytope linear_combination(const std::vector<Polytope>& polys,
   return Polytope::from_points(acc, rel_tol);
 }
 
-Polytope equal_weight_combination(const std::vector<Polytope>& polys,
-                                  double rel_tol) {
-  CHC_CHECK(!polys.empty(), "L of zero polytopes");
-  const double w = 1.0 / static_cast<double>(polys.size());
-  return linear_combination(polys, std::vector<double>(polys.size(), w),
-                            rel_tol);
-}
-
-Polytope intersection_of_subset_hulls(const std::vector<Vec>& points,
-                                      std::size_t drop, double rel_tol) {
+Polytope intersection_of_subset_hulls_reference(const std::vector<Vec>& points,
+                                                std::size_t drop,
+                                                double rel_tol) {
   CHC_CHECK(!points.empty(), "subset-hull intersection of no points");
   CHC_CHECK(drop < points.size(), "must keep at least one point per subset");
   const std::size_t d = points[0].dim();

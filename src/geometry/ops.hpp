@@ -7,10 +7,17 @@
 //    intersections are detected via implicit equalities and solved
 //    recursively inside their affine hull.
 //  * linear_combination — the paper's function L (Definition 2): the
-//    weighted Minkowski sum of convex polytopes, computed by pairwise
-//    summation with hull pruning (exact rotating edge merge for d = 2).
+//    weighted Minkowski sum of convex polytopes. The engine computes it by
+//    a single k-way rotating edge-vector merge for d = 2 (O(total edges))
+//    and a balanced pairwise merge tree with hull pruning in general
+//    dimension (subtree merges run on the common::ThreadPool).
 //  * intersection_of_subset_hulls — ∩_{C ⊆ X, |C| = |X|-f} H(C), shared by
-//    line 5 (on X_i) and the I_Z lower bound (on X_Z).
+//    line 5 (on X_i) and the I_Z lower bound (on X_Z). Subset hulls are
+//    computed in parallel on the pool and reduced in subset-rank order, so
+//    the result is bit-identical for every thread count (DESIGN.md §9).
+//
+// Threading knob: CHC_GEO_THREADS sizes the shared pool (1 = fully serial,
+// unset = hardware_concurrency); see common/thread_pool.hpp.
 #pragma once
 
 #include <cstddef>
@@ -62,5 +69,24 @@ Polytope equal_weight_combination(const std::vector<Polytope>& polys,
 Polytope intersection_of_subset_hulls(const std::vector<Vec>& points,
                                       std::size_t drop,
                                       double rel_tol = 1e-9);
+
+// --- Reference kernels -----------------------------------------------------
+// The pre-engine serial implementations, kept verbatim: the differential
+// property tests assert the engine kernels above are vertex-set-identical
+// (up to rel_tol) to these, and bench_geometry_micro uses them as the
+// pre-optimization baseline rows in BENCH_geometry.json.
+
+/// L by the original sequential left-fold: pairwise minkowski_sum2d for
+/// d = 2, pairwise candidate products with per-step hull pruning otherwise.
+Polytope linear_combination_pairwise(const std::vector<Polytope>& polys,
+                                     const std::vector<double>& weights,
+                                     double rel_tol = 1e-9);
+
+/// Subset-hull intersection by the original sequential enumeration: one
+/// Polytope per subset, then intersect2d_clip (d = 2) or one big
+/// halfspace system (d != 2).
+Polytope intersection_of_subset_hulls_reference(const std::vector<Vec>& points,
+                                                std::size_t drop,
+                                                double rel_tol = 1e-9);
 
 }  // namespace chc::geo

@@ -1,5 +1,6 @@
 #include "geometry/vec.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <ostream>
 
@@ -7,33 +8,78 @@
 
 namespace chc::geo {
 
+Vec::Vec(std::size_t dim, double value) : dim_(dim) {
+  if (dim_ <= kInlineDim) {
+    for (std::size_t i = 0; i < dim_; ++i) small_[i] = value;
+  } else {
+    heap_.assign(dim_, value);
+  }
+}
+
+Vec::Vec(std::initializer_list<double> vals) : dim_(vals.size()) {
+  if (dim_ <= kInlineDim) {
+    std::copy(vals.begin(), vals.end(), small_);
+  } else {
+    heap_.assign(vals.begin(), vals.end());
+  }
+}
+
+Vec::Vec(std::vector<double> vals) : dim_(vals.size()) {
+  if (dim_ <= kInlineDim) {
+    std::copy(vals.begin(), vals.end(), small_);
+  } else {
+    heap_ = std::move(vals);
+  }
+}
+
+Vec::Vec(Vec&& o) noexcept : dim_(o.dim_), heap_(std::move(o.heap_)) {
+  std::copy(o.small_, o.small_ + kInlineDim, small_);
+  o.dim_ = 0;  // keep the moved-from source valid: empty, not dangling
+}
+
+Vec& Vec::operator=(Vec&& o) noexcept {
+  dim_ = o.dim_;
+  heap_ = std::move(o.heap_);
+  std::copy(o.small_, o.small_ + kInlineDim, small_);
+  o.dim_ = 0;
+  return *this;
+}
+
 Vec& Vec::operator+=(const Vec& o) {
   CHC_CHECK(dim() == o.dim(), "vector dimensions must match");
-  for (std::size_t i = 0; i < c_.size(); ++i) c_[i] += o.c_[i];
+  double* a = data();
+  const double* b = o.data();
+  for (std::size_t i = 0; i < dim_; ++i) a[i] += b[i];
   return *this;
 }
 
 Vec& Vec::operator-=(const Vec& o) {
   CHC_CHECK(dim() == o.dim(), "vector dimensions must match");
-  for (std::size_t i = 0; i < c_.size(); ++i) c_[i] -= o.c_[i];
+  double* a = data();
+  const double* b = o.data();
+  for (std::size_t i = 0; i < dim_; ++i) a[i] -= b[i];
   return *this;
 }
 
 Vec& Vec::operator*=(double s) {
-  for (auto& x : c_) x *= s;
+  double* a = data();
+  for (std::size_t i = 0; i < dim_; ++i) a[i] *= s;
   return *this;
 }
 
 double Vec::dot(const Vec& o) const {
   CHC_CHECK(dim() == o.dim(), "vector dimensions must match");
+  const double* a = data();
+  const double* b = o.data();
   double s = 0.0;
-  for (std::size_t i = 0; i < c_.size(); ++i) s += c_[i] * o.c_[i];
+  for (std::size_t i = 0; i < dim_; ++i) s += a[i] * b[i];
   return s;
 }
 
 double Vec::norm2() const {
+  const double* a = data();
   double s = 0.0;
-  for (double x : c_) s += x * x;
+  for (std::size_t i = 0; i < dim_; ++i) s += a[i] * a[i];
   return s;
 }
 
@@ -41,9 +87,11 @@ double Vec::norm() const { return std::sqrt(norm2()); }
 
 double Vec::dist2(const Vec& o) const {
   CHC_CHECK(dim() == o.dim(), "vector dimensions must match");
+  const double* a = data();
+  const double* b = o.data();
   double s = 0.0;
-  for (std::size_t i = 0; i < c_.size(); ++i) {
-    const double t = c_[i] - o.c_[i];
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double t = a[i] - b[i];
     s += t * t;
   }
   return s;
@@ -52,9 +100,20 @@ double Vec::dist2(const Vec& o) const {
 double Vec::dist(const Vec& o) const { return std::sqrt(dist2(o)); }
 
 double Vec::max_abs() const {
+  const double* a = data();
   double m = 0.0;
-  for (double x : c_) m = std::max(m, std::fabs(x));
+  for (std::size_t i = 0; i < dim_; ++i) m = std::max(m, std::fabs(a[i]));
   return m;
+}
+
+bool Vec::operator==(const Vec& o) const {
+  if (dim_ != o.dim_) return false;
+  const double* a = data();
+  const double* b = o.data();
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
 }
 
 Vec operator+(Vec a, const Vec& b) { return a += b; }

@@ -2,6 +2,13 @@
 //
 // The paper works in R^d for arbitrary d >= 1, so Vec carries its dimension
 // at runtime. All geometry in the library flows through this type.
+//
+// Storage: coordinates live inline (no heap allocation) for d <= kInlineDim,
+// which covers every dimension the consensus experiments run (d ∈ 1..4) —
+// quickhull/hull2d inner loops copy and construct points constantly, and
+// the inline representation turns each of those into a fixed-size copy
+// instead of an allocator round-trip. Larger dimensions spill to a
+// std::vector transparently.
 #pragma once
 
 #include <cstddef>
@@ -14,15 +21,37 @@ namespace chc::geo {
 /// A point (or direction) in d-dimensional Euclidean space.
 class Vec {
  public:
-  Vec() = default;
-  explicit Vec(std::size_t dim, double value = 0.0) : c_(dim, value) {}
-  Vec(std::initializer_list<double> vals) : c_(vals) {}
-  explicit Vec(std::vector<double> vals) : c_(std::move(vals)) {}
+  /// Largest dimension stored inline without heap allocation.
+  static constexpr std::size_t kInlineDim = 4;
 
-  std::size_t dim() const { return c_.size(); }
-  double& operator[](std::size_t i) { return c_[i]; }
-  double operator[](std::size_t i) const { return c_[i]; }
-  const std::vector<double>& coords() const { return c_; }
+  Vec() = default;
+  explicit Vec(std::size_t dim, double value = 0.0);
+  Vec(std::initializer_list<double> vals);
+  explicit Vec(std::vector<double> vals);
+
+  Vec(const Vec&) = default;
+  Vec& operator=(const Vec&) = default;
+  Vec(Vec&& o) noexcept;
+  Vec& operator=(Vec&& o) noexcept;
+
+  std::size_t dim() const { return dim_; }
+  double* data() { return dim_ <= kInlineDim ? small_ : heap_.data(); }
+  const double* data() const {
+    return dim_ <= kInlineDim ? small_ : heap_.data();
+  }
+  double& operator[](std::size_t i) { return data()[i]; }
+  double operator[](std::size_t i) const { return data()[i]; }
+
+  double* begin() { return data(); }
+  double* end() { return data() + dim_; }
+  const double* begin() const { return data(); }
+  const double* end() const { return data() + dim_; }
+
+  /// Coordinates as a plain vector (copies; the LP layer and map keys
+  /// consume this form).
+  std::vector<double> coords() const {
+    return std::vector<double>(begin(), end());
+  }
 
   Vec& operator+=(const Vec& o);
   Vec& operator-=(const Vec& o);
@@ -37,10 +66,12 @@ class Vec {
   /// Max |coordinate|; used to build scale-relative tolerances.
   double max_abs() const;
 
-  bool operator==(const Vec& o) const { return c_ == o.c_; }
+  bool operator==(const Vec& o) const;
 
  private:
-  std::vector<double> c_;
+  std::size_t dim_ = 0;
+  double small_[kInlineDim] = {0.0, 0.0, 0.0, 0.0};  // dim_ <= kInlineDim
+  std::vector<double> heap_;                         // dim_ > kInlineDim
 };
 
 Vec operator+(Vec a, const Vec& b);

@@ -8,18 +8,32 @@
 // column runs the same adversary WITHOUT the shim: the fraction of runs
 // that still decide collapses as soon as drops bite, demonstrating the
 // injected faults are real.
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/check.hpp"
 #include "core/lossy.hpp"
+#include "core/report.hpp"
+#include "obs/metrics.hpp"
 
 using namespace chc;
 
 int main(int argc, char** argv) {
   bench::init_output(argc, argv);
   const bool quick = bench::quick_mode(argc, argv);
+  // --report FILE: one run-report JSON object per shimmed run (JSONL) —
+  // the machine-readable companion to the printed table; CI archives it.
+  const std::string report_path = bench::flag_value(argc, argv, "--report");
+  std::ofstream report_out;
+  if (!report_path.empty()) {
+    report_out.open(report_path);
+    if (!report_out.is_open()) {
+      std::cerr << "cannot open " << report_path << "\n";
+      return 2;
+    }
+  }
   bench::print_experiment_header(
       "E10", "lossy-network sweep: recovery cost of the reliable channel");
 
@@ -45,7 +59,12 @@ int main(int argc, char** argv) {
         lc.base.seed = 4000 + seed;
         lc.policy = net::NetworkPolicy::lossy(drop, dup, /*reorder=*/0.1);
 
+        obs::Registry metrics;
+        if (report_out.is_open()) lc.metrics = &metrics;
         const auto out = core::run_cc_lossy(lc);
+        if (report_out.is_open()) {
+          report_out << core::run_report_json(out, &metrics) << "\n";
+        }
         if (out.quiescent && out.cert.all_decided && out.cert.validity &&
             out.cert.agreement) {
           ++certified;
@@ -55,6 +74,7 @@ int main(int argc, char** argv) {
         sum_end += out.stats.end_time;
 
         lc.reliable = false;
+        lc.metrics = nullptr;
         try {
           const auto raw = core::run_cc_lossy(lc);
           if (raw.cert.all_decided) ++raw_decided;

@@ -24,6 +24,14 @@ inline bool quick_mode(int argc, char** argv) {
   return flag_present(argc, argv, "--quick");
 }
 
+/// Value following `flag` (e.g. --report FILE), or "" when absent.
+inline std::string flag_value(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return {};
+}
+
 namespace detail {
 inline bool& csv_flag() {
   static bool flag = false;

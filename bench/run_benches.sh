@@ -1,22 +1,53 @@
 #!/usr/bin/env bash
 # E8a driver: runs the geometry kernel microbenchmarks, writes the raw
-# google-benchmark JSON to BENCH_geometry.json, and (when python3 is
-# available) appends a before/after speedup summary comparing each engine
-# bench against its `_Reference` twin.
+# google-benchmark JSON to the output path, and (when python3 is available)
+# appends a before/after speedup summary comparing each engine bench against
+# its `_Reference` twin.
 #
-# Usage: bench/run_benches.sh [build-dir] [output-json]
+# Usage: bench/run_benches.sh [--check [baseline-json]] [build-dir] [output-json]
 #   CHC_BENCH_MIN_TIME overrides --benchmark_min_time (default 0.05;
 #   older google-benchmark releases reject the "s"-suffixed form, so pass
 #   whichever spelling the installed library accepts, e.g. "0.01s" in CI).
+#
+# --check compares the fresh speedup_summary against the committed baseline
+# (default: BENCH_geometry.json next to the repo root) and exits 1 when any
+# engine bench regressed by more than 30% (fresh speedup < 0.7x baseline).
+# In check mode the default output is BENCH_geometry.fresh.json so the
+# baseline being compared against is never overwritten.
 set -euo pipefail
 
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+CHECK=0
+BASELINE="$SCRIPT_DIR/../BENCH_geometry.json"
+
+if [[ "${1:-}" == "--check" ]]; then
+  CHECK=1
+  shift
+  if [[ $# -gt 0 && "$1" == *.json && -f "$1" ]]; then
+    BASELINE="$1"
+    shift
+  fi
+fi
+
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_geometry.json}"
+if [[ "$CHECK" == 1 ]]; then
+  OUT="${2:-BENCH_geometry.fresh.json}"
+else
+  OUT="${2:-BENCH_geometry.json}"
+fi
 MIN_TIME="${CHC_BENCH_MIN_TIME:-0.05}"
 BIN="$BUILD_DIR/bench/bench_geometry_micro"
 
 if [[ ! -x "$BIN" ]]; then
   echo "error: $BIN not built (cmake --build $BUILD_DIR --target bench_geometry_micro)" >&2
+  exit 1
+fi
+if [[ "$CHECK" == 1 && ! -f "$BASELINE" ]]; then
+  echo "error: baseline $BASELINE not found" >&2
+  exit 1
+fi
+if [[ "$CHECK" == 1 && "$(readlink -f "$OUT" 2>/dev/null || echo "$OUT")" == "$(readlink -f "$BASELINE")" ]]; then
+  echo "error: --check output would overwrite the baseline ($BASELINE)" >&2
   exit 1
 fi
 
@@ -26,8 +57,17 @@ fi
   --benchmark_out_format=json \
   --benchmark_counters_tabular=true
 
-if command -v python3 >/dev/null 2>&1; then
-  python3 - "$OUT" <<'EOF'
+if ! command -v python3 >/dev/null 2>&1; then
+  if [[ "$CHECK" == 1 ]]; then
+    echo "error: --check needs python3" >&2
+    exit 1
+  fi
+  echo "python3 not found: wrote raw JSON without speedup summary" >&2
+  echo "wrote $OUT"
+  exit 0
+fi
+
+python3 - "$OUT" <<'EOF'
 import json, sys
 
 path = sys.argv[1]
@@ -62,8 +102,47 @@ print("\n== engine vs reference ==")
 for name, s in speedups.items():
     print(f"{name:<{width}}  {s['speedup']:>6.2f}x")
 EOF
-else
-  echo "python3 not found: wrote raw JSON without speedup summary" >&2
+
+if [[ "$CHECK" == 1 ]]; then
+  python3 - "$OUT" "$BASELINE" <<'EOF'
+import json, sys
+
+fresh_path, base_path = sys.argv[1], sys.argv[2]
+with open(fresh_path) as f:
+    fresh = json.load(f).get("speedup_summary", {})
+with open(base_path) as f:
+    base = json.load(f).get("speedup_summary", {})
+
+if not base:
+    print(f"error: {base_path} has no speedup_summary", file=sys.stderr)
+    sys.exit(1)
+
+THRESHOLD = 0.7  # fail on > 30% regression vs the committed baseline
+regressions = []
+width = max(len(k) for k in base)
+print(f"\n== speedup vs baseline ({base_path}) ==")
+for name in sorted(base):
+    b = base[name]["speedup"]
+    if name not in fresh:
+        print(f"{name:<{width}}  baseline {b:>6.2f}x  fresh  MISSING")
+        regressions.append(name)
+        continue
+    fspeed = fresh[name]["speedup"]
+    ratio = fspeed / b if b > 0 else float("inf")
+    flag = "" if ratio >= THRESHOLD else "  << REGRESSION"
+    print(f"{name:<{width}}  baseline {b:>6.2f}x  fresh {fspeed:>6.2f}x"
+          f"  ({ratio:>5.2f} of baseline){flag}")
+    if ratio < THRESHOLD:
+        regressions.append(name)
+for name in sorted(set(fresh) - set(base)):
+    print(f"{name:<{width}}  new bench (not in baseline)")
+
+if regressions:
+    print(f"\n{len(regressions)} bench(es) regressed more than 30% "
+          f"vs {base_path}", file=sys.stderr)
+    sys.exit(1)
+print("\nno bench regressed more than 30% vs baseline")
+EOF
 fi
 
 echo "wrote $OUT"

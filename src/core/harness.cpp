@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/check.hpp"
+#include "core/lossy.hpp"
 #include "core/process_cc.hpp"
 
 namespace chc::core {
@@ -42,49 +43,36 @@ std::unique_ptr<sim::DelayModel> make_delay_model(
 
 RunOutput run_cc_custom(const CCConfig& cc, const Workload& workload,
                         CrashStyle crash_style, DelayRegime delay,
-                        std::uint64_t seed) {
-  CHC_CHECK(workload.inputs.size() == cc.n, "one input per process");
-  CHC_CHECK(workload.faulty.size() <= cc.f,
-            "faulty set larger than configured f");
+                        std::uint64_t seed, obs::Tracer* tracer,
+                        obs::Registry* metrics) {
+  // Funnel into the unified lossy path with the injector and recovery shim
+  // off: the execution (simulation construction, RNG forks, event order) is
+  // identical to the historical dedicated path, and traced runs all share
+  // one canonical header the replayer understands.
+  LossyRunConfig lc;
+  lc.base.cc = cc;
+  lc.base.crash_style = crash_style;
+  lc.base.delay = delay;
+  lc.base.seed = seed;
+  lc.reliable = false;
+  lc.tracer = tracer;
+  lc.metrics = metrics;
+  LossyRunOutput lossy = run_cc_lossy_custom(lc, workload);
 
   RunOutput out;
-  out.workload = workload;
-
-  // The termination bound (eq. 19) assumes the configured magnitude bounds
-  // the correct inputs; take the larger of the two so the guarantee holds.
-  CCConfig cfg = cc;
-  cfg.input_magnitude =
-      std::max(cc.input_magnitude, workload.correct_magnitude);
-
-  auto sim = std::make_unique<sim::Simulation>(
-      cc.n, seed, make_delay_model(delay, workload.faulty, cc.n),
-      make_crash_schedule(workload, crash_style, seed));
-
-  out.trace = std::make_unique<TraceCollector>(cc.n);
-  for (sim::ProcessId p = 0; p < cc.n; ++p) {
-    sim->add_process(std::make_unique<CCProcess>(cfg, workload.inputs[p],
-                                                 out.trace.get()));
-  }
-
-  const sim::RunResult rr = sim->run();
-  out.quiescent = rr.quiescent;
-  out.stats = rr.stats;
-
-  const std::set<sim::ProcessId> faulty(workload.faulty.begin(),
-                                        workload.faulty.end());
+  out.trace = std::move(lossy.trace);
+  out.cert = std::move(lossy.cert);
+  out.stats = lossy.stats;
+  out.workload = std::move(lossy.workload);
+  out.correct = std::move(lossy.correct);
+  out.quiescent = lossy.quiescent;
+  const std::set<sim::ProcessId> faulty(out.workload.faulty.begin(),
+                                        out.workload.faulty.end());
   for (sim::ProcessId p = 0; p < cc.n; ++p) {
     if (faulty.count(p) == 0) {
-      out.correct.push_back(p);
-      out.correct_inputs.push_back(workload.inputs[p]);
+      out.correct_inputs.push_back(out.workload.inputs[p]);
     }
   }
-  // Validity domain: the fault-free inputs under the incorrect-inputs
-  // model; ALL inputs when faulty processes have correct inputs (TR [16]).
-  const std::vector<geo::Vec>& validity_inputs =
-      (cc.fault_model == FaultModel::kCrashCorrectInputs)
-          ? workload.inputs
-          : out.correct_inputs;
-  out.cert = certify(*out.trace, out.correct, validity_inputs, cfg);
   return out;
 }
 

@@ -59,9 +59,15 @@ RunOutput run_cc_once(const RunConfig& rc);
 
 /// Same, but with caller-chosen inputs and faulty set instead of a
 /// generated workload (the faulty processes are the ones with incorrect
-/// inputs; pass an empty set for a fault-free run).
+/// inputs; pass an empty set for a fault-free run). `tracer` / `metrics`
+/// (optional) attach the observability hooks of obs/ — the run then writes
+/// a complete JSONL trace (header, events, footer). Internally this is
+/// run_cc_lossy_custom with the link-fault injector and recovery shim off,
+/// so every harness entry point shares one execution path and any trace
+/// can be re-executed from its header (core/replay.hpp).
 RunOutput run_cc_custom(const CCConfig& cc, const Workload& workload,
                         CrashStyle crash_style, DelayRegime delay,
-                        std::uint64_t seed);
+                        std::uint64_t seed, obs::Tracer* tracer = nullptr,
+                        obs::Registry* metrics = nullptr);
 
 }  // namespace chc::core

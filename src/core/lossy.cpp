@@ -10,18 +10,68 @@
 
 namespace chc::core {
 
-LossyRunOutput run_cc_lossy(const LossyRunConfig& lc) {
+obs::TraceHeader make_trace_header(const LossyRunConfig& lc,
+                                   const CCConfig& effective,
+                                   const Workload& workload) {
   const RunConfig& rc = lc.base;
-  const Workload workload = make_workload(
-      rc.cc.n, rc.cc.f, rc.cc.d, rc.pattern, rc.seed,
-      rc.cc.fault_model == FaultModel::kCrashIncorrectInputs);
+  obs::TraceHeader h;
+  h.env = "sim";
+  h.n = effective.n;
+  h.f = effective.f;
+  h.d = effective.d;
+  h.eps = effective.eps;
+  h.input_magnitude = effective.input_magnitude;
+  h.rel_tol = effective.rel_tol;
+  h.round0_naive = effective.round0 == Round0Policy::kNaiveCollect;
+  h.max_polytope_vertices = effective.max_polytope_vertices;
+  h.correct_inputs_model =
+      effective.fault_model == FaultModel::kCrashCorrectInputs;
+  h.t_end = effective.t_end();
+  h.pattern = static_cast<int>(rc.pattern);
+  h.crash_style = static_cast<int>(rc.crash_style);
+  h.delay = static_cast<int>(rc.delay);
+  h.seed = rc.seed;
+  h.drop = lc.policy.link.drop_rate;
+  h.dup = lc.policy.link.dup_rate;
+  h.reorder = lc.policy.link.reorder_rate;
+  h.reorder_delay_min = lc.policy.link.reorder_delay_min;
+  h.reorder_delay_max = lc.policy.link.reorder_delay_max;
+  h.reliable = lc.reliable;
+  h.rto = lc.rel.rto;
+  h.backoff = lc.rel.backoff;
+  h.rto_max = lc.rel.rto_max;
+  h.jitter = lc.rel.jitter;
+  h.tick = lc.rel.tick;
+  h.max_retries = lc.rel.max_retries;
+  h.max_events = lc.max_events;
+  h.faulty.assign(workload.faulty.begin(), workload.faulty.end());
+  h.inputs.reserve(workload.inputs.size());
+  for (const geo::Vec& x : workload.inputs) h.inputs.push_back(x.coords());
+  return h;
+}
+
+LossyRunOutput run_cc_lossy_custom(const LossyRunConfig& lc,
+                                   const Workload& workload) {
+  const RunConfig& rc = lc.base;
+  CHC_CHECK(workload.inputs.size() == rc.cc.n, "one input per process");
+  CHC_CHECK(workload.faulty.size() <= rc.cc.f,
+            "faulty set larger than configured f");
 
   LossyRunOutput out;
   out.workload = workload;
 
+  // The termination bound (eq. 19) assumes the configured magnitude bounds
+  // the correct inputs; take the larger of the two so the guarantee holds.
   CCConfig cfg = rc.cc;
   cfg.input_magnitude =
       std::max(rc.cc.input_magnitude, workload.correct_magnitude);
+
+  const bool tracing = lc.tracer != nullptr && lc.tracer->enabled();
+  if (tracing) {
+    CHC_CHECK(lc.policy.overrides.empty(),
+              "tracing supports the uniform link class only");
+    lc.tracer->line(to_jsonl(make_trace_header(lc, cfg, workload)));
+  }
 
   sim::Simulation sim(cfg.n, rc.seed,
                       make_delay_model(rc.delay, workload.faulty, cfg.n),
@@ -29,15 +79,17 @@ LossyRunOutput run_cc_lossy(const LossyRunConfig& lc) {
   if (lc.policy.enabled()) {
     sim.set_fault_model(std::make_unique<net::FaultyLinkModel>(lc.policy));
   }
+  sim.set_tracer(lc.tracer);
+  sim.set_metrics(lc.metrics);
 
-  out.trace = std::make_unique<TraceCollector>(cfg.n);
+  out.trace = std::make_unique<TraceCollector>(cfg.n, lc.tracer);
   std::vector<net::ReliableChannel*> shims;
   for (sim::ProcessId p = 0; p < cfg.n; ++p) {
     auto cc = std::make_unique<CCProcess>(cfg, workload.inputs[p],
                                           out.trace.get());
     if (lc.reliable) {
-      auto shim = std::make_unique<net::ReliableChannel>(std::move(cc),
-                                                         lc.rel);
+      auto shim = std::make_unique<net::ReliableChannel>(std::move(cc), lc.rel,
+                                                         lc.tracer);
       shims.push_back(shim.get());
       sim.add_process(std::move(shim));
     } else {
@@ -57,6 +109,25 @@ LossyRunOutput run_cc_lossy(const LossyRunConfig& lc) {
   out.stats.retransmits = out.shims.retransmits;
   out.stats.retransmit_by_tag = out.shims.retransmit_by_tag;
 
+  if (tracing) {
+    obs::TraceFooter footer;
+    footer.quiescent = out.quiescent;
+    footer.decided = out.trace->decided().size();
+    lc.tracer->line(to_jsonl(footer));
+  }
+  if (lc.metrics != nullptr) {
+    lc.metrics->counter("sim.messages_sent").inc(out.stats.messages_sent);
+    lc.metrics->counter("sim.messages_delivered")
+        .inc(out.stats.messages_delivered);
+    lc.metrics->counter("net.dropped").inc(out.stats.net_dropped);
+    lc.metrics->counter("net.duplicated").inc(out.stats.net_duplicated);
+    lc.metrics->counter("net.retransmits").inc(out.stats.retransmits);
+    lc.metrics->counter("cc.decided").inc(out.trace->decided().size());
+    lc.metrics->gauge("cc.max_round")
+        .set(static_cast<double>(out.trace->max_round()));
+    lc.metrics->gauge("sim.end_time").set(out.stats.end_time);
+  }
+
   const std::set<sim::ProcessId> faulty(workload.faulty.begin(),
                                         workload.faulty.end());
   std::vector<geo::Vec> correct_inputs;
@@ -72,6 +143,14 @@ LossyRunOutput run_cc_lossy(const LossyRunConfig& lc) {
           : correct_inputs;
   out.cert = certify(*out.trace, out.correct, validity_inputs, cfg);
   return out;
+}
+
+LossyRunOutput run_cc_lossy(const LossyRunConfig& lc) {
+  const RunConfig& rc = lc.base;
+  const Workload workload = make_workload(
+      rc.cc.n, rc.cc.f, rc.cc.d, rc.pattern, rc.seed,
+      rc.cc.fault_model == FaultModel::kCrashIncorrectInputs);
+  return run_cc_lossy_custom(lc, workload);
 }
 
 }  // namespace chc::core

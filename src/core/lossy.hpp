@@ -16,6 +16,8 @@
 #include "core/harness.hpp"
 #include "net/policy.hpp"
 #include "net/reliable_channel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace chc::core {
 
@@ -25,6 +27,13 @@ struct LossyRunConfig {
   net::ReliableParams rel;    ///< shim tuning (used when reliable)
   bool reliable = true;       ///< wrap processes in net::ReliableChannel
   std::uint64_t max_events = 50'000'000;
+
+  /// Optional observability hooks. With a tracer the run writes a full
+  /// JSONL trace (header, events, footer); tracing requires the uniform
+  /// link class (per-channel overrides are not representable in the
+  /// header, so such runs cannot be replayed).
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* metrics = nullptr;
 };
 
 struct LossyRunOutput {
@@ -40,5 +49,18 @@ struct LossyRunOutput {
 
 /// One complete lossy execution of Algorithm CC, certified.
 LossyRunOutput run_cc_lossy(const LossyRunConfig& lc);
+
+/// Same, with a caller-supplied workload instead of a generated one. This
+/// is the single execution path every harness entry point funnels into
+/// (run_cc_custom == disabled policy + no shim), so a trace header written
+/// here is sufficient to re-execute the run (core/replay.hpp).
+LossyRunOutput run_cc_lossy_custom(const LossyRunConfig& lc,
+                                   const Workload& workload);
+
+/// The trace header describing this configuration + workload (effective
+/// CCConfig values, i.e. after the input-magnitude adjustment).
+obs::TraceHeader make_trace_header(const LossyRunConfig& lc,
+                                   const CCConfig& effective,
+                                   const Workload& workload);
 
 }  // namespace chc::core

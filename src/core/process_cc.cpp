@@ -57,17 +57,29 @@ void CCProcess::on_round0(sim::Context& ctx,
     // Only possible when n < (d+2)f + 1 (Lemma 2 guarantees non-emptiness
     // at or above the bound). The process cannot continue meaningfully.
     round0_failed_ = true;
-    if (trace_ != nullptr) trace_->record_round0_empty(ctx.self(), view);
+    if (trace_ != nullptr) {
+      trace_->record_round0_empty(ctx.self(), view, ctx.now());
+    }
     return;
   }
 
   h_ = geo::intern(std::move(h0));
   history_.push_back(*h_);
-  if (trace_ != nullptr) trace_->record_round0(ctx.self(), view, *h_);
+  if (trace_ != nullptr) trace_->record_round0(ctx.self(), view, *h_, ctx.now());
   enter_round(ctx, 1);
 }
 
 void CCProcess::begin_round(sim::Context& ctx) {
+  if (trace_ != nullptr) {
+    trace_->tracer().emit_with([&] {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kRoundStart;
+      e.t = ctx.now();
+      e.p = ctx.self();
+      e.round = current_round_;
+      return e;
+    });
+  }
   // Line 8: own message joins MSG_i[t]; line 9: send to all others.
   inbox_[current_round_].emplace(ctx.self(), h_);
   ctx.broadcast_others(kTagRound, RoundMsg{current_round_, h_});
@@ -104,13 +116,15 @@ void CCProcess::maybe_complete_round(sim::Context& ctx) {
     history_.push_back(*h_);
     if (trace_ != nullptr) {
       trace_->record_round(ctx.self(), current_round_, std::move(senders),
-                           *h_);
+                           *h_, ctx.now());
     }
     inbox_.erase(current_round_);
 
     if (current_round_ >= t_end_) {  // line 15 / termination
       decision_ = *h_;
-      if (trace_ != nullptr) trace_->record_decision(ctx.self(), *h_);
+      if (trace_ != nullptr) {
+        trace_->record_decision(ctx.self(), *h_, current_round_, ctx.now());
+      }
       inbox_.clear();  // late messages are dropped on arrival from here on
       return;
     }

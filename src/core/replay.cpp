@@ -1,0 +1,161 @@
+#include "core/replay.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+namespace chc::core {
+
+namespace {
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+bool config_from_header(const obs::TraceHeader& h, LossyRunConfig* lc,
+                        Workload* w, std::string* error) {
+  if (h.env != "sim") {
+    return fail(error, "only env=sim traces are replayable, got " + h.env);
+  }
+  if (h.n == 0 || h.inputs.size() != h.n) {
+    return fail(error, "inputs do not match n");
+  }
+  if (h.pattern < 0 || h.pattern > static_cast<int>(InputPattern::kIdentical)) {
+    return fail(error, "input pattern out of range");
+  }
+  if (h.crash_style < 0 ||
+      h.crash_style > static_cast<int>(CrashStyle::kLate)) {
+    return fail(error, "crash style out of range");
+  }
+  if (h.delay < 0 ||
+      h.delay > static_cast<int>(DelayRegime::kLaggedOneCorrect)) {
+    return fail(error, "delay regime out of range");
+  }
+  if (h.faulty.size() > h.f) {
+    return fail(error, "faulty set larger than f");
+  }
+  for (const std::uint64_t p : h.faulty) {
+    if (p >= h.n) return fail(error, "faulty id out of range");
+  }
+  for (const auto& row : h.inputs) {
+    if (row.size() != h.d) return fail(error, "input row dimension mismatch");
+  }
+
+  LossyRunConfig out;
+  CCConfig& cc = out.base.cc;
+  cc.n = h.n;
+  cc.f = h.f;
+  cc.d = h.d;
+  cc.eps = h.eps;
+  cc.input_magnitude = h.input_magnitude;  // effective value; idempotent
+  cc.rel_tol = h.rel_tol;
+  cc.round0 = h.round0_naive ? Round0Policy::kNaiveCollect
+                             : Round0Policy::kStableVector;
+  cc.max_polytope_vertices = h.max_polytope_vertices;
+  cc.fault_model = h.correct_inputs_model ? FaultModel::kCrashCorrectInputs
+                                          : FaultModel::kCrashIncorrectInputs;
+  out.base.pattern = static_cast<InputPattern>(h.pattern);
+  out.base.crash_style = static_cast<CrashStyle>(h.crash_style);
+  out.base.delay = static_cast<DelayRegime>(h.delay);
+  out.base.seed = h.seed;
+  out.policy = net::NetworkPolicy::lossy(h.drop, h.dup, h.reorder);
+  out.policy.link.reorder_delay_min = h.reorder_delay_min;
+  out.policy.link.reorder_delay_max = h.reorder_delay_max;
+  out.reliable = h.reliable;
+  out.rel.rto = h.rto;
+  out.rel.backoff = h.backoff;
+  out.rel.rto_max = h.rto_max;
+  out.rel.jitter = h.jitter;
+  out.rel.tick = h.tick;
+  out.rel.max_retries = h.max_retries;
+  out.max_events = h.max_events;
+
+  Workload workload;
+  workload.inputs.reserve(h.inputs.size());
+  for (const auto& row : h.inputs) workload.inputs.emplace_back(row);
+  workload.faulty.assign(h.faulty.begin(), h.faulty.end());
+  // Reconstructed the way make_workload computes it (floor 0.1 over the
+  // fault-free inputs); only its max with the header's effective
+  // input_magnitude matters, and that max is the header value again.
+  const std::set<sim::ProcessId> faulty(workload.faulty.begin(),
+                                        workload.faulty.end());
+  workload.correct_magnitude = 1e-9;
+  for (sim::ProcessId p = 0; p < workload.inputs.size(); ++p) {
+    if (faulty.count(p) == 0) {
+      workload.correct_magnitude =
+          std::max(workload.correct_magnitude, workload.inputs[p].max_abs());
+    }
+  }
+  workload.correct_magnitude = std::max(workload.correct_magnitude, 0.1);
+
+  if (lc != nullptr) *lc = std::move(out);
+  if (w != nullptr) *w = std::move(workload);
+  return true;
+}
+
+ReplayResult replay_trace_lines(const std::vector<std::string>& lines) {
+  ReplayResult r;
+  if (lines.empty()) {
+    r.error = "empty trace";
+    return r;
+  }
+  obs::TraceHeader header;
+  std::string error;
+  if (!obs::parse_header(lines[0], header, &error)) {
+    r.error = "header: " + error;
+    return r;
+  }
+  LossyRunConfig lc;
+  Workload workload;
+  if (!config_from_header(header, &lc, &workload, &error)) {
+    r.error = error;
+    return r;
+  }
+
+  obs::MemorySink sink;
+  obs::Tracer tracer(&sink);
+  lc.tracer = &tracer;
+  (void)run_cc_lossy_custom(lc, workload);
+  r.ran = true;
+
+  const std::vector<std::string> replayed = sink.lines();
+  r.original_lines = lines.size();
+  r.replayed_lines = replayed.size();
+  const std::size_t common = std::min(lines.size(), replayed.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (lines[i] != replayed[i]) {
+      r.first_diff_line = i + 1;
+      r.expected = lines[i];
+      r.actual = replayed[i];
+      return r;
+    }
+  }
+  if (lines.size() != replayed.size()) {
+    r.first_diff_line = common + 1;
+    if (lines.size() > common) r.expected = lines[common];
+    if (replayed.size() > common) r.actual = replayed[common];
+    return r;
+  }
+  r.identical = true;
+  return r;
+}
+
+ReplayResult replay_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    ReplayResult r;
+    r.error = "cannot open " + path;
+    return r;
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return replay_trace_lines(lines);
+}
+
+}  // namespace chc::core

@@ -1,0 +1,73 @@
+#include "core/report.hpp"
+
+#include "obs/json.hpp"
+
+namespace chc::core {
+
+std::string run_report_json(const LossyRunOutput& out,
+                            const obs::Registry* metrics) {
+  std::string s = "{";
+  const auto key = [&s](const char* name) {
+    obs::json_append_string(s, name);
+    s.push_back(':');
+  };
+  const auto num = [&](const char* name, double v) {
+    key(name);
+    obs::json_append_double(s, v);
+    s.push_back(',');
+  };
+  const auto u64 = [&](const char* name, std::uint64_t v) {
+    key(name);
+    s += std::to_string(v);
+    s.push_back(',');
+  };
+  const auto boolean = [&](const char* name, bool v) {
+    key(name);
+    s += v ? "true" : "false";
+    s.push_back(',');
+  };
+
+  boolean("quiescent", out.quiescent);
+  key("certificate");
+  s.push_back('{');
+  boolean("all_decided", out.cert.all_decided);
+  boolean("validity", out.cert.validity);
+  boolean("agreement", out.cert.agreement);
+  boolean("optimality", out.cert.optimality);
+  num("max_pairwise_hausdorff", out.cert.max_pairwise_hausdorff);
+  num("min_output_measure", out.cert.min_output_measure);
+  num("max_output_measure", out.cert.max_output_measure);
+  num("iz_measure", out.cert.iz_measure);
+  num("correct_hull_measure", out.cert.correct_hull_measure);
+  u64("rounds", out.cert.rounds);
+  s.pop_back();  // trailing comma
+  s += "},";
+
+  key("network");
+  s.push_back('{');
+  u64("messages_sent", out.stats.messages_sent);
+  u64("messages_delivered", out.stats.messages_delivered);
+  u64("messages_dropped", out.stats.messages_dropped);
+  u64("sends_suppressed", out.stats.sends_suppressed);
+  u64("net_dropped", out.stats.net_dropped);
+  u64("net_duplicated", out.stats.net_duplicated);
+  u64("net_reordered", out.stats.net_reordered);
+  u64("retransmits", out.stats.retransmits);
+  u64("dups_suppressed", out.shims.dups_suppressed);
+  u64("buffered_out_of_order", out.shims.buffered_out_of_order);
+  u64("channels_abandoned", out.shims.channels_abandoned);
+  u64("events_processed", out.stats.events_processed);
+  num("end_time", out.stats.end_time);
+  s.pop_back();
+  s += "}";
+
+  if (metrics != nullptr) {
+    s += ",";
+    key("metrics");
+    s += metrics->to_json();
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace chc::core

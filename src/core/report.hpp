@@ -1,0 +1,22 @@
+// Machine-readable run report: certificate + network stats + metrics.
+//
+// One JSON object summarizing a complete execution — the piece CI and the
+// bench harness archive next to traces. Combines the paper-property
+// certificate (core/analysis.hpp), the simulator/shim counters
+// (sim::SimStats, net::ShimStats) and, when a registry was attached to the
+// run, the full obs::Registry dump under "metrics".
+#pragma once
+
+#include <string>
+
+#include "core/lossy.hpp"
+#include "obs/metrics.hpp"
+
+namespace chc::core {
+
+/// Serializes the run outcome as one JSON object (no trailing newline).
+/// `metrics` is optional (omitted from the report when null).
+std::string run_report_json(const LossyRunOutput& out,
+                            const obs::Registry* metrics = nullptr);
+
+}  // namespace chc::core

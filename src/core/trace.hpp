@@ -19,6 +19,7 @@
 
 #include "dsm/stable_vector.hpp"
 #include "geometry/polytope.hpp"
+#include "obs/trace.hpp"
 #include "sim/message.hpp"
 
 namespace chc::core {
@@ -37,15 +38,28 @@ struct ProcessTrace {
 
 class TraceCollector {
  public:
-  explicit TraceCollector(std::size_t n) : procs_(n) {}
+  /// `tracer` (optional) receives a structured event per recorded protocol
+  /// step (round 0 / round / decision), timestamped with the `now` the
+  /// recording call supplies.
+  explicit TraceCollector(std::size_t n, obs::Tracer* tracer = nullptr)
+      : procs_(n) {
+    if (tracer != nullptr) tracer_ = tracer;
+  }
+
+  /// The attached event tracer (a disabled one when none was attached);
+  /// CCProcess emits round_start through it.
+  obs::Tracer& tracer() { return *tracer_; }
 
   void record_round0(sim::ProcessId p, const dsm::StableVectorResult& view,
-                     const geo::Polytope& h0);
+                     const geo::Polytope& h0, sim::Time now = 0.0);
   void record_round0_empty(sim::ProcessId p,
-                           const dsm::StableVectorResult& view);
+                           const dsm::StableVectorResult& view,
+                           sim::Time now = 0.0);
   void record_round(sim::ProcessId p, std::size_t t,
-                    std::set<sim::ProcessId> senders, const geo::Polytope& h);
-  void record_decision(sim::ProcessId p, const geo::Polytope& decision);
+                    std::set<sim::ProcessId> senders, const geo::Polytope& h,
+                    sim::Time now = 0.0);
+  void record_decision(sim::ProcessId p, const geo::Polytope& decision,
+                       std::size_t round = 0, sim::Time now = 0.0);
 
   std::size_t n() const { return procs_.size(); }
   const ProcessTrace& of(sim::ProcessId p) const { return procs_.at(p); }
@@ -57,6 +71,8 @@ class TraceCollector {
   std::vector<sim::ProcessId> decided() const;
 
  private:
+  obs::Tracer disabled_tracer_;
+  obs::Tracer* tracer_ = &disabled_tracer_;
   std::vector<ProcessTrace> procs_;
 };
 

@@ -62,8 +62,9 @@ class ReliableChannel::CtxWrap final : public sim::Context {
 };
 
 ReliableChannel::ReliableChannel(std::unique_ptr<sim::Process> inner,
-                                 ReliableParams params)
+                                 ReliableParams params, obs::Tracer* tracer)
     : inner_(std::move(inner)), params_(params) {
+  if (tracer != nullptr) tracer_ = tracer;
   CHC_CHECK(inner_ != nullptr, "null wrapped process");
   CHC_CHECK(params_.rto > 0.0 && params_.tick > 0.0, "timeouts must be > 0");
   CHC_CHECK(params_.backoff >= 1.0, "backoff factor must be >= 1");
@@ -200,6 +201,16 @@ void ReliableChannel::on_timer(sim::Context& ctx, int token) {
       ++o.retries;
       ++stats_.retransmits;
       ++stats_.retransmit_by_tag[o.tag];
+      tracer_->emit_with([&] {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kRetransmit;
+        e.t = now;
+        e.p = ctx.self();
+        e.peer = p;
+        e.tag = o.tag;
+        e.aux = o.retries;
+        return e;
+      });
       o.cur_rto = std::min(o.cur_rto * params_.backoff, params_.rto_max);
       o.next_at = now + jittered(o.cur_rto, ctx.rng());
       ctx.send(p, kTagRelData,

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "net/policy.hpp"
+#include "obs/trace.hpp"
 #include "sim/process.hpp"
 
 namespace chc::net {
@@ -73,7 +74,9 @@ struct ShimStats {
 
 class ReliableChannel final : public sim::Process {
  public:
-  ReliableChannel(std::unique_ptr<sim::Process> inner, ReliableParams params);
+  /// `tracer` (optional) receives a kRetransmit event per re-sent frame.
+  ReliableChannel(std::unique_ptr<sim::Process> inner, ReliableParams params,
+                  obs::Tracer* tracer = nullptr);
 
   static bool handles(int tag) {
     return tag == kTagRelData || tag == kTagRelAck;
@@ -124,6 +127,8 @@ class ReliableChannel final : public sim::Process {
 
   std::unique_ptr<sim::Process> inner_;
   ReliableParams params_;
+  obs::Tracer disabled_tracer_;
+  obs::Tracer* tracer_ = &disabled_tracer_;
   std::vector<Peer> peers_;  // sized on first callback
   bool tick_pending_ = false;
   ShimStats stats_;

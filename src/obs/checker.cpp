@@ -1,0 +1,559 @@
+#include "obs/checker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "geometry/ops.hpp"
+#include "geometry/polytope.hpp"
+
+namespace chc::obs {
+
+std::string describe(const CheckViolation& v) {
+  std::ostringstream os;
+  os << "line " << v.line << " seq " << v.seq << ": [" << v.invariant << "]";
+  if (v.p != kNoPeer) os << " process " << v.p;
+  if (v.round != static_cast<std::size_t>(-1)) os << " round " << v.round;
+  os << ": " << v.detail;
+  return os.str();
+}
+
+namespace {
+
+/// A recorded polytope snapshot plus its provenance in the file.
+struct Snapshot {
+  geo::Polytope poly;
+  std::size_t line = 0;
+  std::uint64_t seq = 0;
+  std::vector<Pid> senders;  // empty for round 0
+};
+
+struct PState {
+  bool has_round0 = false;
+  bool round0_empty = false;
+  std::size_t round0_line = 0;
+  std::map<Pid, geo::Vec> view;
+  std::map<std::size_t, Snapshot> h;  ///< round -> state (0 == h_i[0])
+  std::set<std::size_t> started;      ///< rounds with a round_start
+  bool decided = false;
+  std::size_t decide_round = 0;
+  std::size_t decide_line = 0;
+  geo::Polytope decision;
+  bool crashed = false;
+  double crash_t = 0.0;
+};
+
+class Checker {
+ public:
+  Checker(const std::vector<std::string>& lines, const CheckOptions& opts)
+      : lines_(lines), opts_(opts) {}
+
+  CheckReport run() {
+    if (lines_.empty()) {
+      report_.parse_error = "empty trace";
+      return report_;
+    }
+    std::string error;
+    if (!parse_header(lines_[0], report_.header, &error)) {
+      report_.parse_error = "header: " + error;
+      return report_;
+    }
+    const TraceHeader& h = report_.header;
+    if (h.d == 0 || h.inputs.size() != h.n) {
+      report_.parse_error = "header: inputs do not match n";
+      return report_;
+    }
+    procs_.resize(h.n);
+    if (!scan_events()) return report_;
+    report_.parsed = true;
+
+    check_liveness();
+    check_view_containment();
+    check_validity_and_containment();
+    check_contraction_and_agreement();
+    check_optimality_floor();
+
+    std::stable_sort(report_.violations.begin(), report_.violations.end(),
+                     [](const CheckViolation& a, const CheckViolation& b) {
+                       return a.line < b.line;
+                     });
+    return report_;
+  }
+
+ private:
+  void violate(std::size_t line, std::uint64_t seq, Pid p, std::size_t round,
+               std::string invariant, std::string detail) {
+    if (report_.violations.size() >= opts_.max_violations) return;
+    report_.violations.push_back(
+        {line, seq, p, round, std::move(invariant), std::move(detail)});
+  }
+
+  bool sim_env() const { return report_.header.env == "sim"; }
+
+  bool scan_events() {
+    const TraceHeader& h = report_.header;
+    std::uint64_t prev_seq = 0;
+    bool have_seq = false;
+    double prev_t = 0.0;
+    std::string error;
+
+    for (std::size_t i = 1; i < lines_.size(); ++i) {
+      const std::size_t line_no = i + 1;
+      const std::string& line = lines_[i];
+      if (line.find("\"kind\":\"footer\"") != std::string::npos) {
+        TraceFooter f;
+        if (!parse_footer(line, f, &error)) {
+          report_.parse_error =
+              "line " + std::to_string(line_no) + ": " + error;
+          return false;
+        }
+        if (i + 1 != lines_.size()) {
+          violate(line_no, 0, kNoPeer, static_cast<std::size_t>(-1),
+                  "structure", "footer is not the last record");
+        }
+        footer_ = f;
+        footer_line_ = line_no;
+        continue;
+      }
+      TraceEvent e;
+      if (!parse_event(line, e, &error)) {
+        report_.parse_error = "line " + std::to_string(line_no) + ": " + error;
+        return false;
+      }
+      ++report_.events;
+
+      // Global ordering (deterministic simulator traces only).
+      if (sim_env()) {
+        if (have_seq && e.seq <= prev_seq) {
+          violate(line_no, e.seq, e.p, static_cast<std::size_t>(-1),
+                  "structure", "seq not strictly increasing");
+        }
+        if (have_seq && e.t < prev_t) {
+          violate(line_no, e.seq, e.p, static_cast<std::size_t>(-1),
+                  "structure", "event time decreased");
+        }
+        prev_seq = e.seq;
+        prev_t = e.t;
+        have_seq = true;
+      }
+
+      if (e.p >= h.n) {
+        violate(line_no, e.seq, e.p, static_cast<std::size_t>(-1), "structure",
+                "process id out of range");
+        continue;
+      }
+      if (e.peer != kNoPeer && e.peer >= h.n) {
+        violate(line_no, e.seq, e.p, static_cast<std::size_t>(-1), "structure",
+                "peer id out of range");
+      }
+      PState& ps = procs_[e.p];
+
+      // Nothing is emitted *by* a process strictly after its crash time: a
+      // mid-broadcast crash lets the running callback finish (the process
+      // may legitimately complete a round at the same instant), but once
+      // that callback returns it is silent. Only checkable on deterministic
+      // simulator time.
+      const bool process_emitted =
+          e.kind == EventKind::kSend || e.kind == EventKind::kRetransmit ||
+          e.kind == EventKind::kRoundStart || e.kind == EventKind::kRound0 ||
+          e.kind == EventKind::kRound0Empty || e.kind == EventKind::kRound ||
+          e.kind == EventKind::kDecide;
+      if (sim_env() && process_emitted && ps.crashed && e.t > ps.crash_t) {
+        violate(line_no, e.seq, e.p, static_cast<std::size_t>(-1), "structure",
+                "event from a crashed process");
+      }
+
+      switch (e.kind) {
+        case EventKind::kCrash:
+          if (ps.crashed) {
+            violate(line_no, e.seq, e.p, static_cast<std::size_t>(-1),
+                    "structure", "duplicate crash event");
+          }
+          ps.crashed = true;
+          ps.crash_t = e.t;
+          break;
+        case EventKind::kRecv:
+          if (sim_env() && ps.crashed) {
+            violate(line_no, e.seq, e.p, static_cast<std::size_t>(-1),
+                    "structure", "delivery to a crashed process");
+          }
+          break;
+        case EventKind::kRoundStart:
+          if (e.round < 1 || ps.started.count(e.round) != 0) {
+            violate(line_no, e.seq, e.p, e.round, "structure",
+                    "round started twice or round < 1");
+          }
+          ps.started.insert(e.round);
+          break;
+        case EventKind::kRound0:
+        case EventKind::kRound0Empty:
+          on_round0(e, line_no);
+          break;
+        case EventKind::kRound:
+          on_round(e, line_no);
+          break;
+        case EventKind::kDecide:
+          on_decide(e, line_no);
+          break;
+        case EventKind::kSend:
+        case EventKind::kNetDrop:
+        case EventKind::kNetDup:
+        case EventKind::kDropCrashed:
+        case EventKind::kRetransmit:
+          break;
+      }
+    }
+    return true;
+  }
+
+  void on_round0(const TraceEvent& e, std::size_t line_no) {
+    PState& ps = procs_[e.p];
+    if (ps.has_round0) {
+      violate(line_no, e.seq, e.p, 0, "structure", "round 0 recorded twice");
+      return;
+    }
+    ps.has_round0 = true;
+    ps.round0_line = line_no;
+    ps.round0_empty = e.kind == EventKind::kRound0Empty;
+    for (const auto& [origin, x] : e.view) ps.view.emplace(origin, x);
+    const TraceHeader& h = report_.header;
+    if (e.view.size() < h.n - h.f) {
+      violate(line_no, e.seq, e.p, 0, "structure",
+              "round-0 view smaller than n - f");
+    }
+    if (!ps.round0_empty) {
+      if (e.verts.empty()) {
+        violate(line_no, e.seq, e.p, 0, "structure",
+                "round-0 snapshot has no vertices");
+        return;
+      }
+      Snapshot s;
+      s.poly = geo::Polytope::from_points(e.verts, h.rel_tol);
+      s.line = line_no;
+      s.seq = e.seq;
+      ps.h.emplace(0, std::move(s));
+    }
+  }
+
+  void on_round(const TraceEvent& e, std::size_t line_no) {
+    PState& ps = procs_[e.p];
+    const TraceHeader& h = report_.header;
+    if (e.round < 1) {
+      violate(line_no, e.seq, e.p, e.round, "structure", "round index < 1");
+      return;
+    }
+    if (ps.h.count(e.round) != 0) {
+      violate(line_no, e.seq, e.p, e.round, "structure",
+              "round recorded twice");
+      return;
+    }
+    if (!ps.has_round0 || ps.round0_empty) {
+      violate(line_no, e.seq, e.p, e.round, "structure",
+              "round completed without a round-0 state");
+    }
+    if (e.round > 1 && ps.h.count(e.round - 1) == 0) {
+      violate(line_no, e.seq, e.p, e.round, "structure",
+              "round completed out of order");
+    }
+    if (ps.started.count(e.round) == 0) {
+      violate(line_no, e.seq, e.p, e.round, "structure",
+              "round completed without a round_start");
+    }
+    if (e.senders.size() < h.n - h.f) {
+      violate(line_no, e.seq, e.p, e.round, "structure",
+              "fewer than n - f senders (line 12 threshold)");
+    }
+    if (std::find(e.senders.begin(), e.senders.end(), e.p) ==
+        e.senders.end()) {
+      violate(line_no, e.seq, e.p, e.round, "structure",
+              "own message missing from the sender set (line 8)");
+    }
+    for (const Pid s : e.senders) {
+      if (s >= h.n) {
+        violate(line_no, e.seq, e.p, e.round, "structure",
+                "sender id out of range");
+      }
+    }
+    if (e.verts.empty()) {
+      violate(line_no, e.seq, e.p, e.round, "structure",
+              "round snapshot has no vertices");
+      return;
+    }
+    Snapshot s;
+    s.poly = geo::Polytope::from_points(e.verts, h.rel_tol);
+    s.line = line_no;
+    s.seq = e.seq;
+    s.senders = e.senders;
+    ps.h.emplace(e.round, std::move(s));
+    report_.rounds_seen = std::max(report_.rounds_seen, e.round);
+  }
+
+  void on_decide(const TraceEvent& e, std::size_t line_no) {
+    PState& ps = procs_[e.p];
+    const TraceHeader& h = report_.header;
+    if (ps.decided) {
+      violate(line_no, e.seq, e.p, e.round, "structure",
+              "decision recorded twice");
+      return;
+    }
+    ps.decided = true;
+    ps.decide_round = e.round;
+    ps.decide_line = line_no;
+    if (h.t_end != 0 && e.round != h.t_end) {
+      violate(line_no, e.seq, e.p, e.round, "termination",
+              "decision at round " + std::to_string(e.round) +
+                  ", expected t_end = " + std::to_string(h.t_end));
+    }
+    if (e.verts.empty()) {
+      violate(line_no, e.seq, e.p, e.round, "structure",
+              "decision has no vertices");
+      return;
+    }
+    ps.decision = geo::Polytope::from_points(e.verts, h.rel_tol);
+    const auto it = ps.h.find(e.round);
+    if (it == ps.h.end() ||
+        !geo::approx_equal(ps.decision, it->second.poly, 1e-9)) {
+      violate(line_no, e.seq, e.p, e.round, "structure",
+              "decision differs from the recorded round state");
+    }
+  }
+
+  bool is_faulty(Pid p) const {
+    const auto& f = report_.header.faulty;
+    return std::find(f.begin(), f.end(), p) != f.end();
+  }
+
+  void check_liveness() {
+    if (!footer_) return;
+    std::uint64_t decided = 0;
+    for (const PState& ps : procs_) decided += ps.decided ? 1 : 0;
+    if (decided != footer_->decided) {
+      violate(footer_line_, 0, kNoPeer, static_cast<std::size_t>(-1),
+              "structure",
+              "footer decided count " + std::to_string(footer_->decided) +
+                  " != " + std::to_string(decided) + " decide events");
+    }
+    if (!footer_->quiescent) return;
+    for (Pid p = 0; p < procs_.size(); ++p) {
+      if (!is_faulty(p) && !procs_[p].decided) {
+        violate(footer_line_, 0, p, static_cast<std::size_t>(-1), "liveness",
+                "quiescent run but fault-free process did not decide");
+      }
+    }
+  }
+
+  /// Stable-vector Containment (paper §3): round-0 views are totally
+  /// ordered by inclusion.
+  void check_view_containment() {
+    const auto subset = [](const std::map<Pid, geo::Vec>& a,
+                           const std::map<Pid, geo::Vec>& b) {
+      for (const auto& [origin, x] : a) {
+        const auto it = b.find(origin);
+        if (it == b.end() || !(it->second == x)) return false;
+      }
+      return true;
+    };
+    for (Pid i = 0; i < procs_.size(); ++i) {
+      if (!procs_[i].has_round0) continue;
+      for (Pid j = i + 1; j < procs_.size(); ++j) {
+        if (!procs_[j].has_round0) continue;
+        if (!subset(procs_[i].view, procs_[j].view) &&
+            !subset(procs_[j].view, procs_[i].view)) {
+          violate(std::max(procs_[i].round0_line, procs_[j].round0_line), 0, i,
+                  0, "sv-containment",
+                  "round-0 views of processes " + std::to_string(i) + " and " +
+                      std::to_string(j) + " are not inclusion-ordered");
+        }
+      }
+    }
+  }
+
+  /// Validity (every snapshot inside the hull of the validity inputs) and
+  /// round containment h_i[t] ⊆ H(∪_{j ∈ senders} h_j[t-1]).
+  void check_validity_and_containment() {
+    const TraceHeader& h = report_.header;
+    std::vector<geo::Vec> validity_pts;
+    for (Pid p = 0; p < h.inputs.size(); ++p) {
+      if (h.correct_inputs_model || !is_faulty(p)) {
+        validity_pts.emplace_back(h.inputs[p]);
+      }
+    }
+    const geo::Polytope validity_hull =
+        geo::Polytope::from_points(validity_pts, h.rel_tol);
+
+    for (Pid p = 0; p < procs_.size(); ++p) {
+      const PState& ps = procs_[p];
+      for (const auto& [t, snap] : ps.h) {
+        ++report_.snapshots_checked;
+        if (!validity_hull.contains(snap.poly, opts_.tol)) {
+          violate(snap.line, snap.seq, p, t, "validity",
+                  "state reaches outside the hull of the validity inputs");
+        }
+        if (t == 0) continue;
+        // Union of the senders' previous states; the equal-weight L of
+        // Definition 2 cannot escape their joint hull.
+        std::vector<geo::Vec> union_pts;
+        bool have_all = true;
+        for (const Pid s : snap.senders) {
+          if (s >= procs_.size()) continue;  // already flagged
+          const auto it = procs_[s].h.find(t - 1);
+          if (it == procs_[s].h.end()) {
+            violate(snap.line, snap.seq, p, t, "containment",
+                    "sender " + std::to_string(s) +
+                        " has no recorded state for round " +
+                        std::to_string(t - 1));
+            have_all = false;
+            break;
+          }
+          const auto& verts = it->second.poly.vertices();
+          union_pts.insert(union_pts.end(), verts.begin(), verts.end());
+        }
+        if (!have_all || union_pts.empty()) continue;
+        const geo::Polytope joint =
+            geo::Polytope::from_points(union_pts, h.rel_tol);
+        ++report_.containments_checked;
+        if (!joint.contains(snap.poly, opts_.tol)) {
+          double excess = 0.0;
+          for (const geo::Vec& v : snap.poly.vertices()) {
+            excess = std::max(excess, joint.distance(v));
+          }
+          violate(snap.line, snap.seq, p, t, "containment",
+                  "h[t] escapes the senders' round t-1 states by " +
+                      std::to_string(excess));
+        }
+      }
+    }
+  }
+
+  /// Lemma 3 contraction per round and ε-agreement at decision time.
+  void check_contraction_and_agreement() {
+    const TraceHeader& h = report_.header;
+    if (h.max_polytope_vertices != 0) return;  // pruning error is unbounded
+    const double scale =
+        std::sqrt(static_cast<double>(h.d) * static_cast<double>(h.n) *
+                  static_cast<double>(h.n) * h.input_magnitude *
+                  h.input_magnitude);
+    for (std::size_t t = 1; t <= report_.rounds_seen; ++t) {
+      const double bound =
+          std::pow(1.0 - 1.0 / static_cast<double>(h.n),
+                   static_cast<double>(t)) *
+          scale;
+      for (Pid i = 0; i < procs_.size(); ++i) {
+        const auto it = procs_[i].h.find(t);
+        if (it == procs_[i].h.end()) continue;
+        for (Pid j = i + 1; j < procs_.size(); ++j) {
+          const auto jt = procs_[j].h.find(t);
+          if (jt == procs_[j].h.end()) continue;
+          ++report_.pairs_checked;
+          const double dh = geo::hausdorff(it->second.poly, jt->second.poly);
+          if (dh > bound + opts_.tol) {
+            violate(std::max(it->second.line, jt->second.line),
+                    std::max(it->second.seq, jt->second.seq), i, t,
+                    "contraction",
+                    "d_H = " + std::to_string(dh) + " exceeds (1-1/n)^t " +
+                        "bound " + std::to_string(bound) + " vs process " +
+                        std::to_string(j));
+          }
+        }
+      }
+    }
+    for (Pid i = 0; i < procs_.size(); ++i) {
+      if (!procs_[i].decided || procs_[i].decision.is_empty()) continue;
+      for (Pid j = i + 1; j < procs_.size(); ++j) {
+        if (!procs_[j].decided || procs_[j].decision.is_empty()) continue;
+        const double dh =
+            geo::hausdorff(procs_[i].decision, procs_[j].decision);
+        if (dh >= h.eps + opts_.tol) {
+          violate(std::max(procs_[i].decide_line, procs_[j].decide_line), 0, i,
+                  procs_[i].decide_round, "eps-agreement",
+                  "decision Hausdorff distance " + std::to_string(dh) +
+                      " vs process " + std::to_string(j) + " breaches eps = " +
+                      std::to_string(h.eps));
+        }
+      }
+    }
+  }
+
+  /// Lemma 6: I_Z (eq. 20-21, recomputed from the recorded views) is a
+  /// floor under every fault-free process's state at every round.
+  void check_optimality_floor() {
+    const TraceHeader& h = report_.header;
+    if (h.round0_naive || h.max_polytope_vertices != 0) return;
+    // Z = ∩ R_i over fault-free processes that completed round 0. Views are
+    // inclusion-ordered (checked above), so the intersection is the
+    // smallest view; intersect by origin to stay robust when they are not.
+    bool have = false;
+    std::map<Pid, geo::Vec> z;
+    for (Pid p = 0; p < procs_.size(); ++p) {
+      if (is_faulty(p) || !procs_[p].has_round0) continue;
+      if (!have) {
+        z = procs_[p].view;
+        have = true;
+        continue;
+      }
+      for (auto it = z.begin(); it != z.end();) {
+        const auto other = procs_[p].view.find(it->first);
+        if (other == procs_[p].view.end() || !(other->second == it->second)) {
+          it = z.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (!have || z.empty()) return;
+    std::vector<geo::Vec> xz;
+    xz.reserve(z.size());
+    for (const auto& [origin, x] : z) xz.push_back(x);
+    const std::size_t drop = h.correct_inputs_model ? 0 : h.f;
+    if (xz.size() <= drop) return;
+    const geo::Polytope iz =
+        geo::intersection_of_subset_hulls(xz, drop, h.rel_tol);
+    if (iz.is_empty()) return;
+    report_.iz_checked = true;
+    for (Pid p = 0; p < procs_.size(); ++p) {
+      if (is_faulty(p)) continue;
+      for (const auto& [t, snap] : procs_[p].h) {
+        if (!snap.poly.contains(iz, opts_.tol)) {
+          violate(snap.line, snap.seq, p, t, "optimality-floor",
+                  "I_Z is not contained in the recorded state (Lemma 6)");
+        }
+      }
+    }
+  }
+
+  const std::vector<std::string>& lines_;
+  const CheckOptions& opts_;
+  CheckReport report_;
+  std::vector<PState> procs_;
+  std::optional<TraceFooter> footer_;
+  std::size_t footer_line_ = 0;
+};
+
+}  // namespace
+
+CheckReport check_trace_lines(const std::vector<std::string>& lines,
+                              const CheckOptions& opts) {
+  return Checker(lines, opts).run();
+}
+
+CheckReport check_trace_file(const std::string& path,
+                             const CheckOptions& opts) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    CheckReport r;
+    r.parse_error = "cannot open " + path;
+    return r;
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return check_trace_lines(lines, opts);
+}
+
+}  // namespace chc::obs

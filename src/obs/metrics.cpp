@@ -1,0 +1,113 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+
+namespace chc::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  CHC_CHECK(!bounds_.empty(), "histogram needs at least one bucket bound");
+  CHC_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+            "histogram bounds must be ascending");
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  } else {
+    CHC_CHECK(slot->bounds() == bounds,
+              "histogram re-registered with different bounds");
+  }
+  return *slot;
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    json_append_string(out, name);
+    out.push_back(':');
+    out += std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out.push_back(',');
+    first = false;
+    json_append_string(out, name);
+    out.push_back(':');
+    json_append_double(out, g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    json_append_string(out, name);
+    out += ":{\"bounds\":[";
+    const auto& bounds = h->bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      json_append_double(out, bounds[i]);
+    }
+    out += "],\"counts\":[";
+    const auto counts = h->counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      out += std::to_string(counts[i]);
+    }
+    out += "],\"count\":";
+    out += std::to_string(h->count());
+    out += ",\"sum\":";
+    json_append_double(out, h->sum());
+    out.push_back('}');
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace chc::obs

@@ -1,0 +1,433 @@
+#include "obs/trace.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+
+namespace chc::obs {
+
+namespace {
+
+struct KindName {
+  EventKind kind;
+  std::string_view name;
+};
+
+constexpr std::array<KindName, 12> kKindNames{{
+    {EventKind::kSend, "send"},
+    {EventKind::kRecv, "recv"},
+    {EventKind::kNetDrop, "net_drop"},
+    {EventKind::kNetDup, "net_dup"},
+    {EventKind::kDropCrashed, "drop_crashed"},
+    {EventKind::kCrash, "crash"},
+    {EventKind::kRetransmit, "retransmit"},
+    {EventKind::kRoundStart, "round_start"},
+    {EventKind::kRound0, "round0"},
+    {EventKind::kRound0Empty, "round0_empty"},
+    {EventKind::kRound, "round"},
+    {EventKind::kDecide, "decide"},
+}};
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+void append_vec(std::string& out, const geo::Vec& v) {
+  out.push_back('[');
+  for (std::size_t i = 0; i < v.dim(); ++i) {
+    if (i != 0) out.push_back(',');
+    json_append_double(out, v[i]);
+  }
+  out.push_back(']');
+}
+
+bool parse_vec(const JsonValue& j, geo::Vec& out, std::string* error) {
+  if (!j.is_array()) {
+    if (error != nullptr) *error = "vertex is not an array";
+    return false;
+  }
+  std::vector<double> coords;
+  coords.reserve(j.items.size());
+  for (const JsonValue& c : j.items) {
+    if (c.type != JsonValue::Type::kNumber) {
+      if (error != nullptr) *error = "vertex coordinate is not a number";
+      return false;
+    }
+    coords.push_back(c.number);
+  }
+  out = geo::Vec(std::move(coords));
+  return true;
+}
+
+bool field_missing(const char* name, std::string* error) {
+  if (error != nullptr) *error = std::string("missing field '") + name + "'";
+  return false;
+}
+
+}  // namespace
+
+std::string_view kind_name(EventKind k) {
+  for (const auto& [kind, name] : kKindNames) {
+    if (kind == k) return name;
+  }
+  CHC_INTERNAL(false, "unknown event kind");
+}
+
+bool kind_from_name(std::string_view name, EventKind& out) {
+  for (const auto& [kind, kname] : kKindNames) {
+    if (kname == name) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string to_jsonl(const TraceEvent& e) {
+  std::string out;
+  out.reserve(96);
+  out += "{\"kind\":\"";
+  out += kind_name(e.kind);
+  out += "\",\"seq\":";
+  append_u64(out, e.seq);
+  out += ",\"t\":";
+  json_append_double(out, e.t);
+  out += ",\"p\":";
+  append_u64(out, e.p);
+  if (e.peer != kNoPeer) {
+    out += ",\"peer\":";
+    append_u64(out, e.peer);
+  }
+  if (e.tag >= 0) {
+    out += ",\"tag\":";
+    out += std::to_string(e.tag);
+  }
+  const bool has_round = e.kind == EventKind::kRoundStart ||
+                         e.kind == EventKind::kRound ||
+                         e.kind == EventKind::kDecide;
+  if (has_round) {
+    out += ",\"round\":";
+    append_u64(out, e.round);
+  }
+  if (e.kind == EventKind::kNetDup || e.kind == EventKind::kRetransmit) {
+    out += ",\"aux\":";
+    append_u64(out, e.aux);
+  }
+  if (!e.senders.empty()) {
+    out += ",\"senders\":[";
+    for (std::size_t i = 0; i < e.senders.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      append_u64(out, e.senders[i]);
+    }
+    out.push_back(']');
+  }
+  if (!e.view.empty()) {
+    out += ",\"view\":[";
+    for (std::size_t i = 0; i < e.view.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      out.push_back('[');
+      append_u64(out, e.view[i].first);
+      out.push_back(',');
+      append_vec(out, e.view[i].second);
+      out.push_back(']');
+    }
+    out.push_back(']');
+  }
+  if (!e.verts.empty()) {
+    out += ",\"verts\":[";
+    for (std::size_t i = 0; i < e.verts.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      append_vec(out, e.verts[i]);
+    }
+    out.push_back(']');
+  }
+  out.push_back('}');
+  return out;
+}
+
+bool parse_event(std::string_view line, TraceEvent& out, std::string* error) {
+  JsonValue j;
+  if (!json_parse(line, j, error)) return false;
+  if (!j.is_object()) {
+    if (error != nullptr) *error = "event is not an object";
+    return false;
+  }
+  out = TraceEvent{};
+
+  const JsonValue* kind = j.find("kind");
+  if (kind == nullptr || kind->type != JsonValue::Type::kString) {
+    return field_missing("kind", error);
+  }
+  if (!kind_from_name(kind->text, out.kind)) {
+    if (error != nullptr) *error = "unknown event kind '" + kind->text + "'";
+    return false;
+  }
+  const JsonValue* seq = j.find("seq");
+  if (seq == nullptr) return field_missing("seq", error);
+  out.seq = seq->as_u64();
+  const JsonValue* t = j.find("t");
+  if (t == nullptr) return field_missing("t", error);
+  out.t = t->as_double();
+  const JsonValue* p = j.find("p");
+  if (p == nullptr) return field_missing("p", error);
+  out.p = static_cast<Pid>(p->as_u64());
+
+  if (const JsonValue* peer = j.find("peer")) {
+    out.peer = static_cast<Pid>(peer->as_u64());
+  }
+  if (const JsonValue* tag = j.find("tag")) {
+    out.tag = static_cast<int>(tag->as_i64());
+  }
+  if (const JsonValue* round = j.find("round")) {
+    out.round = static_cast<std::size_t>(round->as_u64());
+  }
+  if (const JsonValue* aux = j.find("aux")) {
+    out.aux = aux->as_u64();
+  }
+  if (const JsonValue* senders = j.find("senders")) {
+    if (!senders->is_array()) {
+      if (error != nullptr) *error = "'senders' is not an array";
+      return false;
+    }
+    for (const JsonValue& s : senders->items) {
+      out.senders.push_back(static_cast<Pid>(s.as_u64()));
+    }
+  }
+  if (const JsonValue* view = j.find("view")) {
+    if (!view->is_array()) {
+      if (error != nullptr) *error = "'view' is not an array";
+      return false;
+    }
+    for (const JsonValue& tuple : view->items) {
+      if (!tuple.is_array() || tuple.items.size() != 2) {
+        if (error != nullptr) *error = "view tuple is not [origin, point]";
+        return false;
+      }
+      geo::Vec x;
+      if (!parse_vec(tuple.items[1], x, error)) return false;
+      out.view.emplace_back(static_cast<Pid>(tuple.items[0].as_u64()),
+                            std::move(x));
+    }
+  }
+  if (const JsonValue* verts = j.find("verts")) {
+    if (!verts->is_array()) {
+      if (error != nullptr) *error = "'verts' is not an array";
+      return false;
+    }
+    for (const JsonValue& v : verts->items) {
+      geo::Vec x;
+      if (!parse_vec(v, x, error)) return false;
+      out.verts.push_back(std::move(x));
+    }
+  }
+  return true;
+}
+
+std::string to_jsonl(const TraceHeader& h) {
+  std::string out;
+  out.reserve(256);
+  out += "{\"kind\":\"header\",\"version\":";
+  out += std::to_string(h.version);
+  out += ",\"env\":";
+  json_append_string(out, h.env);
+  const auto u64 = [&out](const char* name, std::uint64_t v) {
+    out += ",\"";
+    out += name;
+    out += "\":";
+    append_u64(out, v);
+  };
+  const auto dbl = [&out](const char* name, double v) {
+    out += ",\"";
+    out += name;
+    out += "\":";
+    json_append_double(out, v);
+  };
+  const auto bol = [&out](const char* name, bool v) {
+    out += ",\"";
+    out += name;
+    out += "\":";
+    out += v ? "true" : "false";
+  };
+  u64("n", h.n);
+  u64("f", h.f);
+  u64("d", h.d);
+  dbl("eps", h.eps);
+  dbl("input_magnitude", h.input_magnitude);
+  dbl("rel_tol", h.rel_tol);
+  bol("round0_naive", h.round0_naive);
+  u64("max_polytope_vertices", h.max_polytope_vertices);
+  bol("correct_inputs_model", h.correct_inputs_model);
+  u64("t_end", h.t_end);
+  u64("pattern", static_cast<std::uint64_t>(h.pattern));
+  u64("crash_style", static_cast<std::uint64_t>(h.crash_style));
+  u64("delay", static_cast<std::uint64_t>(h.delay));
+  u64("seed", h.seed);
+  dbl("drop", h.drop);
+  dbl("dup", h.dup);
+  dbl("reorder", h.reorder);
+  dbl("reorder_delay_min", h.reorder_delay_min);
+  dbl("reorder_delay_max", h.reorder_delay_max);
+  bol("reliable", h.reliable);
+  dbl("rto", h.rto);
+  dbl("backoff", h.backoff);
+  dbl("rto_max", h.rto_max);
+  dbl("jitter", h.jitter);
+  dbl("tick", h.tick);
+  u64("max_retries", h.max_retries);
+  u64("max_events", h.max_events);
+  out += ",\"faulty\":[";
+  for (std::size_t i = 0; i < h.faulty.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    append_u64(out, h.faulty[i]);
+  }
+  out += "],\"inputs\":[";
+  for (std::size_t i = 0; i < h.inputs.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out.push_back('[');
+    for (std::size_t k = 0; k < h.inputs[i].size(); ++k) {
+      if (k != 0) out.push_back(',');
+      json_append_double(out, h.inputs[i][k]);
+    }
+    out.push_back(']');
+  }
+  out += "]}";
+  return out;
+}
+
+bool parse_header(std::string_view line, TraceHeader& out,
+                  std::string* error) {
+  JsonValue j;
+  if (!json_parse(line, j, error)) return false;
+  const JsonValue* kind = j.find("kind");
+  if (kind == nullptr || kind->type != JsonValue::Type::kString ||
+      kind->text != "header") {
+    if (error != nullptr) *error = "first record is not a trace header";
+    return false;
+  }
+  out = TraceHeader{};
+  const auto u64 = [&j](const char* name, std::uint64_t& dst) {
+    if (const JsonValue* v = j.find(name)) dst = v->as_u64();
+  };
+  const auto dbl = [&j](const char* name, double& dst) {
+    if (const JsonValue* v = j.find(name)) dst = v->as_double();
+  };
+  const auto bol = [&j](const char* name, bool& dst) {
+    if (const JsonValue* v = j.find(name)) dst = v->as_bool();
+  };
+  const auto i32 = [&j](const char* name, int& dst) {
+    if (const JsonValue* v = j.find(name)) dst = static_cast<int>(v->as_i64());
+  };
+  i32("version", out.version);
+  if (const JsonValue* env = j.find("env")) out.env = env->as_string();
+  u64("n", out.n);
+  u64("f", out.f);
+  u64("d", out.d);
+  dbl("eps", out.eps);
+  dbl("input_magnitude", out.input_magnitude);
+  dbl("rel_tol", out.rel_tol);
+  bol("round0_naive", out.round0_naive);
+  u64("max_polytope_vertices", out.max_polytope_vertices);
+  bol("correct_inputs_model", out.correct_inputs_model);
+  u64("t_end", out.t_end);
+  i32("pattern", out.pattern);
+  i32("crash_style", out.crash_style);
+  i32("delay", out.delay);
+  u64("seed", out.seed);
+  dbl("drop", out.drop);
+  dbl("dup", out.dup);
+  dbl("reorder", out.reorder);
+  dbl("reorder_delay_min", out.reorder_delay_min);
+  dbl("reorder_delay_max", out.reorder_delay_max);
+  bol("reliable", out.reliable);
+  dbl("rto", out.rto);
+  dbl("backoff", out.backoff);
+  dbl("rto_max", out.rto_max);
+  dbl("jitter", out.jitter);
+  dbl("tick", out.tick);
+  u64("max_retries", out.max_retries);
+  u64("max_events", out.max_events);
+  if (out.n == 0) {
+    if (error != nullptr) *error = "header is missing n";
+    return false;
+  }
+  if (const JsonValue* faulty = j.find("faulty")) {
+    for (const JsonValue& v : faulty->items) out.faulty.push_back(v.as_u64());
+  }
+  if (const JsonValue* inputs = j.find("inputs")) {
+    for (const JsonValue& row : inputs->items) {
+      std::vector<double> coords;
+      for (const JsonValue& c : row.items) coords.push_back(c.as_double());
+      out.inputs.push_back(std::move(coords));
+    }
+  }
+  return true;
+}
+
+std::string to_jsonl(const TraceFooter& f) {
+  std::string out = "{\"kind\":\"footer\",\"quiescent\":";
+  out += f.quiescent ? "true" : "false";
+  out += ",\"decided\":";
+  append_u64(out, f.decided);
+  out.push_back('}');
+  return out;
+}
+
+bool parse_footer(std::string_view line, TraceFooter& out,
+                  std::string* error) {
+  JsonValue j;
+  if (!json_parse(line, j, error)) return false;
+  const JsonValue* kind = j.find("kind");
+  if (kind == nullptr || kind->text != "footer") {
+    if (error != nullptr) *error = "record is not a trace footer";
+    return false;
+  }
+  out = TraceFooter{};
+  if (const JsonValue* q = j.find("quiescent")) out.quiescent = q->as_bool();
+  if (const JsonValue* d = j.find("decided")) out.decided = d->as_u64();
+  return true;
+}
+
+void MemorySink::write(const TraceEvent& e) {
+  std::string line = to_jsonl(e);
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.push_back(std::move(line));
+  events_.push_back(e);
+}
+
+void MemorySink::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.push_back(line);
+}
+
+std::vector<std::string> MemorySink::lines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+std::vector<TraceEvent> MemorySink::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path) : out_(path) {
+  CHC_CHECK(out_.is_open(), "cannot open trace output file");
+}
+
+void JsonlFileSink::write(const TraceEvent& e) {
+  const std::string line = to_jsonl(e);
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << '\n';
+}
+
+void JsonlFileSink::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << '\n';
+}
+
+void JsonlFileSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_.flush();
+}
+
+}  // namespace chc::obs

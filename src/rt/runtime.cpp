@@ -49,6 +49,15 @@ class ThreadedRuntime::ContextImpl final : public sim::Context {
  private:
   void deliver(Cell& cell, std::size_t to, int tag, std::any payload) {
     rt_->messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    rt_->tracer_->emit_with([&] {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kSend;
+      e.t = now();
+      e.p = pid_;
+      e.peer = to;
+      e.tag = tag;
+      return e;
+    });
 
     sim::LinkFaultDecision fate;
     if (rt_->faults_ != nullptr) {
@@ -58,11 +67,30 @@ class ThreadedRuntime::ContextImpl final : public sim::Context {
     }
     if (fate.drop) {
       rt_->messages_lost_.fetch_add(1, std::memory_order_relaxed);
+      rt_->tracer_->emit_with([&] {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kNetDrop;
+        e.t = now();
+        e.p = pid_;
+        e.peer = to;
+        e.tag = tag;
+        return e;
+      });
       return;
     }
     if (fate.copies > 1) {
       rt_->messages_duplicated_.fetch_add(fate.copies - 1,
                                           std::memory_order_relaxed);
+      rt_->tracer_->emit_with([&] {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kNetDup;
+        e.t = now();
+        e.p = pid_;
+        e.peer = to;
+        e.tag = tag;
+        e.aux = fate.copies - 1;
+        return e;
+      });
     }
     if (fate.bypass_fifo) {
       rt_->messages_reordered_.fetch_add(1, std::memory_order_relaxed);
@@ -81,6 +109,10 @@ class ThreadedRuntime::ContextImpl final : public sim::Context {
         double& front = cell.channel_front[to];
         due = std::max(due, front + 1e-9);
         front = due;
+      }
+
+      if (rt_->delivery_latency_ != nullptr) {
+        rt_->delivery_latency_->observe((due - now_real) / rt_->time_scale_);
       }
 
       Item item;
@@ -135,15 +167,44 @@ void ThreadedRuntime::set_fault_model(
   faults_ = std::move(faults);
 }
 
+void ThreadedRuntime::set_tracer(obs::Tracer* tracer) {
+  CHC_CHECK(!started_.load(), "tracer must be attached before start()");
+  tracer_ = tracer != nullptr ? tracer : &disabled_tracer_;
+}
+
+void ThreadedRuntime::set_metrics(obs::Registry* metrics) {
+  CHC_CHECK(!started_.load(), "metrics must be attached before start()");
+  delivery_latency_ =
+      metrics != nullptr
+          ? &metrics->histogram("rt.delivery_latency",
+                                {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0})
+          : nullptr;
+}
+
 double ThreadedRuntime::now_s() const {
   return std::chrono::duration<double>(Clock::now() - epoch_).count();
+}
+
+double ThreadedRuntime::model_now() const { return now_s() / time_scale_; }
+
+void ThreadedRuntime::mark_crashed(Cell& cell, std::size_t pid) {
+  // exchange: only the transition emits, however many threads race here.
+  if (!cell.crashed.exchange(true, std::memory_order_acq_rel)) {
+    tracer_->emit_with([&] {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kCrash;
+      e.t = model_now();
+      e.p = pid;
+      return e;
+    });
+  }
 }
 
 bool ThreadedRuntime::consume_send_budget(Cell& cell, std::size_t pid) {
   if (cell.crashed.load(std::memory_order_acquire)) return false;
   if (const sim::CrashPlan* plan = crashes_.plan_for(pid)) {
     if (plan->after_sends && cell.sends_done >= *plan->after_sends) {
-      cell.crashed.store(true, std::memory_order_release);
+      mark_crashed(cell, pid);
       return false;
     }
   }
@@ -171,7 +232,7 @@ void ThreadedRuntime::thread_main(std::size_t pid) {
   }
   auto crashed_by_clock = [&] {
     if (crash_at_real >= 0.0 && now_s() >= crash_at_real) {
-      cell.crashed.store(true, std::memory_order_release);
+      mark_crashed(cell, pid);
     }
     return cell.crashed.load(std::memory_order_acquire);
   };
@@ -215,6 +276,15 @@ void ThreadedRuntime::thread_main(std::size_t pid) {
       cell.proc->on_timer(ctx, item.token);
     } else {
       messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+      tracer_->emit_with([&] {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kRecv;
+        e.t = model_now();
+        e.p = pid;
+        e.peer = item.msg.from;
+        e.tag = item.msg.tag;
+        return e;
+      });
       cell.proc->on_message(ctx, item.msg);
     }
   }

@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/crash.hpp"
 #include "sim/delay.hpp"
 #include "sim/fault.hpp"
@@ -55,6 +57,15 @@ class ThreadedRuntime {
   /// invoked concurrently from sender threads, each with its own per-cell
   /// RNG stream — the model must be stateless (see sim/fault.hpp).
   void set_fault_model(std::unique_ptr<sim::LinkFaultModel> faults);
+
+  /// Attaches a structured-event tracer (before start(); optional). Events
+  /// are emitted concurrently from process threads with env == "rt"
+  /// semantics: seq stamps are globally unique but file order is the sinks'
+  /// arrival order, and timestamps are wall clock divided by time_scale.
+  void set_tracer(obs::Tracer* tracer);
+
+  /// Attaches a metrics registry (before start(); optional).
+  void set_metrics(obs::Registry* metrics);
 
   /// Launches all process threads (delivers on_start on each thread).
   void start();
@@ -127,12 +138,17 @@ class ThreadedRuntime {
   friend class ContextImpl;
 
   double now_s() const;
+  double model_now() const;  ///< now_s() in delay-model units
   void thread_main(std::size_t pid);
   bool consume_send_budget(Cell& cell, std::size_t pid);
+  void mark_crashed(Cell& cell, std::size_t pid);
   void enqueue(std::size_t target, Item item);
 
   std::size_t n_;
   double time_scale_;
+  obs::Tracer disabled_tracer_;
+  obs::Tracer* tracer_ = &disabled_tracer_;
+  obs::Histogram* delivery_latency_ = nullptr;
   std::unique_ptr<sim::DelayModel> delay_;
   std::mutex delay_mu_;  // delay models are not required to be thread-safe
   std::unique_ptr<sim::LinkFaultModel> faults_;  // stateless; no lock needed

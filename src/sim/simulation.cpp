@@ -80,6 +80,20 @@ void Simulation::set_fault_model(std::unique_ptr<LinkFaultModel> faults) {
   faults_ = std::move(faults);
 }
 
+void Simulation::set_tracer(obs::Tracer* tracer) {
+  CHC_CHECK(!started_, "tracer must be attached before run()");
+  tracer_ = tracer != nullptr ? tracer : &disabled_tracer_;
+}
+
+void Simulation::set_metrics(obs::Registry* metrics) {
+  CHC_CHECK(!started_, "metrics must be attached before run()");
+  delivery_latency_ =
+      metrics != nullptr
+          ? &metrics->histogram("sim.delivery_latency",
+                                {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0})
+          : nullptr;
+}
+
 void Simulation::push_event(Event e) {
   e.seq = next_seq_++;
   queue_.push(std::move(e));
@@ -105,6 +119,15 @@ void Simulation::enqueue_send(ProcessId from, ProcessId to, int tag,
                               std::any payload, Time now) {
   ++stats_.messages_sent;
   ++stats_.sent_by_tag[tag];
+  tracer_->emit_with([&] {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kSend;
+    e.t = now;
+    e.p = from;
+    e.peer = to;
+    e.tag = tag;
+    return e;
+  });
 
   LinkFaultDecision fate;
   if (faults_ != nullptr) {
@@ -115,11 +138,30 @@ void Simulation::enqueue_send(ProcessId from, ProcessId to, int tag,
   if (fate.drop) {
     ++stats_.net_dropped;
     ++stats_.dropped_by_tag[tag];
+    tracer_->emit_with([&] {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kNetDrop;
+      e.t = now;
+      e.p = from;
+      e.peer = to;
+      e.tag = tag;
+      return e;
+    });
     return;
   }
   if (fate.copies > 1) {
     stats_.net_duplicated += fate.copies - 1;
     stats_.duplicated_by_tag[tag] += fate.copies - 1;
+    tracer_->emit_with([&] {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kNetDup;
+      e.t = now;
+      e.p = from;
+      e.peer = to;
+      e.tag = tag;
+      e.aux = fate.copies - 1;
+      return e;
+    });
   }
   if (fate.bypass_fifo) ++stats_.net_reordered;
 
@@ -136,6 +178,8 @@ void Simulation::enqueue_send(ProcessId from, ProcessId to, int tag,
       front = at;
     }
 
+    if (delivery_latency_ != nullptr) delivery_latency_->observe(at - now);
+
     Event e;
     e.t = at;
     e.kind = EventKind::kDeliver;
@@ -150,6 +194,13 @@ void Simulation::crash_now(ProcessId p, Time now) {
   if (crashed_[p]) return;
   crashed_[p] = true;
   crash_time_[p] = now;
+  tracer_->emit_with([&] {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kCrash;
+    e.t = now;
+    e.p = p;
+    return e;
+  });
 }
 
 RunResult Simulation::run(std::uint64_t max_events) {
@@ -199,9 +250,27 @@ RunResult Simulation::run(std::uint64_t max_events) {
       case EventKind::kDeliver: {
         if (crashed_[e.target]) {
           ++stats_.messages_dropped;
+          tracer_->emit_with([&] {
+            obs::TraceEvent ev;
+            ev.kind = obs::EventKind::kDropCrashed;
+            ev.t = e.t;
+            ev.p = e.target;
+            ev.peer = e.msg.from;
+            ev.tag = e.msg.tag;
+            return ev;
+          });
           break;
         }
         ++stats_.messages_delivered;
+        tracer_->emit_with([&] {
+          obs::TraceEvent ev;
+          ev.kind = obs::EventKind::kRecv;
+          ev.t = e.t;
+          ev.p = e.target;
+          ev.peer = e.msg.from;
+          ev.tag = e.msg.tag;
+          return ev;
+        });
         ContextImpl ctx(this, e.target, e.t);
         procs_[e.target]->on_message(ctx, e.msg);
         break;

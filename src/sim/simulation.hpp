@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/crash.hpp"
 #include "sim/delay.hpp"
 #include "sim/fault.hpp"
@@ -70,6 +72,15 @@ class Simulation {
   /// installing it never perturbs delay/process streams.
   void set_fault_model(std::unique_ptr<LinkFaultModel> faults);
 
+  /// Attaches a structured-event tracer (optional; call before run()). The
+  /// simulator emits send/recv/drop/dup/crash events through it; a default
+  /// (disabled) tracer costs one pointer test per would-be event.
+  void set_tracer(obs::Tracer* tracer);
+
+  /// Attaches a metrics registry (optional; call before run()). Records the
+  /// delivery-latency histogram and message counters.
+  void set_metrics(obs::Registry* metrics);
+
   /// Runs to quiescence or until `max_events` events have been processed.
   RunResult run(std::uint64_t max_events = 50'000'000);
 
@@ -113,6 +124,9 @@ class Simulation {
   void crash_now(ProcessId p, Time now);
 
   std::size_t n_;
+  obs::Tracer disabled_tracer_;  ///< target of tracer_ when none attached
+  obs::Tracer* tracer_ = &disabled_tracer_;
+  obs::Histogram* delivery_latency_ = nullptr;
   Rng rng_;
   Rng net_rng_;  ///< dedicated stream for fault injection
   std::unique_ptr<DelayModel> delay_;

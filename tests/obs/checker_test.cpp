@@ -1,0 +1,198 @@
+// Offline checker end-to-end: traces produced by the harness are accepted
+// (with real work done), and hand-corrupted traces are rejected with the
+// right invariant named.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/lossy.hpp"
+#include "core/workload.hpp"
+#include "geometry/vec.hpp"
+#include "obs/checker.hpp"
+#include "obs/trace.hpp"
+
+namespace chc {
+namespace {
+
+core::LossyRunConfig base_config(std::uint64_t seed) {
+  core::LossyRunConfig lc;
+  lc.base.cc = core::CCConfig{.n = 5, .f = 1, .d = 2, .eps = 0.15};
+  lc.base.seed = seed;
+  lc.base.crash_style = core::CrashStyle::kNone;
+  lc.reliable = false;
+  return lc;
+}
+
+/// Runs the configuration with tracing on and returns the trace lines.
+std::vector<std::string> record(core::LossyRunConfig lc) {
+  obs::MemorySink sink;
+  obs::Tracer tracer(&sink);
+  lc.tracer = &tracer;
+  const core::Workload w = core::make_workload(
+      lc.base.cc.n, lc.base.cc.f, lc.base.cc.d, lc.base.pattern, lc.base.seed,
+      lc.base.cc.fault_model == core::FaultModel::kCrashIncorrectInputs);
+  const core::LossyRunOutput out = core::run_cc_lossy_custom(lc, w);
+  EXPECT_TRUE(out.quiescent);
+  EXPECT_TRUE(out.cert.all_decided);
+  return sink.lines();
+}
+
+/// Index of the first line whose event matches `pred`, or npos.
+template <typename Pred>
+std::size_t find_event_line(const std::vector<std::string>& lines,
+                            Pred&& pred, obs::TraceEvent* out = nullptr) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    obs::TraceEvent e;
+    if (!obs::parse_event(lines[i], e, nullptr)) continue;
+    if (pred(e)) {
+      if (out != nullptr) *out = e;
+      return i;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+bool has_invariant(const obs::CheckReport& report, const std::string& name) {
+  for (const auto& v : report.violations) {
+    if (v.invariant == name) return true;
+  }
+  return false;
+}
+
+TEST(Checker, AcceptsCleanRun) {
+  const auto lines = record(base_config(21));
+  const obs::CheckReport report = obs::check_trace_lines(lines);
+  EXPECT_TRUE(report.ok()) << (report.parsed
+                                   ? obs::describe(report.violations.front())
+                                   : report.parse_error);
+  // "Accepted" must mean "checked": geometry work actually happened.
+  EXPECT_GT(report.snapshots_checked, 0u);
+  EXPECT_GT(report.containments_checked, 0u);
+  EXPECT_GT(report.pairs_checked, 0u);
+  EXPECT_GT(report.rounds_seen, 0u);
+  EXPECT_TRUE(report.iz_checked);
+}
+
+TEST(Checker, AcceptsCrashedLaggedRun) {
+  // kMidBroadcast + kLaggedOneCorrect is the regime where correct round-0
+  // views genuinely differ and h_i[t] ⊆ h_i[t-1] fails — the union-form
+  // containment the checker verifies must still hold.
+  core::LossyRunConfig lc = base_config(22);
+  lc.base.crash_style = core::CrashStyle::kMidBroadcast;
+  lc.base.delay = core::DelayRegime::kLaggedOneCorrect;
+  const auto lines = record(lc);
+  const obs::CheckReport report = obs::check_trace_lines(lines);
+  EXPECT_TRUE(report.ok()) << (report.parsed
+                                   ? obs::describe(report.violations.front())
+                                   : report.parse_error);
+}
+
+TEST(Checker, AcceptsLossyShimmedRun) {
+  core::LossyRunConfig lc = base_config(23);
+  lc.base.crash_style = core::CrashStyle::kEarly;
+  lc.policy = net::NetworkPolicy::lossy(0.15, 0.05, 0.10);
+  lc.reliable = true;
+  const auto lines = record(lc);
+  const obs::CheckReport report = obs::check_trace_lines(lines);
+  EXPECT_TRUE(report.ok()) << (report.parsed
+                                   ? obs::describe(report.violations.front())
+                                   : report.parse_error);
+}
+
+TEST(Checker, RejectsInflatedRoundSnapshot) {
+  std::vector<std::string> lines = record(base_config(24));
+  obs::TraceEvent e;
+  const std::size_t idx = find_event_line(
+      lines,
+      [](const obs::TraceEvent& ev) {
+        return ev.kind == obs::EventKind::kRound && ev.round >= 2;
+      },
+      &e);
+  ASSERT_NE(idx, static_cast<std::size_t>(-1));
+
+  // Inflate the recorded h_i[t]: scale every vertex away from the origin.
+  for (geo::Vec& v : e.verts) v = v * 3.0;
+  lines[idx] = obs::to_jsonl(e);
+
+  const obs::CheckReport report = obs::check_trace_lines(lines);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_invariant(report, "containment") ||
+              has_invariant(report, "validity"))
+      << obs::describe(report.violations.front());
+  // The diagnostic points at the corrupted line (1-based).
+  bool points_at_line = false;
+  for (const auto& v : report.violations) {
+    if (v.line == idx + 1) points_at_line = true;
+  }
+  EXPECT_TRUE(points_at_line);
+}
+
+TEST(Checker, RejectsTamperedDecision) {
+  std::vector<std::string> lines = record(base_config(25));
+  obs::TraceEvent e;
+  const std::size_t idx = find_event_line(
+      lines,
+      [](const obs::TraceEvent& ev) {
+        return ev.kind == obs::EventKind::kDecide;
+      },
+      &e);
+  ASSERT_NE(idx, static_cast<std::size_t>(-1));
+
+  const geo::Vec shift(std::vector<double>{2.0, 2.0});
+  for (geo::Vec& v : e.verts) v = v + shift;
+  lines[idx] = obs::to_jsonl(e);
+
+  const obs::CheckReport report = obs::check_trace_lines(lines);
+  EXPECT_FALSE(report.ok());
+  // The shifted decision no longer matches the recorded round state, and
+  // (being 2*sqrt(2) away from the others') breaches ε-agreement.
+  EXPECT_TRUE(has_invariant(report, "structure") ||
+              has_invariant(report, "eps-agreement"))
+      << obs::describe(report.violations.front());
+}
+
+TEST(Checker, RejectsSeqRegression) {
+  std::vector<std::string> lines = record(base_config(26));
+  // Swapping two adjacent event records breaks the strictly-increasing seq
+  // requirement for env == "sim" traces.
+  ASSERT_GT(lines.size(), 4u);
+  std::swap(lines[2], lines[3]);
+  const obs::CheckReport report = obs::check_trace_lines(lines);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_invariant(report, "structure"));
+}
+
+TEST(Checker, RejectsTraceWithoutHeader) {
+  std::vector<std::string> lines = record(base_config(27));
+  lines.erase(lines.begin());
+  const obs::CheckReport report = obs::check_trace_lines(lines);
+  EXPECT_FALSE(report.parsed);
+  EXPECT_FALSE(report.parse_error.empty());
+}
+
+TEST(Checker, RejectsRoundWithoutRoundStart) {
+  std::vector<std::string> lines = record(base_config(28));
+  obs::TraceEvent round_event;
+  const std::size_t round_idx = find_event_line(
+      lines,
+      [](const obs::TraceEvent& ev) {
+        return ev.kind == obs::EventKind::kRound && ev.round == 3;
+      },
+      &round_event);
+  ASSERT_NE(round_idx, static_cast<std::size_t>(-1));
+  const std::size_t start_idx = find_event_line(
+      lines, [&round_event](const obs::TraceEvent& ev) {
+        return ev.kind == obs::EventKind::kRoundStart &&
+               ev.p == round_event.p && ev.round == round_event.round;
+      });
+  ASSERT_NE(start_idx, static_cast<std::size_t>(-1));
+  ASSERT_LT(start_idx, round_idx);
+  lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(start_idx));
+  const obs::CheckReport report = obs::check_trace_lines(lines);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_invariant(report, "structure"));
+}
+
+}  // namespace
+}  // namespace chc

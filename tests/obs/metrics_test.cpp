@@ -1,0 +1,86 @@
+// Metrics registry: bucketing edges, overflow, handle identity, concurrent
+// observation, deterministic JSON.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace chc::obs {
+namespace {
+
+TEST(Histogram, AssignsToFirstFittingBucket) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);   // <= 1.0          -> bucket 0
+  h.observe(1.0);   // == bound, x<=1  -> bucket 0
+  h.observe(1.5);   // <= 2.0          -> bucket 1
+  h.observe(4.0);   // == bound        -> bucket 2
+  h.observe(4.01);  // > bounds.back() -> overflow
+  h.observe(100.0);
+
+  const std::vector<std::uint64_t> counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);  // bounds + overflow
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 2u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 4.01 + 100.0);
+}
+
+TEST(Histogram, ConcurrentObservationsLoseNothing) {
+  Histogram h({10.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(1.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(h.sum(), kThreads * kPerThread * 1.0);
+  EXPECT_EQ(h.counts()[0], static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(Registry, HandlesAreStableAndSharedByName) {
+  Registry reg;
+  Counter& a = reg.counter("x.sent");
+  Counter& b = reg.counter("x.sent");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  b.inc(2);
+  EXPECT_EQ(reg.counter("x.sent").value(), 3u);
+
+  Gauge& g = reg.gauge("x.end_time");
+  g.set(12.5);
+  EXPECT_EQ(&g, &reg.gauge("x.end_time"));
+
+  Histogram& h1 = reg.histogram("x.lat", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("x.lat", {1.0, 2.0});
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(Registry, JsonIsDeterministicAndSorted) {
+  const auto build = [] {
+    Registry reg;
+    reg.counter("b.count").inc(7);
+    reg.counter("a.count").inc(1);
+    reg.gauge("z.gauge").set(0.5);
+    Histogram& h = reg.histogram("m.hist", {1.0, 4.0});
+    h.observe(0.5);
+    h.observe(8.0);
+    return reg.to_json();
+  };
+  const std::string json = build();
+  EXPECT_EQ(json, build());
+  // Name-sorted: "a.count" precedes "b.count" in the serialized report.
+  EXPECT_LT(json.find("a.count"), json.find("b.count"));
+  EXPECT_NE(json.find("m.hist"), std::string::npos);
+  EXPECT_NE(json.find("z.gauge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chc::obs

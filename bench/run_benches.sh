@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
-# E8a driver: runs the geometry kernel microbenchmarks, writes the raw
-# google-benchmark JSON to the output path, and (when python3 is available)
-# appends a before/after speedup summary comparing each engine bench against
-# its `_Reference` twin.
+# Bench driver. Two sections:
+#   E8a  geometry kernel microbenchmarks (google-benchmark) -> BENCH_geometry
+#   E11  sharded service throughput (bench_service)         -> BENCH_service
 #
 # Usage: bench/run_benches.sh [--check [baseline-json]] [build-dir] [output-json]
 #   CHC_BENCH_MIN_TIME overrides --benchmark_min_time (default 0.05;
 #   older google-benchmark releases reject the "s"-suffixed form, so pass
 #   whichever spelling the installed library accepts, e.g. "0.01s" in CI).
+#   CHC_SVC_BENCH_INSTANCES sizes the service batch (default 48).
+#   CHC_SVC_CHECK_MIN_SCALING overrides the service scaling gate.
 #
 # --check compares the fresh speedup_summary against the committed baseline
 # (default: BENCH_geometry.json next to the repo root) and exits 1 when any
-# engine bench regressed by more than 30% (fresh speedup < 0.7x baseline).
-# In check mode the default output is BENCH_geometry.fresh.json so the
-# baseline being compared against is never overwritten.
+# engine bench regressed by more than 30% (fresh speedup < 0.7x baseline),
+# and additionally gates the service bench's 1->4 shard scaling ratio:
+# >= 2.0x on machines with at least 4 hardware threads, >= 1.3x with 2-3,
+# and >= 0.85x (no pathological slowdown) on a single core.
+# In check mode the default outputs are BENCH_*.fresh.json so the committed
+# baselines are never overwritten.
 set -euo pipefail
 
 SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
@@ -32,14 +36,21 @@ fi
 BUILD_DIR="${1:-build}"
 if [[ "$CHECK" == 1 ]]; then
   OUT="${2:-BENCH_geometry.fresh.json}"
+  SVC_OUT="BENCH_service.fresh.json"
 else
   OUT="${2:-BENCH_geometry.json}"
+  SVC_OUT="BENCH_service.json"
 fi
 MIN_TIME="${CHC_BENCH_MIN_TIME:-0.05}"
 BIN="$BUILD_DIR/bench/bench_geometry_micro"
+SVC_BIN="$BUILD_DIR/bench/bench_service"
 
 if [[ ! -x "$BIN" ]]; then
   echo "error: $BIN not built (cmake --build $BUILD_DIR --target bench_geometry_micro)" >&2
+  exit 1
+fi
+if [[ ! -x "$SVC_BIN" ]]; then
+  echo "error: $SVC_BIN not built (cmake --build $BUILD_DIR --target bench_service)" >&2
   exit 1
 fi
 if [[ "$CHECK" == 1 && ! -f "$BASELINE" ]]; then
@@ -146,3 +157,42 @@ EOF
 fi
 
 echo "wrote $OUT"
+
+# ---------------------------------------------------------------------------
+# E11: sharded service throughput. bench_service writes its own JSON; the
+# --check gate reads scaling_4_over_1 out of it. The scaling requirement
+# depends on the machine: a single-core runner cannot speed up by adding
+# shards, so there the gate only rejects a pathological slowdown.
+"$SVC_BIN" --out "$SVC_OUT"
+
+if [[ "$CHECK" == 1 ]]; then
+  python3 - "$SVC_OUT" <<'EOF'
+import json, os, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+scaling = doc["scaling_4_over_1"]
+hw = doc.get("hardware_concurrency", 0)
+
+override = os.environ.get("CHC_SVC_CHECK_MIN_SCALING")
+if override:
+    need = float(override)
+elif hw >= 4:
+    need = 2.0   # the acceptance bar: >= 2x instances/sec from 1 -> 4 shards
+elif hw >= 2:
+    need = 1.3
+else:
+    need = 0.85  # 1 core: sharding can't help; just forbid a big slowdown
+
+print(f"\n== service scaling gate ==")
+print(f"hardware_concurrency={hw}  scaling_4_over_1={scaling:.3f}x  "
+      f"required>={need:.2f}x")
+if scaling < need:
+    print(f"error: service shard scaling {scaling:.3f}x below the "
+          f"{need:.2f}x gate", file=sys.stderr)
+    sys.exit(1)
+print("service scaling gate passed")
+EOF
+fi

@@ -65,14 +65,8 @@ RunOutput run_cc_custom(const CCConfig& cc, const Workload& workload,
   out.stats = lossy.stats;
   out.workload = std::move(lossy.workload);
   out.correct = std::move(lossy.correct);
+  out.correct_inputs = std::move(lossy.correct_inputs);
   out.quiescent = lossy.quiescent;
-  const std::set<sim::ProcessId> faulty(out.workload.faulty.begin(),
-                                        out.workload.faulty.end());
-  for (sim::ProcessId p = 0; p < cc.n; ++p) {
-    if (faulty.count(p) == 0) {
-      out.correct_inputs.push_back(out.workload.inputs[p]);
-    }
-  }
   return out;
 }
 

@@ -130,17 +130,16 @@ LossyRunOutput run_cc_lossy_custom(const LossyRunConfig& lc,
 
   const std::set<sim::ProcessId> faulty(workload.faulty.begin(),
                                         workload.faulty.end());
-  std::vector<geo::Vec> correct_inputs;
   for (sim::ProcessId p = 0; p < cfg.n; ++p) {
     if (faulty.count(p) == 0) {
       out.correct.push_back(p);
-      correct_inputs.push_back(workload.inputs[p]);
+      out.correct_inputs.push_back(workload.inputs[p]);
     }
   }
   const std::vector<geo::Vec>& validity_inputs =
       (cfg.fault_model == FaultModel::kCrashCorrectInputs)
           ? workload.inputs
-          : correct_inputs;
+          : out.correct_inputs;
   out.cert = certify(*out.trace, out.correct, validity_inputs, cfg);
   return out;
 }

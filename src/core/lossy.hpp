@@ -44,6 +44,7 @@ struct LossyRunOutput {
   net::ShimStats shims;  ///< aggregate over all processes' shims
   Workload workload;
   std::vector<sim::ProcessId> correct;
+  std::vector<geo::Vec> correct_inputs;  ///< inputs of the processes in `correct`
   bool quiescent = false;
 };
 

@@ -1,16 +1,45 @@
 #include "geometry/intern.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstddef>
+#include <cstdlib>
 #include <deque>
+#include <list>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 
 #include "geometry/ops.hpp"
 
 namespace chc::geo {
 namespace {
+
+constexpr std::size_t kDefaultInternCap = 4096;
+
+/// Process-wide totals; plain atomics so the global intern table and every
+/// ComboCache (including thread-local ones) account into one struct.
+struct AtomicStats {
+  std::atomic<std::uint64_t> intern_hits{0};
+  std::atomic<std::uint64_t> intern_misses{0};
+  std::atomic<std::uint64_t> intern_evictions{0};
+  std::atomic<std::uint64_t> combo_hits{0};
+  std::atomic<std::uint64_t> combo_misses{0};
+
+  void reset() {
+    intern_hits = 0;
+    intern_misses = 0;
+    intern_evictions = 0;
+    combo_hits = 0;
+    combo_misses = 0;
+  }
+};
+
+AtomicStats& stats() {
+  static AtomicStats s;
+  return s;
+}
 
 /// FNV-1a over the polytope's exact content (dimension + vertex bits).
 std::uint64_t content_hash(const Polytope& p) {
@@ -34,6 +63,63 @@ bool same_value(const Polytope& a, const Polytope& b) {
     if (!(a.vertices()[i] == b.vertices()[i])) return false;
   }
   return true;
+}
+
+std::size_t default_intern_cap() {
+  if (const char* env = std::getenv("CHC_INTERN_CAP")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return kDefaultInternCap;
+}
+
+/// The shared intern table: weak entries (the table never keeps a polytope
+/// alive) in an LRU order capped at `cap` — recently interned values stay
+/// dedupable, old ones (and their control blocks) are let go.
+struct InternTable {
+  using LruList = std::list<std::pair<std::uint64_t, const Polytope*>>;
+
+  struct Entry {
+    std::weak_ptr<const Polytope> wp;
+    const Polytope* key = nullptr;  ///< identity for LRU bookkeeping only
+    LruList::iterator lru;
+  };
+
+  std::mutex mu;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> table;
+  LruList lru;  ///< front = eviction victim, back = most recent
+  std::size_t entries = 0;
+  std::size_t cap = default_intern_cap();
+
+  /// Drops the table entry for (hash, key). Caller holds mu.
+  void erase_entry(std::uint64_t hash, const Polytope* key) {
+    auto it = table.find(hash);
+    if (it == table.end()) return;
+    auto& bucket = it->second;
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (bucket[i].key == key) {
+        lru.erase(bucket[i].lru);
+        bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(i));
+        --entries;
+        break;
+      }
+    }
+    if (bucket.empty()) table.erase(it);
+  }
+
+  /// Evicts LRU victims until entries <= cap. Caller holds mu.
+  void enforce_cap() {
+    while (entries > cap && !lru.empty()) {
+      const auto [h, key] = lru.front();
+      erase_entry(h, key);
+      stats().intern_evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+InternTable& intern_table() {
+  static InternTable t;
+  return t;
 }
 
 struct ComboKey {
@@ -62,52 +148,132 @@ std::uint64_t combo_hash(const ComboKey& k) {
   return h;
 }
 
-constexpr std::size_t kComboCacheCap = 512;
+thread_local ComboCache* tls_combo_cache = nullptr;
 
-struct Caches {
-  std::mutex mu;
-  // hash -> interned polytopes with that hash (weak: the table never keeps
-  // a polytope alive by itself).
-  std::unordered_map<std::uint64_t, std::vector<std::weak_ptr<const Polytope>>>
-      table;
-  // Memoized equal-weight combinations, FIFO-bounded.
-  std::unordered_map<std::uint64_t, std::vector<std::pair<ComboKey, PolytopeHandle>>>
+}  // namespace
+
+struct ComboCache::Impl {
+  mutable std::mutex mu;
+  std::size_t cap;
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<ComboKey, PolytopeHandle>>>
       combos;
-  std::deque<std::uint64_t> combo_order;  // insertion order for eviction
-  std::size_t combo_entries = 0;
-  InternStats stats;
+  std::deque<std::uint64_t> order;  // insertion order for eviction
+  std::size_t entries = 0;
+
+  explicit Impl(std::size_t capacity) : cap(capacity == 0 ? 1 : capacity) {}
+
+  bool lookup(const ComboKey& key, std::uint64_t h, PolytopeHandle& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = combos.find(h);
+    if (it != combos.end()) {
+      for (const auto& [k, v] : it->second) {
+        if (k == key) {
+          out = v;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void insert(ComboKey key, std::uint64_t h, PolytopeHandle value) {
+    std::lock_guard<std::mutex> lock(mu);
+    combos[h].emplace_back(std::move(key), std::move(value));
+    order.push_back(h);
+    ++entries;
+    while (entries > cap && !order.empty()) {
+      const std::uint64_t victim = order.front();
+      order.pop_front();
+      auto it = combos.find(victim);
+      if (it != combos.end() && !it->second.empty()) {
+        it->second.erase(it->second.begin());
+        if (it->second.empty()) combos.erase(it);
+        --entries;
+      }
+    }
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu);
+    combos.clear();
+    order.clear();
+    entries = 0;
+  }
 };
 
-Caches& caches() {
-  static Caches c;
+ComboCache::ComboCache(std::size_t capacity)
+    : impl_(std::make_unique<Impl>(capacity)) {}
+
+ComboCache::~ComboCache() = default;
+
+std::size_t ComboCache::size() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->entries;
+}
+
+void ComboCache::clear() { impl_->clear(); }
+
+ComboCache* set_thread_combo_cache(ComboCache* cache) {
+  ComboCache* prev = tls_combo_cache;
+  tls_combo_cache = cache;
+  return prev;
+}
+
+namespace {
+
+ComboCache& global_combo_cache() {
+  static ComboCache c;
   return c;
+}
+
+ComboCache& current_combo_cache() {
+  return tls_combo_cache != nullptr ? *tls_combo_cache : global_combo_cache();
 }
 
 }  // namespace
 
 PolytopeHandle intern(Polytope p) {
   const std::uint64_t h = content_hash(p);
-  Caches& c = caches();
-  std::lock_guard<std::mutex> lock(c.mu);
-  auto& bucket = c.table[h];
+  InternTable& t = intern_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  auto& bucket = t.table[h];
   // Prune expired entries while scanning for a live match.
-  std::size_t live = 0;
   PolytopeHandle found;
-  for (std::size_t i = 0; i < bucket.size(); ++i) {
-    if (PolytopeHandle sp = bucket[i].lock()) {
-      if (found == nullptr && same_value(*sp, p)) found = std::move(sp);
-      if (live != i) bucket[live] = std::move(bucket[i]);
-      ++live;
+  const Polytope* found_key = nullptr;
+  for (std::size_t i = 0; i < bucket.size();) {
+    if (PolytopeHandle sp = bucket[i].wp.lock()) {
+      if (found == nullptr && same_value(*sp, p)) {
+        found = std::move(sp);
+        found_key = bucket[i].key;
+      }
+      ++i;
+    } else {
+      t.lru.erase(bucket[i].lru);
+      bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(i));
+      --t.entries;
     }
   }
-  bucket.resize(live);
   if (found != nullptr) {
-    ++c.stats.intern_hits;
+    // Touch: the matched entry becomes most-recently-used.
+    for (auto& e : bucket) {
+      if (e.key == found_key) {
+        t.lru.splice(t.lru.end(), t.lru, e.lru);
+        break;
+      }
+    }
+    stats().intern_hits.fetch_add(1, std::memory_order_relaxed);
     return found;
   }
-  ++c.stats.intern_misses;
+  stats().intern_misses.fetch_add(1, std::memory_order_relaxed);
   auto sp = std::make_shared<const Polytope>(std::move(p));
-  bucket.emplace_back(sp);
+  InternTable::Entry e;
+  e.wp = sp;
+  e.key = sp.get();
+  e.lru = t.lru.insert(t.lru.end(), {h, sp.get()});
+  bucket.push_back(std::move(e));
+  ++t.entries;
+  t.enforce_cap();
   return sp;
 }
 
@@ -122,60 +288,65 @@ PolytopeHandle equal_weight_combination_interned(
             });
   const std::uint64_t h = combo_hash(key);
 
-  Caches& c = caches();
-  {
-    std::lock_guard<std::mutex> lock(c.mu);
-    auto it = c.combos.find(h);
-    if (it != c.combos.end()) {
-      for (const auto& [k, v] : it->second) {
-        if (k == key) {
-          ++c.stats.combo_hits;
-          return v;
-        }
-      }
-    }
-    ++c.stats.combo_misses;
+  ComboCache& cache = current_combo_cache();
+  PolytopeHandle cached;
+  if (cache.impl_->lookup(key, h, cached)) {
+    stats().combo_hits.fetch_add(1, std::memory_order_relaxed);
+    return cached;
   }
+  stats().combo_misses.fetch_add(1, std::memory_order_relaxed);
 
-  // Compute outside the lock: the combination is the expensive part and
-  // two concurrent misses at worst duplicate work, never corrupt state.
+  // Compute outside the cache lock: the combination is the expensive part
+  // and two concurrent misses at worst duplicate work, never corrupt state.
   std::vector<Polytope> ops;
   ops.reserve(polys.size());
   for (const auto& p : polys) ops.push_back(*p);
-  PolytopeHandle result =
-      intern(equal_weight_combination(ops, rel_tol));
+  PolytopeHandle result = intern(equal_weight_combination(ops, rel_tol));
 
-  std::lock_guard<std::mutex> lock(c.mu);
-  c.combos[h].emplace_back(std::move(key), result);
-  c.combo_order.push_back(h);
-  ++c.combo_entries;
-  while (c.combo_entries > kComboCacheCap && !c.combo_order.empty()) {
-    const std::uint64_t victim = c.combo_order.front();
-    c.combo_order.pop_front();
-    auto it = c.combos.find(victim);
-    if (it != c.combos.end() && !it->second.empty()) {
-      it->second.erase(it->second.begin());
-      if (it->second.empty()) c.combos.erase(it);
-      --c.combo_entries;
-    }
-  }
+  cache.impl_->insert(std::move(key), h, result);
   return result;
 }
 
 InternStats intern_stats() {
-  Caches& c = caches();
-  std::lock_guard<std::mutex> lock(c.mu);
-  return c.stats;
+  const AtomicStats& s = stats();
+  InternStats out;
+  out.intern_hits = s.intern_hits.load(std::memory_order_relaxed);
+  out.intern_misses = s.intern_misses.load(std::memory_order_relaxed);
+  out.intern_evictions = s.intern_evictions.load(std::memory_order_relaxed);
+  out.combo_hits = s.combo_hits.load(std::memory_order_relaxed);
+  out.combo_misses = s.combo_misses.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::size_t intern_table_size() {
+  InternTable& t = intern_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.entries;
+}
+
+std::size_t intern_capacity() {
+  InternTable& t = intern_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.cap;
+}
+
+void set_intern_capacity(std::size_t cap) {
+  InternTable& t = intern_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.cap = cap == 0 ? default_intern_cap() : cap;
+  t.enforce_cap();
 }
 
 void clear_intern_caches() {
-  Caches& c = caches();
-  std::lock_guard<std::mutex> lock(c.mu);
-  c.table.clear();
-  c.combos.clear();
-  c.combo_order.clear();
-  c.combo_entries = 0;
-  c.stats = InternStats{};
+  InternTable& t = intern_table();
+  {
+    std::lock_guard<std::mutex> lock(t.mu);
+    t.table.clear();
+    t.lru.clear();
+    t.entries = 0;
+  }
+  global_combo_cache().clear();
+  stats().reset();
 }
 
 }  // namespace chc::geo

@@ -14,7 +14,17 @@
 // Handles are shared_ptr<const Polytope>: safe to pass across runtime
 // threads (the pointee is immutable) and to stash in std::any payloads.
 // The intern table holds weak references only — dropping every handle
-// frees the polytope.
+// frees the polytope — and is bounded: the table keeps at most
+// intern_capacity() entries, evicting the least-recently-interned value
+// (live handles stay valid; the value merely stops being dedupable), so a
+// long multi-instance run cannot grow the table monotonically.
+//
+// Memoized combinations live in ComboCache tables. By default every caller
+// shares one process-global cache; a runner that executes many consensus
+// instances concurrently (src/svc) gives each shard its own ComboCache via
+// set_thread_combo_cache so shards do not serialize on one mutex. The memo
+// is semantically transparent — a hit returns exactly the polytope a fresh
+// computation would intern — so the choice of cache never changes results.
 #pragma once
 
 #include <cstdint>
@@ -32,25 +42,64 @@ using PolytopeHandle = std::shared_ptr<const Polytope>;
 /// value-equal iff their handles are pointer-equal. Thread-safe.
 PolytopeHandle intern(Polytope p);
 
+/// A bounded memo table for equal-weight combinations (FIFO eviction).
+/// Thread-safe; one instance may be shared, or installed per worker thread
+/// with set_thread_combo_cache for contention-free sharded use.
+class ComboCache {
+ public:
+  explicit ComboCache(std::size_t capacity = 512);
+  ~ComboCache();
+  ComboCache(const ComboCache&) = delete;
+  ComboCache& operator=(const ComboCache&) = delete;
+
+  std::size_t size() const;
+  void clear();
+
+ private:
+  friend PolytopeHandle equal_weight_combination_interned(
+      const std::vector<PolytopeHandle>& polys, double rel_tol);
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Installs `cache` as the calling thread's combination memo table (null
+/// restores the process-global default). Returns the previous override.
+/// The cache must outlive the override.
+ComboCache* set_thread_combo_cache(ComboCache* cache);
+
 /// Equal-weight L (Definition 2 with weights 1/k) over interned operands,
 /// memoized on the operand multiset: repeated calls with the same handles
 /// (in any order) return the same interned result without recomputing the
-/// Minkowski combination. Thread-safe; the cache is bounded (LRU-ish
-/// eviction), so memory stays proportional to the working set.
+/// Minkowski combination. Thread-safe; the memo table used is the calling
+/// thread's ComboCache (see set_thread_combo_cache), the bounded
+/// process-global one by default.
 PolytopeHandle equal_weight_combination_interned(
     const std::vector<PolytopeHandle>& polys, double rel_tol = 1e-9);
 
-/// Counters for tests and benchmarks (process-wide totals).
+/// Counters for tests and benchmarks (process-wide totals, all caches).
 struct InternStats {
   std::uint64_t intern_hits = 0;    ///< intern() found an existing object
   std::uint64_t intern_misses = 0;  ///< intern() created a new object
+  std::uint64_t intern_evictions = 0;  ///< LRU victims dropped from the table
   std::uint64_t combo_hits = 0;     ///< memoized L reused a cached result
   std::uint64_t combo_misses = 0;   ///< memoized L computed from scratch
 };
 InternStats intern_stats();
 
-/// Drops the intern table and the combination cache (test isolation; live
-/// handles stay valid). Resets the statistics counters.
+/// Number of values currently registered in the intern table (expired
+/// entries are counted until pruned; the count never exceeds
+/// intern_capacity()).
+std::size_t intern_table_size();
+
+/// The intern table's entry bound. Defaults to CHC_INTERN_CAP (env) or
+/// 4096; set_intern_capacity(0) restores that default. Shrinking evicts
+/// immediately. Thread-safe.
+std::size_t intern_capacity();
+void set_intern_capacity(std::size_t cap);
+
+/// Drops the intern table and the process-global combination cache (test
+/// isolation; live handles stay valid — thread-local ComboCaches are their
+/// owners' to clear). Resets the statistics counters.
 void clear_intern_caches();
 
 }  // namespace chc::geo

@@ -6,22 +6,27 @@
 #include "common/check.hpp"
 
 namespace chc::opt {
+namespace {
 
-double epsilon_for_beta(double beta, double lipschitz) {
-  CHC_CHECK(beta > 0.0, "beta must be positive");
-  CHC_CHECK(lipschitz > 0.0, "Lipschitz constant must be positive");
-  return beta / lipschitz;
-}
+/// Step 2 + the outcome bookkeeping, shared by the reliable and lossy
+/// entry points: minimize over every correct decided polytope, then
+/// compute validity against the correct-input hull and the spreads.
+struct Step2 {
+  std::vector<ProcessOptimum> outputs;
+  double max_cost_spread = 0.0;
+  double max_point_spread = 0.0;
+  bool validity = false;
+  bool all_decided = false;
+};
 
-TwoStepOutcome optimize_two_step(const core::RunConfig& rc,
-                                 const CostFunction& cost,
-                                 const MinimizeOptions& opts) {
-  TwoStepOutcome out;
-  out.run = core::run_cc_once(rc);  // step 1
-
+Step2 run_step2(const core::TraceCollector& trace,
+                const std::vector<sim::ProcessId>& correct,
+                const std::vector<geo::Vec>& correct_inputs,
+                const CostFunction& cost, const MinimizeOptions& opts) {
+  Step2 out;
   out.all_decided = true;
-  for (sim::ProcessId p : out.run.correct) {
-    const auto& dec = out.run.trace->of(p).decision;
+  for (sim::ProcessId p : correct) {
+    const auto& dec = trace.of(p).decision;
     if (!dec.has_value()) {
       out.all_decided = false;
       continue;
@@ -31,8 +36,7 @@ TwoStepOutcome optimize_two_step(const core::RunConfig& rc,
   }
   if (out.outputs.empty()) return out;
 
-  const geo::Polytope hull =
-      geo::Polytope::from_points(out.run.correct_inputs);
+  const geo::Polytope hull = geo::Polytope::from_points(correct_inputs);
   out.validity = true;
   for (const auto& o : out.outputs) {
     if (!hull.contains(o.y, 1e-6)) out.validity = false;
@@ -46,6 +50,46 @@ TwoStepOutcome optimize_two_step(const core::RunConfig& rc,
           out.max_point_spread, out.outputs[a].y.dist(out.outputs[b].y));
     }
   }
+  return out;
+}
+
+}  // namespace
+
+double epsilon_for_beta(double beta, double lipschitz) {
+  CHC_CHECK(beta > 0.0, "beta must be positive");
+  CHC_CHECK(lipschitz > 0.0, "Lipschitz constant must be positive");
+  return beta / lipschitz;
+}
+
+TwoStepOutcome optimize_two_step(const core::RunConfig& rc,
+                                 const CostFunction& cost,
+                                 const MinimizeOptions& opts) {
+  TwoStepOutcome out;
+  out.run = core::run_cc_once(rc);  // step 1
+
+  Step2 s2 = run_step2(*out.run.trace, out.run.correct,
+                       out.run.correct_inputs, cost, opts);
+  out.outputs = std::move(s2.outputs);
+  out.max_cost_spread = s2.max_cost_spread;
+  out.max_point_spread = s2.max_point_spread;
+  out.validity = s2.validity;
+  out.all_decided = s2.all_decided;
+  return out;
+}
+
+TwoStepLossyOutcome optimize_two_step_lossy(const core::LossyRunConfig& lc,
+                                            const CostFunction& cost,
+                                            const MinimizeOptions& opts) {
+  TwoStepLossyOutcome out;
+  out.run = core::run_cc_lossy(lc);  // step 1 over the lossy network
+
+  Step2 s2 = run_step2(*out.run.trace, out.run.correct,
+                       out.run.correct_inputs, cost, opts);
+  out.outputs = std::move(s2.outputs);
+  out.max_cost_spread = s2.max_cost_spread;
+  out.max_point_spread = s2.max_point_spread;
+  out.validity = s2.validity;
+  out.all_decided = s2.all_decided;
   return out;
 }
 

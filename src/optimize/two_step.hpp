@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/harness.hpp"
+#include "core/lossy.hpp"
 #include "optimize/cost.hpp"
 #include "optimize/minimize.hpp"
 
@@ -41,5 +42,24 @@ double epsilon_for_beta(double beta, double lipschitz);
 TwoStepOutcome optimize_two_step(const core::RunConfig& rc,
                                  const CostFunction& cost,
                                  const MinimizeOptions& opts = {});
+
+/// Same 2-step algorithm with step 1 on the lossy harness: link faults from
+/// `lc.policy` (behind the reliable-channel shim when `lc.reliable`) plus
+/// whatever crash style `lc.base` configures. The §7 guarantees only assume
+/// the asynchronous crash-fault model, which the shim restores over fair-
+/// lossy links — so validity and weak β-optimality must survive unchanged;
+/// the lossy two-step tests assert exactly that.
+struct TwoStepLossyOutcome {
+  core::LossyRunOutput run;              ///< the step-1 lossy execution
+  std::vector<ProcessOptimum> outputs;   ///< per correct decided process
+  double max_cost_spread = 0.0;          ///< max |c(y_i) - c(y_j)|
+  double max_point_spread = 0.0;         ///< max d_E(y_i, y_j)
+  bool validity = false;                 ///< all y_i in hull of correct inputs
+  bool all_decided = false;
+};
+
+TwoStepLossyOutcome optimize_two_step_lossy(const core::LossyRunConfig& lc,
+                                            const CostFunction& cost,
+                                            const MinimizeOptions& opts = {});
 
 }  // namespace chc::opt

@@ -1,0 +1,92 @@
+// §7's 2-step optimization under crash faults AND lossy links — the regime
+// the fault-free two_step_test leaves uncovered. The reliable-channel shim
+// restores the crash-fault model over fair-lossy links, so validity and
+// weak β-optimality must hold exactly as in the clean runs; the tests also
+// assert the adversary genuinely bit (drops happened, the shim worked).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/lossy.hpp"
+#include "net/policy.hpp"
+#include "optimize/two_step.hpp"
+
+namespace chc::opt {
+namespace {
+
+core::LossyRunConfig lossy_config(core::CrashStyle crash, std::uint64_t seed) {
+  core::LossyRunConfig lc;
+  lc.base.cc = core::CCConfig{.n = 5, .f = 1, .d = 2, .eps = 0.05};
+  lc.base.pattern = core::InputPattern::kUniform;
+  lc.base.crash_style = crash;
+  lc.base.seed = seed;
+  lc.policy = net::NetworkPolicy::lossy(0.20, 0.05, 0.10);
+  lc.reliable = true;
+  return lc;
+}
+
+TEST(TwoStepLossy, QuadraticWeakBetaOptimalitySurvivesDropsAndCrashes) {
+  auto lc = lossy_config(core::CrashStyle::kMidBroadcast, 77);
+  const QuadraticCost cost(geo::Vec{0.0, 0.0});
+  // Inputs live in [-2,2]^2 (incorrect inputs included): b bounds the cost
+  // there, and eps = beta/b makes the cost spread provably < beta.
+  const double b = *cost.lipschitz_on(geo::Vec{-2, -2}, geo::Vec{2, 2});
+  const double beta = 0.2;
+  lc.base.cc.eps = epsilon_for_beta(beta, b);
+  const auto out = optimize_two_step_lossy(lc, cost);
+  ASSERT_TRUE(out.run.quiescent);
+  ASSERT_TRUE(out.all_decided);
+  EXPECT_TRUE(out.validity);
+  EXPECT_LT(out.max_cost_spread, beta);
+  // The network genuinely misbehaved and the shim genuinely recovered.
+  EXPECT_GT(out.run.stats.net_dropped, 0u);
+  EXPECT_GT(out.run.stats.retransmits, 0u);
+}
+
+TEST(TwoStepLossy, LinearCostBoundHoldsUnderEarlyCrashes) {
+  const auto lc = lossy_config(core::CrashStyle::kEarly, 31);
+  const LinearCost cost(geo::Vec{1.0, 0.5});
+  const auto out = optimize_two_step_lossy(lc, cost);
+  ASSERT_TRUE(out.all_decided);
+  EXPECT_TRUE(out.validity);
+  // |c(yi)-c(yj)| <= |g| * d_H(h_i, h_j) <= |g| * eps.
+  EXPECT_LT(out.max_cost_spread,
+            cost.direction().norm() * lc.base.cc.eps + 1e-9);
+}
+
+TEST(TwoStepLossy, OutputsStayInsideDecidedPolytopes) {
+  const auto out = optimize_two_step_lossy(
+      lossy_config(core::CrashStyle::kLate, 5), QuadraticCost(geo::Vec{0, 0}));
+  ASSERT_TRUE(out.all_decided);
+  ASSERT_FALSE(out.outputs.empty());
+  for (const auto& o : out.outputs) {
+    const auto& dec = out.run.trace->of(o.pid).decision;
+    ASSERT_TRUE(dec.has_value());
+    EXPECT_TRUE(dec->contains(o.y, 1e-5));
+  }
+}
+
+TEST(TwoStepLossy, SweepAcrossCrashStylesKeepsWeakOptimality) {
+  // The satellite requirement: a sweep over crash styles x seeds, all under
+  // the lossy preset, every run certified for validity + the beta bound.
+  const QuadraticCost cost(geo::Vec{0.3, -0.1});
+  const double b = *cost.lipschitz_on(geo::Vec{-2, -2}, geo::Vec{2, 2});
+  const double beta = 0.25;
+  for (const core::CrashStyle style :
+       {core::CrashStyle::kEarly, core::CrashStyle::kMidBroadcast,
+        core::CrashStyle::kLate}) {
+    for (const std::uint64_t seed : {3u, 19u}) {
+      auto lc = lossy_config(style, seed);
+      lc.base.cc.eps = epsilon_for_beta(beta, b);
+      const auto out = optimize_two_step_lossy(lc, cost);
+      const std::string ctx = "crash=" + std::to_string(static_cast<int>(style)) +
+                              " seed=" + std::to_string(seed);
+      ASSERT_TRUE(out.all_decided) << ctx;
+      EXPECT_TRUE(out.validity) << ctx;
+      EXPECT_LT(out.max_cost_spread, beta) << ctx;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chc::opt

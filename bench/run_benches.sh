@@ -45,6 +45,21 @@ MIN_TIME="${CHC_BENCH_MIN_TIME:-0.05}"
 BIN="$BUILD_DIR/bench/bench_geometry_micro"
 SVC_BIN="$BUILD_DIR/bench/bench_service"
 
+# Numbers from a non-Release build are meaningless for comparison; warn
+# loudly and stamp the JSON so a stray Debug result can never be mistaken
+# for a baseline later.
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null | head -n1)"
+BUILD_TYPE="${BUILD_TYPE:-unknown}"
+if [[ "$BUILD_TYPE" != "Release" ]]; then
+  cat >&2 <<EOW
+##############################################################################
+# WARNING: $BUILD_DIR is a '$BUILD_TYPE' build, not Release.
+# Benchmark numbers below are NOT comparable to committed baselines.
+# Reconfigure with -DCMAKE_BUILD_TYPE=Release before recording results.
+##############################################################################
+EOW
+fi
+
 if [[ ! -x "$BIN" ]]; then
   echo "error: $BIN not built (cmake --build $BUILD_DIR --target bench_geometry_micro)" >&2
   exit 1
@@ -78,12 +93,17 @@ if ! command -v python3 >/dev/null 2>&1; then
   exit 0
 fi
 
-python3 - "$OUT" <<'EOF'
+python3 - "$OUT" "$BUILD_TYPE" <<'EOF'
 import json, sys
 
 path = sys.argv[1]
+build_type = sys.argv[2]
 with open(path) as f:
     doc = json.load(f)
+
+doc["build_type"] = build_type
+if build_type != "Release":
+    doc["non_release_build"] = True
 
 times = {}
 for b in doc.get("benchmarks", []):
@@ -164,6 +184,21 @@ echo "wrote $OUT"
 # depends on the machine: a single-core runner cannot speed up by adding
 # shards, so there the gate only rejects a pathological slowdown.
 "$SVC_BIN" --out "$SVC_OUT"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SVC_OUT" "$BUILD_TYPE" <<'EOF'
+import json, sys
+
+path, build_type = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    doc = json.load(f)
+doc["build_type"] = build_type
+if build_type != "Release":
+    doc["non_release_build"] = True
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+EOF
+fi
 
 if [[ "$CHECK" == 1 ]]; then
   python3 - "$SVC_OUT" <<'EOF'

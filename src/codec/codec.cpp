@@ -156,6 +156,8 @@ Buffer encode(const RelFrame& f) {
   w.put_u64(f.seq);
   w.put_u64(f.cum_ack);
   w.put_u32(static_cast<std::uint32_t>(f.inner_tag));
+  w.put_u32(f.src_epoch);
+  w.put_u32(f.dst_epoch);
   w.put_u32(static_cast<std::uint32_t>(f.inner.size()));
   Buffer out = w.take();
   out.insert(out.end(), f.inner.begin(), f.inner.end());
@@ -168,28 +170,42 @@ std::optional<RelFrame> decode_rel_frame(const Buffer& buf,
   const auto seq = r.read_u64();
   const auto cum_ack = r.read_u64();
   const auto tag = r.read_u32();
+  const auto src_epoch = r.read_u32();
+  const auto dst_epoch = r.read_u32();
   const auto len = r.read_u32();
-  if (!seq || !cum_ack || !tag || !len) return std::nullopt;
+  if (!seq || !cum_ack || !tag || !src_epoch || !dst_epoch || !len) {
+    return std::nullopt;
+  }
   if (*len > max_inner || r.remaining() != *len) return std::nullopt;
   RelFrame f;
   f.seq = *seq;
   f.cum_ack = *cum_ack;
   f.inner_tag = static_cast<std::int32_t>(*tag);
+  f.src_epoch = *src_epoch;
+  f.dst_epoch = *dst_epoch;
   f.inner.assign(buf.end() - *len, buf.end());
   return f;
 }
 
-Buffer encode_rel_ack(std::uint64_t cum_ack) {
+Buffer encode_rel_ack(const RelAckFrame& a) {
   Writer w;
-  w.put_u64(cum_ack);
+  w.put_u64(a.cum_ack);
+  w.put_u32(a.src_epoch);
+  w.put_u32(a.dst_epoch);
   return w.take();
 }
 
-std::optional<std::uint64_t> decode_rel_ack(const Buffer& buf) {
+std::optional<RelAckFrame> decode_rel_ack(const Buffer& buf) {
   Reader r(buf);
   const auto cum = r.read_u64();
-  if (!cum || !r.exhausted()) return std::nullopt;
-  return cum;
+  const auto src_epoch = r.read_u32();
+  const auto dst_epoch = r.read_u32();
+  if (!cum || !src_epoch || !dst_epoch || !r.exhausted()) return std::nullopt;
+  RelAckFrame a;
+  a.cum_ack = *cum;
+  a.src_epoch = *src_epoch;
+  a.dst_epoch = *dst_epoch;
+  return a;
 }
 
 std::size_t encoded_size(const geo::Vec& v) { return 4 + 8 * v.dim(); }
@@ -211,6 +227,6 @@ std::size_t encoded_size(const dsm::View& view) {
   return s;
 }
 
-std::size_t encoded_size(const RelFrame& f) { return 24 + f.inner.size(); }
+std::size_t encoded_size(const RelFrame& f) { return 32 + f.inner.size(); }
 
 }  // namespace chc::codec

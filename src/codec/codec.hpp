@@ -82,16 +82,26 @@ std::optional<dsm::View> decode_view(const Buffer& buf,
                                      std::size_t max_slots = 4096);
 
 // --- Reliable-channel frames (net/reliable_channel.hpp wire format) ------
-// DATA frame header: seq, cumulative ack, inner tag, then the inner
-// payload as length-prefixed opaque bytes (encoded with this codec by the
-// tag's documented type). ACK frames carry the cumulative ack alone. This
-// is the byte format a cross-address-space ReliableChannel would put on
-// the wire; the in-process runtimes keep payloads as std::any.
+// DATA frame header: seq, cumulative ack, inner tag, sender/destination
+// epochs (crash-recover incarnations), then the inner payload as
+// length-prefixed opaque bytes (encoded with this codec by the tag's
+// documented type). ACK frames carry the cumulative ack plus both epochs.
+// This is the byte format a cross-address-space ReliableChannel would put
+// on the wire; the in-process runtimes keep payloads as std::any.
 struct RelFrame {
   std::uint64_t seq = 0;
   std::uint64_t cum_ack = 0;
   std::int32_t inner_tag = 0;
+  std::uint32_t src_epoch = 0;
+  std::uint32_t dst_epoch = 0;
   Buffer inner;  ///< encoded inner payload (opaque at this layer)
+};
+
+/// Standalone cumulative acknowledgement (mirror of net::RelAck).
+struct RelAckFrame {
+  std::uint64_t cum_ack = 0;
+  std::uint32_t src_epoch = 0;
+  std::uint32_t dst_epoch = 0;
 };
 
 Buffer encode(const RelFrame& f);
@@ -99,8 +109,8 @@ Buffer encode(const RelFrame& f);
 std::optional<RelFrame> decode_rel_frame(const Buffer& buf,
                                          std::size_t max_inner = 1 << 20);
 
-Buffer encode_rel_ack(std::uint64_t cum_ack);
-std::optional<std::uint64_t> decode_rel_ack(const Buffer& buf);
+Buffer encode_rel_ack(const RelAckFrame& a);
+std::optional<RelAckFrame> decode_rel_ack(const Buffer& buf);
 
 /// Wire size in bytes of each payload (for experiment accounting).
 std::size_t encoded_size(const geo::Vec& v);

@@ -10,6 +10,34 @@
 
 namespace chc::core {
 
+namespace {
+
+obs::HeaderChannelOverride to_header_override(sim::ProcessId from,
+                                              sim::ProcessId to,
+                                              const net::ChannelPolicy& c) {
+  obs::HeaderChannelOverride o;
+  o.from = from;
+  o.to = to;
+  o.drop = c.drop_rate;
+  o.dup = c.dup_rate;
+  o.reorder = c.reorder_rate;
+  o.rmin = c.reorder_delay_min;
+  o.rmax = c.reorder_delay_max;
+  return o;
+}
+
+std::vector<obs::HeaderChannelOverride> to_header_overrides(
+    const net::NetworkPolicy& policy) {
+  std::vector<obs::HeaderChannelOverride> out;
+  out.reserve(policy.overrides.size());
+  for (const auto& [channel, faults] : policy.overrides) {
+    out.push_back(to_header_override(channel.first, channel.second, faults));
+  }
+  return out;
+}
+
+}  // namespace
+
 obs::TraceHeader make_trace_header(const LossyRunConfig& lc,
                                    const CCConfig& effective,
                                    const Workload& workload) {
@@ -44,6 +72,40 @@ obs::TraceHeader make_trace_header(const LossyRunConfig& lc,
   h.tick = lc.rel.tick;
   h.max_retries = lc.rel.max_retries;
   h.max_events = lc.max_events;
+  h.overrides = to_header_overrides(lc.policy);
+  for (const net::PolicySchedule::Phase& ph : lc.schedule.phases()) {
+    obs::HeaderPolicyPhase hp;
+    hp.at = ph.at;
+    hp.drop = ph.policy.link.drop_rate;
+    hp.dup = ph.policy.link.dup_rate;
+    hp.reorder = ph.policy.link.reorder_rate;
+    hp.rmin = ph.policy.link.reorder_delay_min;
+    hp.rmax = ph.policy.link.reorder_delay_max;
+    hp.overrides = to_header_overrides(ph.policy);
+    h.phases.push_back(std::move(hp));
+  }
+  if (lc.crash_plans.has_value()) {
+    for (const auto& [p, plan] : lc.crash_plans->plans()) {
+      obs::HeaderCrashPlan cp;
+      cp.p = p;
+      if (plan.at_time.has_value()) {
+        cp.has_at = true;
+        cp.at = *plan.at_time;
+      }
+      if (plan.after_sends.has_value()) {
+        cp.has_after = true;
+        cp.after = *plan.after_sends;
+      }
+      if (plan.recover_at.has_value()) {
+        cp.has_recover = true;
+        cp.recover = *plan.recover_at;
+      }
+      h.crash_plans.push_back(cp);
+    }
+  }
+  for (const sim::StormWindow& w : lc.storms) {
+    h.storms.push_back({w.t0, w.t1, w.factor});
+  }
   h.faulty.assign(workload.faulty.begin(), workload.faulty.end());
   h.inputs.reserve(workload.inputs.size());
   for (const geo::Vec& x : workload.inputs) h.inputs.push_back(x.coords());
@@ -68,40 +130,80 @@ LossyRunOutput run_cc_lossy_custom(const LossyRunConfig& lc,
 
   const bool tracing = lc.tracer != nullptr && lc.tracer->enabled();
   if (tracing) {
-    CHC_CHECK(lc.policy.overrides.empty(),
-              "tracing supports the uniform link class only");
     lc.tracer->line(to_jsonl(make_trace_header(lc, cfg, workload)));
   }
 
-  sim::Simulation sim(cfg.n, rc.seed,
-                      make_delay_model(rc.delay, workload.faulty, cfg.n),
-                      make_crash_schedule(workload, rc.crash_style, rc.seed));
-  if (lc.policy.enabled()) {
+  const sim::CrashSchedule crashes =
+      lc.crash_plans.has_value()
+          ? *lc.crash_plans
+          : make_crash_schedule(workload, rc.crash_style, rc.seed);
+  std::unique_ptr<sim::DelayModel> delay =
+      make_delay_model(rc.delay, workload.faulty, cfg.n);
+  if (!lc.storms.empty()) {
+    delay = std::make_unique<sim::StormDelay>(std::move(delay), lc.storms);
+  }
+
+  sim::Simulation sim(cfg.n, rc.seed, std::move(delay), crashes);
+  if (!lc.schedule.empty()) {
+    sim.set_fault_model(std::make_unique<net::FaultyLinkModel>(lc.schedule));
+  } else if (lc.policy.enabled()) {
     sim.set_fault_model(std::make_unique<net::FaultyLinkModel>(lc.policy));
   }
   sim.set_tracer(lc.tracer);
   sim.set_metrics(lc.metrics);
 
   out.trace = std::make_unique<TraceCollector>(cfg.n, lc.tracer);
-  std::vector<net::ReliableChannel*> shims;
+  std::vector<net::ReliableChannel*> shims(cfg.n, nullptr);
+  net::ShimStats retired_shims;  // harvested from pre-recovery incarnations
   for (sim::ProcessId p = 0; p < cfg.n; ++p) {
     auto cc = std::make_unique<CCProcess>(cfg, workload.inputs[p],
                                           out.trace.get());
+    if (crashes.any_recovery()) cc->allow_sender_restart();
     if (lc.reliable) {
       auto shim = std::make_unique<net::ReliableChannel>(std::move(cc), lc.rel,
                                                          lc.tracer);
-      shims.push_back(shim.get());
+      shims[p] = shim.get();
       sim.add_process(std::move(shim));
     } else {
       sim.add_process(std::move(cc));
     }
   }
+  if (crashes.any_recovery()) {
+    // Crash-recover with state loss: the replacement incarnation is built
+    // exactly like the original (same input — a restarted process re-derives
+    // everything from its durable input), except its shim starts at the new
+    // epoch so peers detect the restart. The retired incarnation's shim
+    // counters are folded into the aggregate before it is destroyed.
+    sim.set_process_factory([&](sim::ProcessId p, std::size_t incarnation,
+                                std::unique_ptr<sim::Process> retired)
+                                -> std::unique_ptr<sim::Process> {
+      if (auto* old_shim =
+              dynamic_cast<net::ReliableChannel*>(retired.get())) {
+        retired_shims += old_shim->stats();
+      }
+      shims[p] = nullptr;
+      out.trace->reset_process(p);
+      auto cc = std::make_unique<CCProcess>(cfg, workload.inputs[p],
+                                            out.trace.get());
+      cc->allow_sender_restart();
+      if (!lc.reliable) return cc;
+      auto shim = std::make_unique<net::ReliableChannel>(
+          std::move(cc), lc.rel, lc.tracer,
+          static_cast<std::uint32_t>(incarnation));
+      shims[p] = shim.get();
+      return shim;
+    });
+  }
 
   const sim::RunResult rr = sim.run(lc.max_events);
   out.quiescent = rr.quiescent;
   out.stats = rr.stats;
+  out.shims = retired_shims;
+  double max_backoff = 0.0;
   for (const net::ReliableChannel* shim : shims) {
+    if (shim == nullptr) continue;
     out.shims += shim->stats();
+    max_backoff = std::max(max_backoff, shim->current_backoff());
   }
   // The simulator cannot distinguish a retransmission from a fresh send;
   // fold the shims' accounting into SimStats so one struct tells the whole
@@ -122,6 +224,26 @@ LossyRunOutput run_cc_lossy_custom(const LossyRunConfig& lc,
     lc.metrics->counter("net.dropped").inc(out.stats.net_dropped);
     lc.metrics->counter("net.duplicated").inc(out.stats.net_duplicated);
     lc.metrics->counter("net.retransmits").inc(out.stats.retransmits);
+    lc.metrics->counter("sim.recoveries").inc(out.stats.recoveries);
+    if (lc.reliable) {
+      lc.metrics->counter("net.rel.data_sent").inc(out.shims.data_sent);
+      lc.metrics->counter("net.rel.retransmits").inc(out.shims.retransmits);
+      lc.metrics->counter("net.rel.acks_sent").inc(out.shims.acks_sent);
+      lc.metrics->counter("net.rel.delivered").inc(out.shims.delivered);
+      lc.metrics->counter("net.rel.dups_suppressed")
+          .inc(out.shims.dups_suppressed);
+      lc.metrics->counter("net.rel.buffered_out_of_order")
+          .inc(out.shims.buffered_out_of_order);
+      lc.metrics->counter("net.rel.sends_abandoned")
+          .inc(out.shims.sends_abandoned);
+      lc.metrics->counter("net.rel.channels_abandoned")
+          .inc(out.shims.channels_abandoned);
+      lc.metrics->counter("net.rel.stale_epoch_dropped")
+          .inc(out.shims.stale_epoch_dropped);
+      lc.metrics->counter("net.rel.channel_resets")
+          .inc(out.shims.channel_resets);
+      lc.metrics->gauge("net.rel.max_current_backoff").set(max_backoff);
+    }
     lc.metrics->counter("cc.decided").inc(out.trace->decided().size());
     lc.metrics->gauge("cc.max_round")
         .set(static_cast<double>(out.trace->max_round()));

@@ -13,11 +13,15 @@
 // to decide once round-0 quorum traffic is dropped).
 #pragma once
 
+#include <optional>
+#include <vector>
+
 #include "core/harness.hpp"
 #include "net/policy.hpp"
 #include "net/reliable_channel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/delay.hpp"
 
 namespace chc::core {
 
@@ -28,10 +32,21 @@ struct LossyRunConfig {
   bool reliable = true;       ///< wrap processes in net::ReliableChannel
   std::uint64_t max_events = 50'000'000;
 
+  // Time-varying adversary (nemesis scenarios). All three default to
+  // "absent", leaving classic runs untouched.
+  /// Non-empty: replaces `policy` with a time-keyed phase sequence
+  /// (partition -> heal). Partitioned phases may drop at rate 1.0.
+  net::PolicySchedule schedule;
+  /// Delay-storm windows layered on the base delay model.
+  std::vector<sim::StormWindow> storms;
+  /// Explicit crash schedule (the only way to schedule crash-*recover*);
+  /// overrides the crash-style-derived schedule when present.
+  std::optional<sim::CrashSchedule> crash_plans;
+
   /// Optional observability hooks. With a tracer the run writes a full
-  /// JSONL trace (header, events, footer); tracing requires the uniform
-  /// link class (per-channel overrides are not representable in the
-  /// header, so such runs cannot be replayed).
+  /// JSONL trace (header, events, footer) — the header also records
+  /// per-channel overrides, policy phases, explicit crash plans and storm
+  /// windows, so nemesis runs replay like any other.
   obs::Tracer* tracer = nullptr;
   obs::Registry* metrics = nullptr;
 };

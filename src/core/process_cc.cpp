@@ -154,9 +154,15 @@ void CCProcess::on_message(sim::Context& ctx, const sim::Message& msg) {
     // copies must not re-create an inbox entry that nothing ever erases.
     return;
   }
-  // At most one message per sender per round on reliable channels.
+  // At most one message per sender per round on reliable channels — unless
+  // the sender may crash-recover, in which case its fresh incarnation
+  // replays the protocol and this receiver keeps the first copy.
   const bool inserted = inbox_[rm.round].emplace(msg.from, rm.h).second;
-  CHC_INTERNAL(inserted, "duplicate round message from one sender");
+  if (!inserted) {
+    CHC_INTERNAL(allow_sender_restart_,
+                 "duplicate round message from one sender");
+    return;
+  }
   if (round0_done_ && !round0_failed_ && rm.round == current_round_) {
     maybe_complete_round(ctx);
   }

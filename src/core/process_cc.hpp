@@ -63,6 +63,16 @@ class CCProcess final : public sim::Process {
   /// rounds must not linger here, and the buffer empties on decision).
   std::size_t buffered_rounds() const { return inbox_.size(); }
 
+  /// Call when the run may crash-recover senders (CrashPlan::recover_at).
+  /// A recovered sender restarts the protocol from scratch, so a receiver
+  /// can legitimately see a second round-t message from the same process
+  /// id — one per incarnation; delivery is at-least-once across a restart
+  /// even though each shim epoch is exactly-once. The inbox then keeps the
+  /// first copy (safe: every incarnation's round-t state is a valid
+  /// algorithm state) instead of treating the duplicate as an internal
+  /// exactly-once violation.
+  void allow_sender_restart() { allow_sender_restart_ = true; }
+
  private:
   void on_round0(sim::Context& ctx, const dsm::StableVectorResult& view);
   /// Lines 8-9 for current_round_: insert the own message into the round's
@@ -84,6 +94,7 @@ class CCProcess final : public sim::Process {
   std::size_t current_round_ = 0;  // round being executed
   bool round0_done_ = false;
   bool round0_failed_ = false;
+  bool allow_sender_restart_ = false;
   std::optional<geo::Polytope> decision_;
 
   // Buffered round messages: round -> (sender -> interned polytope). FIFO

@@ -13,6 +13,31 @@ bool fail(std::string* error, const std::string& msg) {
   return false;
 }
 
+/// Validates one header link class (the CHC_CHECK in ChannelPolicy's
+/// constructor throws; a malformed trace file should fail gracefully).
+bool valid_link(double drop, double dup, double reorder, double rmin,
+                double rmax) {
+  return drop >= 0.0 && drop <= 1.0 && dup >= 0.0 && dup <= 1.0 &&
+         reorder >= 0.0 && reorder <= 1.0 && rmin > 0.0 && rmin <= rmax;
+}
+
+bool apply_overrides(const std::vector<obs::HeaderChannelOverride>& overrides,
+                     std::uint64_t n, net::NetworkPolicy* policy,
+                     std::string* error) {
+  for (const obs::HeaderChannelOverride& o : overrides) {
+    if (o.from >= n || o.to >= n) {
+      return fail(error, "override channel id out of range");
+    }
+    if (!valid_link(o.drop, o.dup, o.reorder, o.rmin, o.rmax)) {
+      return fail(error, "override link rates out of range");
+    }
+    policy->set_channel(o.from, o.to,
+                        net::ChannelPolicy(o.drop, o.dup, o.reorder, o.rmin,
+                                           o.rmax));
+  }
+  return true;
+}
+
 }  // namespace
 
 bool config_from_header(const obs::TraceHeader& h, LossyRunConfig* lc,
@@ -64,6 +89,44 @@ bool config_from_header(const obs::TraceHeader& h, LossyRunConfig* lc,
   out.policy = net::NetworkPolicy::lossy(h.drop, h.dup, h.reorder);
   out.policy.link.reorder_delay_min = h.reorder_delay_min;
   out.policy.link.reorder_delay_max = h.reorder_delay_max;
+  if (!apply_overrides(h.overrides, h.n, &out.policy, error)) return false;
+  for (std::size_t k = 0; k < h.phases.size(); ++k) {
+    const obs::HeaderPolicyPhase& hp = h.phases[k];
+    if (k == 0 ? hp.at != 0.0 : hp.at <= h.phases[k - 1].at) {
+      return fail(error, "policy phase times must start at 0 and ascend");
+    }
+    if (!valid_link(hp.drop, hp.dup, hp.reorder, hp.rmin, hp.rmax)) {
+      return fail(error, "phase link rates out of range");
+    }
+    net::NetworkPolicy phase;
+    phase.link =
+        net::ChannelPolicy(hp.drop, hp.dup, hp.reorder, hp.rmin, hp.rmax);
+    if (!apply_overrides(hp.overrides, h.n, &phase, error)) return false;
+    out.schedule.add(hp.at, std::move(phase));
+  }
+  if (!h.crash_plans.empty()) {
+    sim::CrashSchedule crashes;
+    for (const obs::HeaderCrashPlan& cp : h.crash_plans) {
+      if (cp.p >= h.n) return fail(error, "crash plan id out of range");
+      sim::CrashPlan plan;
+      if (cp.has_at) plan.at_time = cp.at;
+      if (cp.has_after) plan.after_sends = cp.after;
+      if (cp.has_recover) {
+        if (!cp.has_at || cp.recover <= cp.at) {
+          return fail(error, "recovery must follow a time-triggered crash");
+        }
+        plan.recover_at = cp.recover;
+      }
+      crashes.set(cp.p, plan);
+    }
+    out.crash_plans = std::move(crashes);
+  }
+  for (const obs::HeaderStorm& s : h.storms) {
+    if (!(s.t1 > s.t0) || s.factor < 1.0) {
+      return fail(error, "malformed storm window");
+    }
+    out.storms.push_back({s.t0, s.t1, s.factor});
+  }
   out.reliable = h.reliable;
   out.rel.rto = h.rto;
   out.rel.backoff = h.backoff;

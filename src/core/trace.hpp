@@ -61,6 +61,13 @@ class TraceCollector {
   void record_decision(sim::ProcessId p, const geo::Polytope& decision,
                        std::size_t round = 0, sim::Time now = 0.0);
 
+  /// Forgets everything recorded for p. Called when p restarts after a
+  /// crash-recover (state loss): the fresh incarnation re-records round 0,
+  /// which the duplicate guards would otherwise reject. The kRecover trace
+  /// event preserves the full history for the offline checker; in memory
+  /// the latest incarnation wins.
+  void reset_process(sim::ProcessId p) { procs_.at(p) = ProcessTrace{}; }
+
   std::size_t n() const { return procs_.size(); }
   const ProcessTrace& of(sim::ProcessId p) const { return procs_.at(p); }
 

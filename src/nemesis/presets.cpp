@@ -1,0 +1,253 @@
+#include "nemesis/presets.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/workload.hpp"
+
+namespace chc::nemesis {
+
+namespace {
+
+/// Non-faulty pids, ascending.
+std::vector<sim::ProcessId> others(const std::vector<sim::ProcessId>& faulty,
+                                   std::size_t n) {
+  std::vector<sim::ProcessId> out;
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    bool is_faulty = false;
+    for (const sim::ProcessId q : faulty) is_faulty |= (p == q);
+    if (!is_faulty) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Preset> make_presets() {
+  std::vector<Preset> out;
+
+  {
+    Preset p;
+    p.name = "partition_heal";
+    p.description =
+        "symmetric partition {0,1} | {2,3,4} at t=4, heals at t=30; "
+        "everything stalls below the n-f quorum, then decides";
+    p.build = [](const std::vector<sim::ProcessId>&, std::size_t) {
+      return Scenario{}.partition(4.0, 30.0, {0, 1});
+    };
+    out.push_back(std::move(p));
+  }
+  {
+    Preset p;
+    p.name = "asym_partition";
+    p.description =
+        "one-way cut: process 0's outbound links drop from t=3 to t=25 "
+        "while its inbound links stay up";
+    p.build = [](const std::vector<sim::ProcessId>&, std::size_t n) {
+      return Scenario{}.partition_one_way(3.0, 25.0, {0}, others({0}, n));
+    };
+    out.push_back(std::move(p));
+  }
+  {
+    Preset p;
+    p.name = "crash_recover";
+    p.description =
+        "the faulty process crashes mid-round at t=6 and restarts with "
+        "fresh state at t=25 (state loss; shim epochs resynchronize)";
+    p.crash_count = 1;
+    p.build = [](const std::vector<sim::ProcessId>& faulty, std::size_t) {
+      Scenario s;
+      s.crash(faulty[0], 6.0).recover(faulty[0], 25.0);
+      return s;
+    };
+    out.push_back(std::move(p));
+  }
+  {
+    Preset p;
+    p.name = "delay_storm";
+    p.description =
+        "all message delays multiply by 12 during t in [2, 20): spurious "
+        "retransmissions, dedup, then normal progress";
+    p.build = [](const std::vector<sim::ProcessId>&, std::size_t) {
+      return Scenario{}.delay_storm(2.0, 20.0, 12.0);
+    };
+    out.push_back(std::move(p));
+  }
+  {
+    Preset p;
+    p.name = "partition_crash_recover";
+    p.description =
+        "partition of two correct processes (t=4..18) composed with a "
+        "crash-recover of the faulty process (crash t=8, recover t=26)";
+    p.crash_count = 1;
+    p.build = [](const std::vector<sim::ProcessId>& faulty, std::size_t n) {
+      const std::vector<sim::ProcessId> ok = others(faulty, n);
+      Scenario s;
+      s.partition(4.0, 18.0, {ok[0], ok[1]});
+      s.crash(faulty[0], 8.0).recover(faulty[0], 26.0);
+      return s;
+    };
+    out.push_back(std::move(p));
+  }
+  {
+    Preset p;
+    p.name = "churn";
+    p.description =
+        "staggered crash-recover churn: two faulty processes bounce at "
+        "overlapping times (n=7, f=2, d=1)";
+    p.n = 7;
+    p.f = 2;
+    p.d = 1;  // n >= (d+2)f + 1 requires d=1 at n=7, f=2
+    p.crash_count = 2;
+    p.build = [](const std::vector<sim::ProcessId>& faulty, std::size_t) {
+      Scenario s;
+      s.crash(faulty[0], 5.0).recover(faulty[0], 20.0);
+      s.crash(faulty[1], 12.0).recover(faulty[1], 28.0);
+      return s;
+    };
+    out.push_back(std::move(p));
+  }
+  {
+    Preset p;
+    p.name = "over_budget";
+    p.description =
+        "f+1 simultaneous crashes with no recovery: the run must stall "
+        "safely (checker-clean, non-deciding), never violate";
+    p.crash_count = 1;
+    p.expect_decide = false;
+    p.build = [](const std::vector<sim::ProcessId>& faulty, std::size_t n) {
+      Scenario s;
+      s.crash(faulty[0], 6.0);
+      s.crash(others(faulty, n)[0], 6.0);  // one more than the budget
+      return s;
+    };
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Preset>& presets() {
+  static const std::vector<Preset> kPresets = make_presets();
+  return kPresets;
+}
+
+const Preset* find_preset(const std::string& name) {
+  for (const Preset& p : presets()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+Preset sample_preset(std::uint64_t seed) {
+  // Independent of the workload stream: the composer draws structure, the
+  // seed handed to run_preset draws inputs / faulty pids / delays.
+  Rng rng(seed ^ 0x6E656D6573697321ULL);
+
+  struct Ingredient {
+    int kind = 0;  // 0 sym partition, 1 one-way partition, 2 crash, 3 storm
+    double t0 = 0.0, t1 = 0.0, factor = 1.0;
+    std::vector<sim::ProcessId> side;
+    bool with_recovery = false;
+  };
+
+  constexpr std::size_t kN = 5;
+  const auto n_elems = static_cast<std::size_t>(rng.uniform_int(1, 3));
+  std::vector<Ingredient> mix;
+  bool used_crash = false;
+  std::size_t crash_count = 0;
+  // Overlapping storms multiply their factors, and a combined factor past
+  // the shim's give-up horizon (~260 time units of unacked silence at
+  // default ReliableParams) makes every sender abandon every channel — the
+  // run would stall even though no fault budget was exceeded. Sampled
+  // scenarios promise to decide, so the combined product stays <= 60
+  // (worst in-flight delay 60 x 1.0 base, well under the horizon).
+  double storm_budget = 60.0;
+  for (std::size_t i = 0; i < n_elems; ++i) {
+    Ingredient ing;
+    ing.kind = static_cast<int>(rng.uniform_int(0, 3));
+    if (ing.kind == 2 && used_crash) ing.kind = 3;  // one crash plan max
+    if (ing.kind == 3 && storm_budget < 3.0) ing.kind = 0;  // budget spent
+    switch (ing.kind) {
+      case 0:
+      case 1: {
+        ing.t0 = rng.uniform(1.0, 8.0);
+        ing.t1 = ing.t0 + rng.uniform(5.0, 20.0);
+        const auto k = static_cast<std::size_t>(rng.uniform_int(1, 2));
+        for (const std::size_t p : rng.sample_indices(kN, k)) {
+          ing.side.push_back(p);
+        }
+        break;
+      }
+      case 2: {
+        used_crash = true;
+        crash_count = 1;
+        ing.t0 = rng.uniform(2.0, 10.0);
+        ing.with_recovery = rng.bernoulli(0.5);
+        ing.t1 = ing.t0 + rng.uniform(10.0, 20.0);
+        break;
+      }
+      case 3: {
+        ing.t0 = rng.uniform(0.0, 8.0);
+        ing.t1 = ing.t0 + rng.uniform(4.0, 14.0);
+        ing.factor = rng.uniform(3.0, std::min(15.0, storm_budget));
+        storm_budget /= ing.factor;
+        break;
+      }
+    }
+    mix.push_back(std::move(ing));
+  }
+
+  Preset p;
+  p.name = "fuzz";
+  p.description = "seeded random composition of partitions/crash/storms";
+  p.n = kN;
+  p.crash_count = crash_count;
+  p.expect_decide = true;  // within budget, every partition heals
+  p.build = [mix](const std::vector<sim::ProcessId>& faulty, std::size_t n) {
+    Scenario s;
+    for (const Ingredient& ing : mix) {
+      switch (ing.kind) {
+        case 0:
+          s.partition(ing.t0, ing.t1, ing.side);
+          break;
+        case 1:
+          s.partition_one_way(ing.t0, ing.t1, ing.side,
+                              others(ing.side, n));
+          break;
+        case 2:
+          s.crash(faulty.at(0), ing.t0);
+          if (ing.with_recovery) s.recover(faulty.at(0), ing.t1);
+          break;
+        case 3:
+          s.delay_storm(ing.t0, ing.t1, ing.factor);
+          break;
+      }
+    }
+    return s;
+  };
+  return p;
+}
+
+ScenarioResult run_preset(const Preset& preset, std::uint64_t seed,
+                          obs::Registry* metrics) {
+  CHC_CHECK(preset.build != nullptr, "preset has no scenario builder");
+  ScenarioSpec spec;
+  spec.name = preset.name;
+  spec.cc.n = preset.n;
+  spec.cc.f = preset.f;
+  spec.cc.d = preset.d;
+  spec.cc.eps = preset.eps;
+  spec.seed = seed;
+  spec.crash_count = preset.crash_count;
+  spec.expect_decide = preset.expect_decide;
+  // The builder needs the faulty pids; make_workload is deterministic in
+  // (n, f, d, pattern, seed), so this is the same set run_scenario derives.
+  const core::Workload w = core::make_workload(
+      preset.n, preset.crash_count, preset.d, spec.pattern, seed,
+      spec.cc.fault_model == core::FaultModel::kCrashIncorrectInputs);
+  spec.scenario = preset.build(w.faulty, preset.n);
+  return run_scenario(spec, metrics);
+}
+
+}  // namespace chc::nemesis

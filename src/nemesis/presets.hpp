@@ -1,0 +1,58 @@
+// Named nemesis scenarios + the seeded random scenario composer.
+//
+// Each Preset is a parameterized scenario family: the concrete crash
+// targets depend on the workload (the seed picks which processes are
+// faulty), so a preset carries a builder that receives the workload's
+// faulty pids and the system size. run_preset() wires it all together:
+// workload -> scenario -> run_scenario -> checker verdict.
+//
+// The preset matrix covers the acceptance scenarios of the nemesis
+// harness: symmetric partition + heal, asymmetric one-way partition,
+// crash-recover with state loss mid-round, a delay storm, partition
+// composed with crash-recover, staggered churn, and the deliberately
+// over-budget case (> f simultaneous crashes, no recovery) that must be
+// reported as non-deciding rather than unsafe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nemesis/runner.hpp"
+#include "nemesis/scenario.hpp"
+
+namespace chc::nemesis {
+
+struct Preset {
+  std::string name;
+  std::string description;
+  std::size_t n = 5, f = 1, d = 2;
+  double eps = 0.15;
+  /// Workload faulty pids (== the builder's crash targets), <= f.
+  std::size_t crash_count = 0;
+  bool expect_decide = true;
+  /// Builds the scenario for this workload's faulty set.
+  std::function<Scenario(const std::vector<sim::ProcessId>& faulty,
+                         std::size_t n)>
+      build;
+};
+
+/// The named preset matrix (stable order, stable names).
+const std::vector<Preset>& presets();
+
+/// Preset by name, nullptr when unknown.
+const Preset* find_preset(const std::string& name);
+
+/// Seeded random scenario composer: 1-3 fault ingredients (symmetric /
+/// one-way partitions that always heal, crash with or without recovery,
+/// delay storms) with randomized times, sides and factors. Every sampled
+/// scenario stays within the fault budget, so it must decide.
+Preset sample_preset(std::uint64_t seed);
+
+/// Executes a preset: workload from (preset, seed), scenario from the
+/// builder, then run_scenario.
+ScenarioResult run_preset(const Preset& preset, std::uint64_t seed,
+                          obs::Registry* metrics = nullptr);
+
+}  // namespace chc::nemesis

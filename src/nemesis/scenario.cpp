@@ -1,0 +1,126 @@
+#include "nemesis/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace chc::nemesis {
+
+Scenario& Scenario::base_policy(net::NetworkPolicy policy) {
+  base_ = std::move(policy);
+  return *this;
+}
+
+Scenario& Scenario::partition(sim::Time t0, sim::Time t1,
+                              std::vector<sim::ProcessId> side_a) {
+  CHC_CHECK(t1 > t0, "partition interval must be non-empty");
+  CHC_CHECK(!side_a.empty(), "partition side must be non-empty");
+  cuts_.push_back({t0, t1, std::move(side_a), {}, /*symmetric=*/true});
+  return *this;
+}
+
+Scenario& Scenario::partition_one_way(sim::Time t0, sim::Time t1,
+                                      std::vector<sim::ProcessId> from,
+                                      std::vector<sim::ProcessId> to) {
+  CHC_CHECK(t1 > t0, "partition interval must be non-empty");
+  CHC_CHECK(!from.empty() && !to.empty(), "cut sides must be non-empty");
+  cuts_.push_back({t0, t1, std::move(from), std::move(to),
+                   /*symmetric=*/false});
+  return *this;
+}
+
+Scenario& Scenario::crash(sim::ProcessId p, sim::Time at) {
+  CHC_CHECK(!crashes_.count(p), "one crash plan per process");
+  crashes_[p] = sim::CrashPlan::at(at);
+  return *this;
+}
+
+Scenario& Scenario::crash_after(sim::ProcessId p, std::size_t sends) {
+  CHC_CHECK(!crashes_.count(p), "one crash plan per process");
+  crashes_[p] = sim::CrashPlan::after(sends);
+  return *this;
+}
+
+Scenario& Scenario::recover(sim::ProcessId p, sim::Time at) {
+  const auto it = crashes_.find(p);
+  CHC_CHECK(it != crashes_.end() && it->second.at_time.has_value(),
+            "recover(p) requires an earlier time-triggered crash(p)");
+  CHC_CHECK(at > *it->second.at_time, "recovery must follow the crash");
+  it->second.then_recover_at(at);
+  return *this;
+}
+
+Scenario& Scenario::delay_storm(sim::Time t0, sim::Time t1, double factor) {
+  CHC_CHECK(t1 > t0, "storm window must be non-empty");
+  CHC_CHECK(factor >= 1.0, "storm factor must be >= 1");
+  storms_.push_back({t0, t1, factor});
+  return *this;
+}
+
+namespace {
+
+/// The directed links a cut severs in an n-process system.
+std::vector<std::pair<sim::ProcessId, sim::ProcessId>> cut_links(
+    const Cut& cut, std::size_t n) {
+  const std::set<sim::ProcessId> from(cut.from.begin(), cut.from.end());
+  std::set<sim::ProcessId> to(cut.to.begin(), cut.to.end());
+  if (cut.to.empty()) {  // complement
+    for (sim::ProcessId p = 0; p < n; ++p) {
+      if (from.count(p) == 0) to.insert(p);
+    }
+  }
+  std::vector<std::pair<sim::ProcessId, sim::ProcessId>> links;
+  for (const sim::ProcessId a : from) {
+    CHC_CHECK(a < n, "cut process id out of range");
+    for (const sim::ProcessId b : to) {
+      CHC_CHECK(b < n, "cut process id out of range");
+      if (a == b) continue;
+      links.emplace_back(a, b);
+      if (cut.symmetric) links.emplace_back(b, a);
+    }
+  }
+  return links;
+}
+
+}  // namespace
+
+Scenario::Compiled Scenario::compile(std::size_t n) const {
+  CHC_CHECK(n > 0, "empty system");
+  Compiled out;
+  out.policy = base_;
+  out.storms = storms_;
+  for (const auto& [p, plan] : crashes_) {
+    CHC_CHECK(p < n, "crash plan process id out of range");
+    out.crashes.set(p, plan);
+  }
+  if (cuts_.empty()) return out;
+
+  // Phase breakpoints: 0 plus every finite cut boundary.
+  std::set<sim::Time> breaks{0.0};
+  for (const Cut& cut : cuts_) {
+    breaks.insert(cut.t0);
+    if (std::isfinite(cut.t1)) breaks.insert(cut.t1);
+  }
+  for (const sim::Time at : breaks) {
+    net::NetworkPolicy phase = base_;
+    for (const Cut& cut : cuts_) {
+      if (at < cut.t0 || at >= cut.t1) continue;
+      // Severed link: certain drop, otherwise the base class's behavior.
+      const net::ChannelPolicy& b = base_.link;
+      const net::ChannelPolicy severed(1.0, b.dup_rate, b.reorder_rate,
+                                       b.reorder_delay_min,
+                                       b.reorder_delay_max);
+      for (const auto& [a, c] : cut_links(cut, n)) {
+        phase.set_channel(a, c, severed);
+      }
+    }
+    out.schedule.add(at, std::move(phase));
+  }
+  return out;
+}
+
+}  // namespace chc::nemesis

@@ -1,0 +1,97 @@
+// Nemesis scenario DSL: composable time-varying fault schedules.
+//
+// A Scenario is a declarative description of everything the nemesis does to
+// one execution — network partitions (symmetric or one-way) that later
+// heal, crash / crash-recover plans, and delay storms — expressed against
+// simulation time. compile() lowers the description onto the knobs the
+// lossy harness already understands:
+//
+//   partitions   -> net::PolicySchedule   (piecewise-constant phases whose
+//                                          per-channel overrides drop the
+//                                          cut links at rate 1.0)
+//   crash steps  -> sim::CrashSchedule    (CrashPlan::at / after /
+//                                          recover_at)
+//   storms       -> sim::StormWindow list (sim::StormDelay wrapping)
+//
+// Grammar (all times in simulation units, intervals half-open [t0, t1)):
+//
+//   partition(t0, t1, A)            cut A <-> V\A both ways; heal at t1
+//   partition_one_way(t0, t1, A, B) cut A -> B only (asymmetric link loss)
+//   crash(p, t)                     p crashes forever at t
+//   crash_after(p, k)               p crashes after sending k messages
+//   recover(p, t)                   p restarts with fresh state at t
+//                                   (requires an earlier crash(p, ...))
+//   delay_storm(t0, t1, factor)     delays multiply by factor during the
+//                                   window (overlaps multiply)
+//
+// Passing t1 = infinity describes a cut that never heals. Composition is
+// free-form: overlapping partitions union their cut link sets, and a crash
+// may sit inside a partitioned phase. Everything is deterministic — a
+// Scenario contains no randomness; seeds enter only through the workload
+// and the simulator.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "net/policy.hpp"
+#include "sim/crash.hpp"
+#include "sim/delay.hpp"
+#include "sim/message.hpp"
+
+namespace chc::nemesis {
+
+/// One directed cut interval (lowered form of the partition steps).
+struct Cut {
+  sim::Time t0 = 0.0;
+  sim::Time t1 = 0.0;  ///< may be +infinity (never heals)
+  std::vector<sim::ProcessId> from;
+  std::vector<sim::ProcessId> to;  ///< empty = complement of `from`
+  bool symmetric = false;          ///< also cut to -> from
+};
+
+class Scenario {
+ public:
+  /// Link faults in force everywhere the scenario does not cut (defaults
+  /// to a clean network). Partition overrides keep this class's dup /
+  /// reorder rates and only raise drop to 1.0.
+  Scenario& base_policy(net::NetworkPolicy policy);
+
+  Scenario& partition(sim::Time t0, sim::Time t1,
+                      std::vector<sim::ProcessId> side_a);
+  Scenario& partition_one_way(sim::Time t0, sim::Time t1,
+                              std::vector<sim::ProcessId> from,
+                              std::vector<sim::ProcessId> to);
+  Scenario& crash(sim::ProcessId p, sim::Time at);
+  Scenario& crash_after(sim::ProcessId p, std::size_t sends);
+  Scenario& recover(sim::ProcessId p, sim::Time at);
+  Scenario& delay_storm(sim::Time t0, sim::Time t1, double factor);
+
+  /// The harness-level form of the scenario.
+  struct Compiled {
+    net::NetworkPolicy policy;    ///< base class (used when schedule empty)
+    net::PolicySchedule schedule; ///< non-empty iff the scenario has cuts
+    std::vector<sim::StormWindow> storms;
+    sim::CrashSchedule crashes;
+  };
+
+  /// Lowers the scenario for an n-process system. Validates process ids,
+  /// interval ordering and crash-before-recover (CHC_CHECK on violation).
+  Compiled compile(std::size_t n) const;
+
+  // Introspection (tests / reporting).
+  const std::vector<Cut>& cuts() const { return cuts_; }
+  const std::vector<sim::StormWindow>& storms() const { return storms_; }
+  const std::map<sim::ProcessId, sim::CrashPlan>& crash_plans() const {
+    return crashes_;
+  }
+
+ private:
+  net::NetworkPolicy base_;
+  std::vector<Cut> cuts_;
+  std::vector<sim::StormWindow> storms_;
+  std::map<sim::ProcessId, sim::CrashPlan> crashes_;
+};
+
+}  // namespace chc::nemesis

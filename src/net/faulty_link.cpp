@@ -5,34 +5,58 @@
 namespace chc::net {
 
 namespace {
-void check_rate(double rate, const char* what) {
-  CHC_CHECK(rate >= 0.0 && rate <= 1.0, what);
-}
-}  // namespace
 
-FaultyLinkModel::FaultyLinkModel(NetworkPolicy policy)
-    : policy_(std::move(policy)) {
-  const auto validate = [](const LinkFaults& f) {
-    check_rate(f.drop_rate, "drop_rate must be in [0, 1]");
-    check_rate(f.dup_rate, "dup_rate must be in [0, 1]");
-    check_rate(f.reorder_rate, "reorder_rate must be in [0, 1]");
-    CHC_CHECK(f.drop_rate < 1.0, "drop_rate 1.0 is not fair-lossy");
+/// ChannelPolicy's validating constructor already clamps rates; re-check
+/// here so raw field assignment cannot smuggle bad values in, and enforce
+/// the extra fair-lossy restriction for non-scheduled models.
+void validate_policy(const NetworkPolicy& p, bool allow_full_drop) {
+  const auto validate = [&](const ChannelPolicy& f) {
+    CHC_CHECK(f.drop_rate >= 0.0 && f.drop_rate <= 1.0,
+              "drop_rate must be in [0, 1]");
+    CHC_CHECK(f.dup_rate >= 0.0 && f.dup_rate <= 1.0,
+              "dup_rate must be in [0, 1]");
+    CHC_CHECK(f.reorder_rate >= 0.0 && f.reorder_rate <= 1.0,
+              "reorder_rate must be in [0, 1]");
+    if (!allow_full_drop) {
+      CHC_CHECK(f.drop_rate < 1.0, "drop_rate 1.0 is not fair-lossy");
+    }
     CHC_CHECK(0.0 < f.reorder_delay_min &&
                   f.reorder_delay_min <= f.reorder_delay_max,
               "reorder delay range must be positive and ordered");
   };
-  validate(policy_.link);
-  for (const auto& [channel, faults] : policy_.overrides) {
+  validate(p.link);
+  for (const auto& [channel, faults] : p.overrides) {
     (void)channel;
     validate(faults);
   }
 }
 
+}  // namespace
+
+FaultyLinkModel::FaultyLinkModel(NetworkPolicy policy)
+    : policy_(std::move(policy)) {
+  validate_policy(policy_, /*allow_full_drop=*/false);
+}
+
+FaultyLinkModel::FaultyLinkModel(PolicySchedule schedule)
+    : schedule_(std::move(schedule)) {
+  CHC_CHECK(!schedule_.empty(), "policy schedule must have at least a phase");
+  // Partition phases (drop 1.0) are allowed: liveness across a scheduled
+  // partition is the heal phase's job, not the link's.
+  for (const PolicySchedule::Phase& ph : schedule_.phases()) {
+    validate_policy(ph.policy, /*allow_full_drop=*/true);
+  }
+}
+
+const NetworkPolicy& FaultyLinkModel::policy_at(sim::Time now) const {
+  return schedule_.empty() ? policy_ : schedule_.active(now);
+}
+
 sim::LinkFaultDecision FaultyLinkModel::decide(sim::ProcessId from,
                                                sim::ProcessId to, int tag,
                                                sim::Time now, Rng& rng) {
-  (void)tag, (void)now;
-  const LinkFaults& f = policy_.for_channel(from, to);
+  (void)tag;
+  const ChannelPolicy& f = policy_at(now).for_channel(from, to);
   sim::LinkFaultDecision d;
   // Draw every coin regardless of earlier outcomes so the RNG stream
   // position per send is fixed — decisions on later sends never shift when

@@ -16,6 +16,8 @@ ShimStats& ShimStats::operator+=(const ShimStats& o) {
   buffered_out_of_order += o.buffered_out_of_order;
   sends_abandoned += o.sends_abandoned;
   channels_abandoned += o.channels_abandoned;
+  stale_epoch_dropped += o.stale_epoch_dropped;
+  channel_resets += o.channel_resets;
   for (const auto& [tag, count] : o.retransmit_by_tag) {
     retransmit_by_tag[tag] += count;
   }
@@ -62,8 +64,9 @@ class ReliableChannel::CtxWrap final : public sim::Context {
 };
 
 ReliableChannel::ReliableChannel(std::unique_ptr<sim::Process> inner,
-                                 ReliableParams params, obs::Tracer* tracer)
-    : inner_(std::move(inner)), params_(params) {
+                                 ReliableParams params, obs::Tracer* tracer,
+                                 std::uint32_t epoch)
+    : inner_(std::move(inner)), params_(params), epoch_(epoch) {
   if (tracer != nullptr) tracer_ = tracer;
   CHC_CHECK(inner_ != nullptr, "null wrapped process");
   CHC_CHECK(params_.rto > 0.0 && params_.tick > 0.0, "timeouts must be > 0");
@@ -106,7 +109,7 @@ void ReliableChannel::reliable_send(sim::Context& ctx, sim::ProcessId to,
   ++stats_.data_sent;
   ctx.send(to, kTagRelData,
            RelData{peer.window.back().seq, peer.recv_next, tag,
-                   std::move(payload)});
+                   std::move(payload), epoch_, peer.epoch});
   ensure_tick(ctx);
 }
 
@@ -116,6 +119,35 @@ void ReliableChannel::apply_ack(sim::ProcessId peer_id,
   while (!peer.window.empty() && peer.window.front().seq < cum_ack) {
     peer.window.pop_front();
   }
+}
+
+void ReliableChannel::reset_peer(sim::Context& ctx, sim::ProcessId peer_id,
+                                 std::uint32_t new_epoch) {
+  Peer& peer = peers_[peer_id];
+  peer.epoch = new_epoch;
+  peer.recv_next = 0;
+  peer.reorder.clear();
+  peer.gave_up = false;
+  ++stats_.channel_resets;
+  // The restarted peer lost its receive state, so whatever of our stream it
+  // had already consumed is gone with it. Restart the conversation: the
+  // unacked window becomes the new stream, renumbered from 0 with a fresh
+  // retry budget, and goes out immediately under the new epochs. Frames the
+  // dead incarnation had acked are not resent — that loss is exactly the
+  // "state loss" the recovery semantics promise.
+  std::uint64_t seq = 0;
+  const sim::Time now = ctx.now();
+  for (Outstanding& o : peer.window) {
+    o.seq = seq++;
+    o.retries = 0;
+    o.cur_rto = params_.rto;
+    o.next_at = now + jittered(params_.rto, ctx.rng());
+    ctx.send(peer_id, kTagRelData,
+             RelData{o.seq, peer.recv_next, o.tag, o.payload, epoch_,
+                     peer.epoch});
+  }
+  peer.next_seq = seq;
+  if (!peer.window.empty()) ensure_tick(ctx);
 }
 
 void ReliableChannel::deliver_to_inner(sim::Context& ctx, sim::ProcessId from,
@@ -153,6 +185,24 @@ void ReliableChannel::on_message(sim::Context& ctx, const sim::Message& msg) {
   if (msg.tag == kTagRelData) {
     const auto& data = std::any_cast<const RelData&>(msg.payload);
     Peer& peer = peers_[msg.from];
+    // Epoch gates, learn-before-gate order (see header comment).
+    if (data.src_epoch < peer.epoch) {
+      ++stats_.stale_epoch_dropped;  // wreckage of a dead incarnation
+      return;
+    }
+    if (data.src_epoch > peer.epoch) {
+      reset_peer(ctx, msg.from, data.src_epoch);
+    }
+    if (data.dst_epoch != epoch_) {
+      // Addressed to a previous incarnation of us: the seq belongs to a
+      // conversation we have no state for. Ignore the content but teach
+      // the peer our epoch with a bare ack so it resets quickly.
+      ++stats_.stale_epoch_dropped;
+      ++stats_.acks_sent;
+      ctx.send(msg.from, kTagRelAck,
+               RelAck{peer.recv_next, epoch_, data.src_epoch});
+      return;
+    }
     apply_ack(msg.from, data.cum_ack);
     if (data.seq < peer.recv_next) {
       ++stats_.dups_suppressed;  // already delivered; ack below repairs
@@ -166,9 +216,23 @@ void ReliableChannel::on_message(sim::Context& ctx, const sim::Message& msg) {
       ++stats_.dups_suppressed;  // duplicate of an already-buffered frame
     }
     ++stats_.acks_sent;
-    ctx.send(msg.from, kTagRelAck, RelAck{peer.recv_next});
+    ctx.send(msg.from, kTagRelAck,
+             RelAck{peer.recv_next, epoch_, data.src_epoch});
   } else if (msg.tag == kTagRelAck) {
-    apply_ack(msg.from, std::any_cast<const RelAck&>(msg.payload).cum_ack);
+    const auto& ack = std::any_cast<const RelAck&>(msg.payload);
+    Peer& peer = peers_[msg.from];
+    if (ack.src_epoch < peer.epoch) {
+      ++stats_.stale_epoch_dropped;
+      return;
+    }
+    if (ack.src_epoch > peer.epoch) {
+      reset_peer(ctx, msg.from, ack.src_epoch);
+    }
+    if (ack.dst_epoch != epoch_) {
+      ++stats_.stale_epoch_dropped;  // acks a stream we no longer own
+      return;
+    }
+    apply_ack(msg.from, ack.cum_ack);
   } else {
     // Traffic from an unwrapped peer: pass through (mixed deployments).
     CtxWrap wrapped(this, &ctx);
@@ -192,10 +256,19 @@ void ReliableChannel::on_timer(sim::Context& ctx, int token) {
       if (o.next_at > now) continue;
       if (o.retries >= params_.max_retries) {
         // Retry budget exhausted: the peer is presumed crashed — abandon
-        // the whole channel so the execution can quiesce.
+        // the whole channel so the execution can quiesce. A later frame
+        // from a newer epoch of the peer rescinds this (reset_peer).
         peer.gave_up = true;
         peer.window.clear();
         ++stats_.channels_abandoned;
+        tracer_->emit_with([&] {
+          obs::TraceEvent e;
+          e.kind = obs::EventKind::kGiveUp;
+          e.t = now;
+          e.p = ctx.self();
+          e.peer = p;
+          return e;
+        });
         break;
       }
       ++o.retries;
@@ -214,11 +287,22 @@ void ReliableChannel::on_timer(sim::Context& ctx, int token) {
       o.cur_rto = std::min(o.cur_rto * params_.backoff, params_.rto_max);
       o.next_at = now + jittered(o.cur_rto, ctx.rng());
       ctx.send(p, kTagRelData,
-               RelData{o.seq, peer.recv_next, o.tag, o.payload});
+               RelData{o.seq, peer.recv_next, o.tag, o.payload, epoch_,
+                       peer.epoch});
     }
     if (!peer.window.empty()) outstanding = true;
   }
   if (outstanding) ensure_tick(ctx);
+}
+
+double ReliableChannel::current_backoff() const {
+  double max_rto = 0.0;
+  for (const Peer& peer : peers_) {
+    for (const Outstanding& o : peer.window) {
+      max_rto = std::max(max_rto, o.cur_rto);
+    }
+  }
+  return max_rto;
 }
 
 }  // namespace chc::net

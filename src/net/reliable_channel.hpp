@@ -20,6 +20,21 @@
 // ReliableParams::max_retries the channel is abandoned so executions
 // still quiesce.
 //
+// Crash-recover (epochs): a process restarting with fresh state would
+// deadlock the old protocol — its sequence numbers restart at 0, so peers
+// would suppress everything as duplicates, and their own streams would
+// look like an unfillable gap. Every frame therefore carries the sender's
+// *epoch* (incarnation number) and the sender's last known epoch of the
+// destination. Receive side, in order: a frame from an older epoch than
+// the recorded one is stale wreckage of a dead incarnation and is dropped;
+// a frame from a *newer* epoch first resets the channel (learn before
+// gate: receive stream restarts at 0, the unacked window is renumbered
+// from 0 and resent, a previous give-up is rescinded); then, if the frame
+// was addressed to an epoch other than ours, its content is ignored but a
+// bare ack is returned so the peer learns our epoch quickly. Two crossed
+// restarts converge because each side's first frame teaches the other its
+// new epoch.
+//
 // Tag/token budget: wire tags 900-901 and timer token 910000 are reserved
 // for the shim; wrapped protocols must not use them (the repo's layers use
 // tags 100-402 and tokens < 1000).
@@ -50,11 +65,15 @@ struct RelData {
   std::uint64_t cum_ack = 0;  ///< piggyback: next seq expected from peer
   int tag = 0;                ///< wrapped message's tag
   std::any payload;           ///< wrapped message's payload
+  std::uint32_t src_epoch = 0;  ///< sender's incarnation
+  std::uint32_t dst_epoch = 0;  ///< sender's view of the receiver's epoch
 };
 
 /// Standalone cumulative acknowledgement.
 struct RelAck {
   std::uint64_t cum_ack = 0;  ///< next seq expected from the ack's target
+  std::uint32_t src_epoch = 0;  ///< sender's incarnation
+  std::uint32_t dst_epoch = 0;  ///< epoch of the stream being acked
 };
 
 /// Work counters of one shim instance (aggregate across processes with +=).
@@ -67,6 +86,8 @@ struct ShimStats {
   std::uint64_t buffered_out_of_order = 0;
   std::uint64_t sends_abandoned = 0;     ///< queued after channel gave up
   std::uint64_t channels_abandoned = 0;  ///< peers presumed crashed
+  std::uint64_t stale_epoch_dropped = 0;  ///< frames from/for dead epochs
+  std::uint64_t channel_resets = 0;       ///< peer restarts detected
   std::map<int, std::uint64_t> retransmit_by_tag;  ///< by wrapped tag
 
   ShimStats& operator+=(const ShimStats& o);
@@ -74,9 +95,12 @@ struct ShimStats {
 
 class ReliableChannel final : public sim::Process {
  public:
-  /// `tracer` (optional) receives a kRetransmit event per re-sent frame.
+  /// `tracer` (optional) receives a kRetransmit event per re-sent frame and
+  /// a kGiveUp event per abandoned channel. `epoch` is this instance's
+  /// incarnation number — pass the simulator's incarnation counter when
+  /// rebuilding a shim after a crash-recover.
   ReliableChannel(std::unique_ptr<sim::Process> inner, ReliableParams params,
-                  obs::Tracer* tracer = nullptr);
+                  obs::Tracer* tracer = nullptr, std::uint32_t epoch = 0);
 
   static bool handles(int tag) {
     return tag == kTagRelData || tag == kTagRelAck;
@@ -91,6 +115,13 @@ class ReliableChannel final : public sim::Process {
   const sim::Process& inner() const { return *inner_; }
 
   const ShimStats& stats() const { return stats_; }
+
+  std::uint32_t epoch() const { return epoch_; }
+
+  /// Largest backoff-inflated RTO among currently outstanding frames (0
+  /// when nothing is in flight) — a gauge of how congested the channels
+  /// look to the shim right now.
+  double current_backoff() const;
 
  private:
   struct Outstanding {
@@ -109,6 +140,7 @@ class ReliableChannel final : public sim::Process {
     bool gave_up = false;              // sender: peer presumed crashed
     std::uint64_t recv_next = 0;       // receiver: next seq expected
     std::map<std::uint64_t, std::pair<int, std::any>> reorder;
+    std::uint32_t epoch = 0;           // last known peer incarnation
   };
 
   class CtxWrap;
@@ -120,6 +152,10 @@ class ReliableChannel final : public sim::Process {
   void reliable_send(sim::Context& ctx, sim::ProcessId to, int tag,
                      std::any payload);
   void apply_ack(sim::ProcessId peer_id, std::uint64_t cum_ack);
+  /// The peer restarted with a newer epoch: restart the receive stream,
+  /// renumber + resend the unacked window, rescind any give-up.
+  void reset_peer(sim::Context& ctx, sim::ProcessId peer_id,
+                  std::uint32_t new_epoch);
   void deliver_in_order(sim::Context& ctx, sim::ProcessId from,
                         const RelData& first);
   void deliver_to_inner(sim::Context& ctx, sim::ProcessId from, int tag,
@@ -127,6 +163,7 @@ class ReliableChannel final : public sim::Process {
 
   std::unique_ptr<sim::Process> inner_;
   ReliableParams params_;
+  std::uint32_t epoch_ = 0;
   obs::Tracer disabled_tracer_;
   obs::Tracer* tracer_ = &disabled_tracer_;
   std::vector<Peer> peers_;  // sized on first callback

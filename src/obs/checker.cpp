@@ -67,9 +67,10 @@ class Checker {
       report_.parse_error = "header: inputs do not match n";
       return report_;
     }
-    procs_.resize(h.n);
+    procs_.assign(h.n, std::vector<PState>(1));
     if (!scan_events()) return report_;
     report_.parsed = true;
+    report_.over_budget = crashed_set_size() > h.f;
 
     check_liveness();
     check_view_containment();
@@ -93,6 +94,26 @@ class Checker {
   }
 
   bool sim_env() const { return report_.header.env == "sim"; }
+
+  /// Current (latest) incarnation of process p.
+  PState& cur(Pid p) { return procs_[p].back(); }
+
+  bool ever_crashed(Pid p) const {
+    for (const PState& ps : procs_[p]) {
+      if (ps.crashed) return true;
+    }
+    return false;
+  }
+
+  /// |faulty ∪ {p : p crashed}| — the adversary's actual budget use.
+  std::size_t crashed_set_size() const {
+    std::set<Pid> s(report_.header.faulty.begin(),
+                    report_.header.faulty.end());
+    for (Pid p = 0; p < procs_.size(); ++p) {
+      if (ever_crashed(p)) s.insert(p);
+    }
+    return s.size();
+  }
 
   bool scan_events() {
     const TraceHeader& h = report_.header;
@@ -150,9 +171,10 @@ class Checker {
         violate(line_no, e.seq, e.p, static_cast<std::size_t>(-1), "structure",
                 "peer id out of range");
       }
-      PState& ps = procs_[e.p];
+      PState& ps = cur(e.p);
 
-      // Nothing is emitted *by* a process strictly after its crash time: a
+      // Nothing is emitted *by* a process strictly after its crash time
+      // (within its incarnation — a kRecover opens a fresh one): a
       // mid-broadcast crash lets the running callback finish (the process
       // may legitimately complete a round at the same instant), but once
       // that callback returns it is silent. Only checkable on deterministic
@@ -161,7 +183,7 @@ class Checker {
           e.kind == EventKind::kSend || e.kind == EventKind::kRetransmit ||
           e.kind == EventKind::kRoundStart || e.kind == EventKind::kRound0 ||
           e.kind == EventKind::kRound0Empty || e.kind == EventKind::kRound ||
-          e.kind == EventKind::kDecide;
+          e.kind == EventKind::kDecide || e.kind == EventKind::kGiveUp;
       if (sim_env() && process_emitted && ps.crashed && e.t > ps.crash_t) {
         violate(line_no, e.seq, e.p, static_cast<std::size_t>(-1), "structure",
                 "event from a crashed process");
@@ -175,6 +197,17 @@ class Checker {
           }
           ps.crashed = true;
           ps.crash_t = e.t;
+          break;
+        case EventKind::kRecover:
+          if (!ps.crashed) {
+            violate(line_no, e.seq, e.p, static_cast<std::size_t>(-1),
+                    "structure", "recovery without a preceding crash");
+            break;
+          }
+          // Fresh incarnation with empty state (state loss); subsequent
+          // events for p land on it.
+          procs_[e.p].emplace_back();
+          ++report_.recoveries;
           break;
         case EventKind::kRecv:
           if (sim_env() && ps.crashed) {
@@ -204,6 +237,7 @@ class Checker {
         case EventKind::kNetDup:
         case EventKind::kDropCrashed:
         case EventKind::kRetransmit:
+        case EventKind::kGiveUp:
           break;
       }
     }
@@ -211,7 +245,7 @@ class Checker {
   }
 
   void on_round0(const TraceEvent& e, std::size_t line_no) {
-    PState& ps = procs_[e.p];
+    PState& ps = cur(e.p);
     if (ps.has_round0) {
       violate(line_no, e.seq, e.p, 0, "structure", "round 0 recorded twice");
       return;
@@ -240,7 +274,7 @@ class Checker {
   }
 
   void on_round(const TraceEvent& e, std::size_t line_no) {
-    PState& ps = procs_[e.p];
+    PState& ps = cur(e.p);
     const TraceHeader& h = report_.header;
     if (e.round < 1) {
       violate(line_no, e.seq, e.p, e.round, "structure", "round index < 1");
@@ -293,7 +327,7 @@ class Checker {
   }
 
   void on_decide(const TraceEvent& e, std::size_t line_no) {
-    PState& ps = procs_[e.p];
+    PState& ps = cur(e.p);
     const TraceHeader& h = report_.header;
     if (ps.decided) {
       violate(line_no, e.seq, e.p, e.round, "structure",
@@ -329,8 +363,11 @@ class Checker {
 
   void check_liveness() {
     if (!footer_) return;
+    // The footer counts decisions the harness's collector holds at the end
+    // of the run; a recovery resets the collector state for that process,
+    // so compare against the *latest* incarnations.
     std::uint64_t decided = 0;
-    for (const PState& ps : procs_) decided += ps.decided ? 1 : 0;
+    for (const auto& incs : procs_) decided += incs.back().decided ? 1 : 0;
     if (decided != footer_->decided) {
       violate(footer_line_, 0, kNoPeer, static_cast<std::size_t>(-1),
               "structure",
@@ -338,8 +375,11 @@ class Checker {
                   " != " + std::to_string(decided) + " decide events");
     }
     if (!footer_->quiescent) return;
+    // Over budget (> f crashed): the resilience precondition is void, the
+    // run may legitimately stall without deciding. Safety was still checked.
+    if (report_.over_budget) return;
     for (Pid p = 0; p < procs_.size(); ++p) {
-      if (!is_faulty(p) && !procs_[p].decided) {
+      if (!is_faulty(p) && !ever_crashed(p) && !procs_[p].back().decided) {
         violate(footer_line_, 0, p, static_cast<std::size_t>(-1), "liveness",
                 "quiescent run but fault-free process did not decide");
       }
@@ -347,7 +387,10 @@ class Checker {
   }
 
   /// Stable-vector Containment (paper §3): round-0 views are totally
-  /// ordered by inclusion.
+  /// ordered by inclusion. The store is grow-only, so the property spans
+  /// incarnations too — a recovered process's re-collected view must be
+  /// inclusion-ordered against every other view, including earlier views
+  /// of the same process.
   void check_view_containment() {
     const auto subset = [](const std::map<Pid, geo::Vec>& a,
                            const std::map<Pid, geo::Vec>& b) {
@@ -357,16 +400,26 @@ class Checker {
       }
       return true;
     };
-    for (Pid i = 0; i < procs_.size(); ++i) {
-      if (!procs_[i].has_round0) continue;
-      for (Pid j = i + 1; j < procs_.size(); ++j) {
-        if (!procs_[j].has_round0) continue;
-        if (!subset(procs_[i].view, procs_[j].view) &&
-            !subset(procs_[j].view, procs_[i].view)) {
-          violate(std::max(procs_[i].round0_line, procs_[j].round0_line), 0, i,
-                  0, "sv-containment",
-                  "round-0 views of processes " + std::to_string(i) + " and " +
-                      std::to_string(j) + " are not inclusion-ordered");
+    struct ViewRef {
+      Pid p;
+      const PState* ps;
+    };
+    std::vector<ViewRef> views;
+    for (Pid p = 0; p < procs_.size(); ++p) {
+      for (const PState& ps : procs_[p]) {
+        if (ps.has_round0) views.push_back({p, &ps});
+      }
+    }
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      for (std::size_t j = i + 1; j < views.size(); ++j) {
+        const PState& a = *views[i].ps;
+        const PState& b = *views[j].ps;
+        if (!subset(a.view, b.view) && !subset(b.view, a.view)) {
+          violate(std::max(a.round0_line, b.round0_line), 0, views[i].p, 0,
+                  "sv-containment",
+                  "round-0 views of processes " + std::to_string(views[i].p) +
+                      " and " + std::to_string(views[j].p) +
+                      " are not inclusion-ordered");
         }
       }
     }
@@ -386,50 +439,62 @@ class Checker {
         geo::Polytope::from_points(validity_pts, h.rel_tol);
 
     for (Pid p = 0; p < procs_.size(); ++p) {
-      const PState& ps = procs_[p];
-      for (const auto& [t, snap] : ps.h) {
-        ++report_.snapshots_checked;
-        if (!validity_hull.contains(snap.poly, opts_.tol)) {
-          violate(snap.line, snap.seq, p, t, "validity",
-                  "state reaches outside the hull of the validity inputs");
-        }
-        if (t == 0) continue;
-        // Union of the senders' previous states; the equal-weight L of
-        // Definition 2 cannot escape their joint hull.
-        std::vector<geo::Vec> union_pts;
-        bool have_all = true;
-        for (const Pid s : snap.senders) {
-          if (s >= procs_.size()) continue;  // already flagged
-          const auto it = procs_[s].h.find(t - 1);
-          if (it == procs_[s].h.end()) {
+      for (const PState& ps : procs_[p]) {
+        for (const auto& [t, snap] : ps.h) {
+          ++report_.snapshots_checked;
+          if (!validity_hull.contains(snap.poly, opts_.tol)) {
+            violate(snap.line, snap.seq, p, t, "validity",
+                    "state reaches outside the hull of the validity inputs");
+          }
+          if (t == 0) continue;
+          // Union of the senders' previous states; the equal-weight L of
+          // Definition 2 cannot escape their joint hull. A sender that
+          // crashed and recovered has one round-(t-1) state per incarnation
+          // and the receiver may hold either, so union all of them.
+          std::vector<geo::Vec> union_pts;
+          bool have_all = true;
+          for (const Pid s : snap.senders) {
+            if (s >= procs_.size()) continue;  // already flagged
+            bool found = false;
+            for (const PState& sps : procs_[s]) {
+              const auto it = sps.h.find(t - 1);
+              if (it == sps.h.end()) continue;
+              found = true;
+              const auto& verts = it->second.poly.vertices();
+              union_pts.insert(union_pts.end(), verts.begin(), verts.end());
+            }
+            if (!found) {
+              violate(snap.line, snap.seq, p, t, "containment",
+                      "sender " + std::to_string(s) +
+                          " has no recorded state for round " +
+                          std::to_string(t - 1));
+              have_all = false;
+              break;
+            }
+          }
+          if (!have_all || union_pts.empty()) continue;
+          const geo::Polytope joint =
+              geo::Polytope::from_points(union_pts, h.rel_tol);
+          ++report_.containments_checked;
+          if (!joint.contains(snap.poly, opts_.tol)) {
+            double excess = 0.0;
+            for (const geo::Vec& v : snap.poly.vertices()) {
+              excess = std::max(excess, joint.distance(v));
+            }
             violate(snap.line, snap.seq, p, t, "containment",
-                    "sender " + std::to_string(s) +
-                        " has no recorded state for round " +
-                        std::to_string(t - 1));
-            have_all = false;
-            break;
+                    "h[t] escapes the senders' round t-1 states by " +
+                        std::to_string(excess));
           }
-          const auto& verts = it->second.poly.vertices();
-          union_pts.insert(union_pts.end(), verts.begin(), verts.end());
-        }
-        if (!have_all || union_pts.empty()) continue;
-        const geo::Polytope joint =
-            geo::Polytope::from_points(union_pts, h.rel_tol);
-        ++report_.containments_checked;
-        if (!joint.contains(snap.poly, opts_.tol)) {
-          double excess = 0.0;
-          for (const geo::Vec& v : snap.poly.vertices()) {
-            excess = std::max(excess, joint.distance(v));
-          }
-          violate(snap.line, snap.seq, p, t, "containment",
-                  "h[t] escapes the senders' round t-1 states by " +
-                      std::to_string(excess));
         }
       }
     }
   }
 
-  /// Lemma 3 contraction per round and ε-agreement at decision time.
+  /// Lemma 3 contraction per round and ε-agreement at decision time. Both
+  /// are checked on first incarnations only: the bounds are stated for
+  /// processes that never crashed, and a recovered (hence faulty)
+  /// incarnation rebuilds its round-0 state at a later point of the
+  /// execution, outside the transition-matrix chain the lemma bounds.
   void check_contraction_and_agreement() {
     const TraceHeader& h = report_.header;
     if (h.max_polytope_vertices != 0) return;  // pruning error is unbounded
@@ -443,11 +508,13 @@ class Checker {
                    static_cast<double>(t)) *
           scale;
       for (Pid i = 0; i < procs_.size(); ++i) {
-        const auto it = procs_[i].h.find(t);
-        if (it == procs_[i].h.end()) continue;
+        const PState& pi = procs_[i].front();
+        const auto it = pi.h.find(t);
+        if (it == pi.h.end()) continue;
         for (Pid j = i + 1; j < procs_.size(); ++j) {
-          const auto jt = procs_[j].h.find(t);
-          if (jt == procs_[j].h.end()) continue;
+          const PState& pj = procs_[j].front();
+          const auto jt = pj.h.find(t);
+          if (jt == pj.h.end()) continue;
           ++report_.pairs_checked;
           const double dh = geo::hausdorff(it->second.poly, jt->second.poly);
           if (dh > bound + opts_.tol) {
@@ -462,14 +529,15 @@ class Checker {
       }
     }
     for (Pid i = 0; i < procs_.size(); ++i) {
-      if (!procs_[i].decided || procs_[i].decision.is_empty()) continue;
+      const PState& pi = procs_[i].front();
+      if (!pi.decided || pi.decision.is_empty()) continue;
       for (Pid j = i + 1; j < procs_.size(); ++j) {
-        if (!procs_[j].decided || procs_[j].decision.is_empty()) continue;
-        const double dh =
-            geo::hausdorff(procs_[i].decision, procs_[j].decision);
+        const PState& pj = procs_[j].front();
+        if (!pj.decided || pj.decision.is_empty()) continue;
+        const double dh = geo::hausdorff(pi.decision, pj.decision);
         if (dh >= h.eps + opts_.tol) {
-          violate(std::max(procs_[i].decide_line, procs_[j].decide_line), 0, i,
-                  procs_[i].decide_round, "eps-agreement",
+          violate(std::max(pi.decide_line, pj.decide_line), 0, i,
+                  pi.decide_round, "eps-agreement",
                   "decision Hausdorff distance " + std::to_string(dh) +
                       " vs process " + std::to_string(j) + " breaches eps = " +
                       std::to_string(h.eps));
@@ -489,15 +557,20 @@ class Checker {
     bool have = false;
     std::map<Pid, geo::Vec> z;
     for (Pid p = 0; p < procs_.size(); ++p) {
-      if (is_faulty(p) || !procs_[p].has_round0) continue;
+      // Ever-crashed processes are excluded even when outside the declared
+      // faulty set (over-budget runs): Lemma 6 quantifies over processes
+      // that stay up.
+      if (is_faulty(p) || ever_crashed(p)) continue;
+      const PState& ps = procs_[p].front();
+      if (!ps.has_round0) continue;
       if (!have) {
-        z = procs_[p].view;
+        z = ps.view;
         have = true;
         continue;
       }
       for (auto it = z.begin(); it != z.end();) {
-        const auto other = procs_[p].view.find(it->first);
-        if (other == procs_[p].view.end() || !(other->second == it->second)) {
+        const auto other = ps.view.find(it->first);
+        if (other == ps.view.end() || !(other->second == it->second)) {
           it = z.erase(it);
         } else {
           ++it;
@@ -515,8 +588,8 @@ class Checker {
     if (iz.is_empty()) return;
     report_.iz_checked = true;
     for (Pid p = 0; p < procs_.size(); ++p) {
-      if (is_faulty(p)) continue;
-      for (const auto& [t, snap] : procs_[p].h) {
+      if (is_faulty(p) || ever_crashed(p)) continue;
+      for (const auto& [t, snap] : procs_[p].front().h) {
         if (!snap.poly.contains(iz, opts_.tol)) {
           violate(snap.line, snap.seq, p, t, "optimality-floor",
                   "I_Z is not contained in the recorded state (Lemma 6)");
@@ -528,7 +601,9 @@ class Checker {
   const std::vector<std::string>& lines_;
   const CheckOptions& opts_;
   CheckReport report_;
-  std::vector<PState> procs_;
+  /// procs_[p] is the incarnation list of process p, oldest first; a
+  /// kRecover event appends a fresh entry (state loss).
+  std::vector<std::vector<PState>> procs_;
   std::optional<TraceFooter> footer_;
   std::size_t footer_line_ = 0;
 };

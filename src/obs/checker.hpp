@@ -11,6 +11,15 @@
 //   * round completions carry >= n - f senders, all valid process ids;
 //   * a quiescent footer implies every fault-free process decided.
 //
+// Crash-recover awareness: a kRecover event opens a fresh *incarnation* of
+// the process (state loss — the restarted process re-records round 0).
+// Safety checks (validity, round containment, stable-vector containment)
+// cover every incarnation; contraction / ε-agreement apply to first
+// incarnations only, because a recovered process is faulty and the paper's
+// bounds are stated for processes that never crash. Liveness exempts
+// processes that ever crashed, and is skipped altogether when the trace is
+// over budget (more than f distinct processes crashed).
+//
 // Geometric invariants (paper §5-§6):
 //   * Validity — every recorded h_i[t] ⊆ H(validity inputs) (Theorem 2);
 //   * Round containment — h_i[t] ⊆ H(∪_{j ∈ senders} h_j[t-1]): the state
@@ -70,6 +79,13 @@ struct CheckReport {
   std::size_t pairs_checked = 0;
   std::size_t rounds_seen = 0;
   bool iz_checked = false;
+
+  // Nemesis-run accounting.
+  std::size_t recoveries = 0;  ///< kRecover events (fresh incarnations)
+  /// More than f processes crashed (faulty set union crash events): the
+  /// resilience precondition is void, so liveness is not required — the
+  /// checker still verifies every recorded snapshot is safe.
+  bool over_budget = false;
 
   bool ok() const { return parsed && violations.empty(); }
 };

@@ -14,7 +14,7 @@ struct KindName {
   std::string_view name;
 };
 
-constexpr std::array<KindName, 12> kKindNames{{
+constexpr std::array<KindName, 14> kKindNames{{
     {EventKind::kSend, "send"},
     {EventKind::kRecv, "recv"},
     {EventKind::kNetDrop, "net_drop"},
@@ -27,6 +27,8 @@ constexpr std::array<KindName, 12> kKindNames{{
     {EventKind::kRound0Empty, "round0_empty"},
     {EventKind::kRound, "round"},
     {EventKind::kDecide, "decide"},
+    {EventKind::kRecover, "recover"},
+    {EventKind::kGiveUp, "give_up"},
 }};
 
 void append_u64(std::string& out, std::uint64_t v) {
@@ -63,6 +65,36 @@ bool parse_vec(const JsonValue& j, geo::Vec& out, std::string* error) {
 bool field_missing(const char* name, std::string* error) {
   if (error != nullptr) *error = std::string("missing field '") + name + "'";
   return false;
+}
+
+void append_override(std::string& out, const HeaderChannelOverride& o) {
+  out += "{\"from\":";
+  out += std::to_string(o.from);
+  out += ",\"to\":";
+  out += std::to_string(o.to);
+  out += ",\"drop\":";
+  json_append_double(out, o.drop);
+  out += ",\"dup\":";
+  json_append_double(out, o.dup);
+  out += ",\"reorder\":";
+  json_append_double(out, o.reorder);
+  out += ",\"rmin\":";
+  json_append_double(out, o.rmin);
+  out += ",\"rmax\":";
+  json_append_double(out, o.rmax);
+  out.push_back('}');
+}
+
+bool parse_override(const JsonValue& j, HeaderChannelOverride& o) {
+  if (!j.is_object()) return false;
+  if (const JsonValue* v = j.find("from")) o.from = v->as_u64();
+  if (const JsonValue* v = j.find("to")) o.to = v->as_u64();
+  if (const JsonValue* v = j.find("drop")) o.drop = v->as_double();
+  if (const JsonValue* v = j.find("dup")) o.dup = v->as_double();
+  if (const JsonValue* v = j.find("reorder")) o.reorder = v->as_double();
+  if (const JsonValue* v = j.find("rmin")) o.rmin = v->as_double();
+  if (const JsonValue* v = j.find("rmax")) o.rmax = v->as_double();
+  return true;
 }
 
 }  // namespace
@@ -276,6 +308,80 @@ std::string to_jsonl(const TraceHeader& h) {
   dbl("tick", h.tick);
   u64("max_retries", h.max_retries);
   u64("max_events", h.max_events);
+  if (!h.overrides.empty()) {
+    out += ",\"overrides\":[";
+    for (std::size_t i = 0; i < h.overrides.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      append_override(out, h.overrides[i]);
+    }
+    out.push_back(']');
+  }
+  if (!h.phases.empty()) {
+    out += ",\"phases\":[";
+    for (std::size_t i = 0; i < h.phases.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      const HeaderPolicyPhase& ph = h.phases[i];
+      out += "{\"at\":";
+      json_append_double(out, ph.at);
+      out += ",\"drop\":";
+      json_append_double(out, ph.drop);
+      out += ",\"dup\":";
+      json_append_double(out, ph.dup);
+      out += ",\"reorder\":";
+      json_append_double(out, ph.reorder);
+      out += ",\"rmin\":";
+      json_append_double(out, ph.rmin);
+      out += ",\"rmax\":";
+      json_append_double(out, ph.rmax);
+      if (!ph.overrides.empty()) {
+        out += ",\"overrides\":[";
+        for (std::size_t k = 0; k < ph.overrides.size(); ++k) {
+          if (k != 0) out.push_back(',');
+          append_override(out, ph.overrides[k]);
+        }
+        out.push_back(']');
+      }
+      out.push_back('}');
+    }
+    out.push_back(']');
+  }
+  if (!h.crash_plans.empty()) {
+    out += ",\"crash_plans\":[";
+    for (std::size_t i = 0; i < h.crash_plans.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      const HeaderCrashPlan& cp = h.crash_plans[i];
+      out += "{\"p\":";
+      append_u64(out, cp.p);
+      if (cp.has_at) {
+        out += ",\"at\":";
+        json_append_double(out, cp.at);
+      }
+      if (cp.has_after) {
+        out += ",\"after\":";
+        append_u64(out, cp.after);
+      }
+      if (cp.has_recover) {
+        out += ",\"recover\":";
+        json_append_double(out, cp.recover);
+      }
+      out.push_back('}');
+    }
+    out.push_back(']');
+  }
+  if (!h.storms.empty()) {
+    out += ",\"storms\":[";
+    for (std::size_t i = 0; i < h.storms.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      out += "{\"t0\":";
+      json_append_double(out, h.storms[i].t0);
+      out += ",\"t1\":";
+      json_append_double(out, h.storms[i].t1);
+      out += ",\"factor\":";
+      json_append_double(out, h.storms[i].factor);
+      out.push_back('}');
+    }
+    out.push_back(']');
+  }
   out += ",\"faulty\":[";
   for (std::size_t i = 0; i < h.faulty.size(); ++i) {
     if (i != 0) out.push_back(',');
@@ -350,6 +456,78 @@ bool parse_header(std::string_view line, TraceHeader& out,
   if (out.n == 0) {
     if (error != nullptr) *error = "header is missing n";
     return false;
+  }
+  if (const JsonValue* overrides = j.find("overrides")) {
+    for (const JsonValue& o : overrides->items) {
+      HeaderChannelOverride co;
+      if (!parse_override(o, co)) {
+        if (error != nullptr) *error = "bad channel override";
+        return false;
+      }
+      out.overrides.push_back(co);
+    }
+  }
+  if (const JsonValue* phases = j.find("phases")) {
+    for (const JsonValue& p : phases->items) {
+      HeaderPolicyPhase ph;
+      if (!p.is_object()) {
+        if (error != nullptr) *error = "bad policy phase";
+        return false;
+      }
+      if (const JsonValue* v = p.find("at")) ph.at = v->as_double();
+      if (const JsonValue* v = p.find("drop")) ph.drop = v->as_double();
+      if (const JsonValue* v = p.find("dup")) ph.dup = v->as_double();
+      if (const JsonValue* v = p.find("reorder")) ph.reorder = v->as_double();
+      if (const JsonValue* v = p.find("rmin")) ph.rmin = v->as_double();
+      if (const JsonValue* v = p.find("rmax")) ph.rmax = v->as_double();
+      if (const JsonValue* po = p.find("overrides")) {
+        for (const JsonValue& o : po->items) {
+          HeaderChannelOverride co;
+          if (!parse_override(o, co)) {
+            if (error != nullptr) *error = "bad phase override";
+            return false;
+          }
+          ph.overrides.push_back(co);
+        }
+      }
+      out.phases.push_back(std::move(ph));
+    }
+  }
+  if (const JsonValue* plans = j.find("crash_plans")) {
+    for (const JsonValue& p : plans->items) {
+      HeaderCrashPlan cp;
+      if (!p.is_object()) {
+        if (error != nullptr) *error = "bad crash plan";
+        return false;
+      }
+      if (const JsonValue* v = p.find("p")) cp.p = v->as_u64();
+      if (const JsonValue* v = p.find("at")) {
+        cp.has_at = true;
+        cp.at = v->as_double();
+      }
+      if (const JsonValue* v = p.find("after")) {
+        cp.has_after = true;
+        cp.after = v->as_u64();
+      }
+      if (const JsonValue* v = p.find("recover")) {
+        cp.has_recover = true;
+        cp.recover = v->as_double();
+      }
+      out.crash_plans.push_back(cp);
+    }
+  }
+  if (const JsonValue* storms = j.find("storms")) {
+    for (const JsonValue& s : storms->items) {
+      HeaderStorm st;
+      if (!s.is_object()) {
+        if (error != nullptr) *error = "bad storm window";
+        return false;
+      }
+      if (const JsonValue* v = s.find("t0")) st.t0 = v->as_double();
+      if (const JsonValue* v = s.find("t1")) st.t1 = v->as_double();
+      if (const JsonValue* v = s.find("factor")) st.factor = v->as_double();
+      out.storms.push_back(st);
+    }
   }
   if (const JsonValue* faulty = j.find("faulty")) {
     for (const JsonValue& v : faulty->items) out.faulty.push_back(v.as_u64());

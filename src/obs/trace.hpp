@@ -52,6 +52,8 @@ enum class EventKind {
   kRound0Empty,  ///< h_i[0] empty (below the resilience bound); view = R_i
   kRound,        ///< round complete: senders = MSG set, verts = h_i[round]
   kDecide,       ///< p decided; verts = h_i[t_end], round = t_end
+  kRecover,      ///< crashed process p restarted with fresh state
+  kGiveUp,       ///< reliable shim abandoned its channel to `peer`
 };
 
 std::string_view kind_name(EventKind k);
@@ -78,6 +80,41 @@ std::string to_jsonl(const TraceEvent& e);
 /// Parses one event line; false + *error on malformed input.
 bool parse_event(std::string_view line, TraceEvent& out,
                  std::string* error = nullptr);
+
+/// Per-channel policy override in a trace header (plain-value mirror of
+/// net::NetworkPolicy overrides; obs cannot depend on net).
+struct HeaderChannelOverride {
+  std::uint64_t from = 0, to = 0;
+  double drop = 0.0, dup = 0.0, reorder = 0.0;
+  double rmin = 0.5, rmax = 3.0;
+};
+
+/// One phase of a time-varying network policy: from `at` onward (until the
+/// next phase) the uniform link class + overrides below apply.
+struct HeaderPolicyPhase {
+  double at = 0.0;
+  double drop = 0.0, dup = 0.0, reorder = 0.0;
+  double rmin = 0.5, rmax = 3.0;
+  std::vector<HeaderChannelOverride> overrides;
+};
+
+/// Explicit crash plan (serialized when the run overrides the seed-derived
+/// crash style, e.g. nemesis scenarios).
+struct HeaderCrashPlan {
+  std::uint64_t p = 0;
+  bool has_at = false;
+  double at = 0.0;
+  bool has_after = false;
+  std::uint64_t after = 0;
+  bool has_recover = false;
+  double recover = 0.0;
+};
+
+/// Delay-storm window (plain-value mirror of sim::StormWindow).
+struct HeaderStorm {
+  double t0 = 0.0, t1 = 0.0;
+  double factor = 1.0;
+};
 
 /// Trace header: everything needed to (a) re-execute the run (replay) and
 /// (b) check its invariants offline without the workload generator. All
@@ -107,6 +144,13 @@ struct TraceHeader {
   double rto = 3.0, backoff = 2.0, rto_max = 20.0, jitter = 0.25, tick = 0.5;
   std::uint64_t max_retries = 15;
   std::uint64_t max_events = 50'000'000;
+
+  // Time-varying adversary (nemesis scenarios); all empty for classic runs,
+  // and omitted from the serialized form when empty (back-compat).
+  std::vector<HeaderChannelOverride> overrides;  ///< static per-channel
+  std::vector<HeaderPolicyPhase> phases;         ///< policy schedule
+  std::vector<HeaderCrashPlan> crash_plans;      ///< explicit crash schedule
+  std::vector<HeaderStorm> storms;               ///< delay-storm windows
 
   // Concrete workload (checker input; replay verifies it matches the seed).
   std::vector<std::uint64_t> faulty;

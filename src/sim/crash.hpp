@@ -6,6 +6,13 @@
 // subset of recipients. Mid-broadcast crashes are what make the stable
 // vector primitive's Containment property non-trivial, so the schedule
 // supports a crash trigger at an exact outgoing-message count.
+//
+// A plan may additionally schedule one *recovery*: at `recover_at` the
+// process restarts with fresh in-memory state (crash-recover with state
+// loss, the nemesis harness's churn ingredient). The simulator rebuilds
+// the process through its ProcessFactory and replays on_start, so the new
+// incarnation re-derives everything from its input; nothing of the crashed
+// incarnation survives. One crash + one recovery per process per run.
 #pragma once
 
 #include <cstddef>
@@ -23,11 +30,25 @@ struct CrashPlan {
   /// Crash immediately before sending the (k+1)-th message (so exactly k
   /// messages leave the process). Enables mid-broadcast partial delivery.
   std::optional<std::size_t> after_sends;
+  /// Restart with fresh state at this time (requires a ProcessFactory on
+  /// the simulation). A no-op if the crash trigger never fired by then.
+  std::optional<Time> recover_at;
 
   static CrashPlan never() { return {}; }
-  static CrashPlan at(Time t) { return {.at_time = t, .after_sends = {}}; }
+  static CrashPlan at(Time t) {
+    return {.at_time = t, .after_sends = {}, .recover_at = {}};
+  }
   static CrashPlan after(std::size_t sends) {
-    return {.at_time = {}, .after_sends = sends};
+    return {.at_time = {}, .after_sends = sends, .recover_at = {}};
+  }
+  /// Crash at t0, restart with fresh state at t1.
+  static CrashPlan window(Time t0, Time t1) {
+    return {.at_time = t0, .after_sends = {}, .recover_at = t1};
+  }
+
+  CrashPlan& then_recover_at(Time t) {
+    recover_at = t;
+    return *this;
   }
 };
 
@@ -48,6 +69,19 @@ class CrashSchedule {
   }
 
   std::size_t planned_crashes() const { return plans_.size(); }
+
+  /// All plans (harness code serializes them into trace headers).
+  const std::map<ProcessId, CrashPlan>& plans() const { return plans_; }
+
+  /// True when any plan schedules a recovery (the simulation then needs a
+  /// ProcessFactory installed).
+  bool any_recovery() const {
+    for (const auto& [p, plan] : plans_) {
+      (void)p;
+      if (plan.recover_at.has_value()) return true;
+    }
+    return false;
+  }
 
  private:
   std::map<ProcessId, CrashPlan> plans_;

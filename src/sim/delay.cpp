@@ -61,4 +61,23 @@ Time PhasedLagDelay::delay(ProcessId from, ProcessId to, Time now, Rng& rng) {
   return base;
 }
 
+StormDelay::StormDelay(std::unique_ptr<DelayModel> base,
+                       std::vector<StormWindow> storms)
+    : base_(std::move(base)), storms_(std::move(storms)) {
+  CHC_CHECK(base_ != nullptr, "base delay model required");
+  for (const StormWindow& w : storms_) {
+    CHC_CHECK(w.t1 > w.t0, "storm window must have t1 > t0");
+    CHC_CHECK(w.factor >= 1.0, "storm factor must be >= 1");
+  }
+}
+
+Time StormDelay::delay(ProcessId from, ProcessId to, Time now, Rng& rng) {
+  const Time base = base_->delay(from, to, now, rng);
+  double factor = 1.0;
+  for (const StormWindow& w : storms_) {
+    if (now >= w.t0 && now < w.t1) factor *= w.factor;
+  }
+  return base * factor;
+}
+
 }  // namespace chc::sim

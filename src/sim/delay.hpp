@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <set>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "sim/message.hpp"
@@ -85,6 +86,28 @@ class PhasedLagDelay final : public DelayModel {
   std::set<ProcessId> lagged_;
   double factor_;
   Time until_;
+};
+
+/// A delay storm: every message submitted in [t0, t1) takes `factor` times
+/// its base delay. The nemesis harness layers these windows on any base
+/// model to create temporary heavy-tail congestion.
+struct StormWindow {
+  Time t0 = 0.0;
+  Time t1 = 0.0;
+  double factor = 1.0;
+};
+
+/// Wraps a base model with delay-storm windows. Factors of overlapping
+/// windows multiply. Draws exactly one base sample per message, so adding
+/// a storm never shifts the RNG stream positions of the base model.
+class StormDelay final : public DelayModel {
+ public:
+  StormDelay(std::unique_ptr<DelayModel> base, std::vector<StormWindow> storms);
+  Time delay(ProcessId from, ProcessId to, Time now, Rng& rng) override;
+
+ private:
+  std::unique_ptr<DelayModel> base_;
+  std::vector<StormWindow> storms_;
 };
 
 }  // namespace chc::sim

@@ -60,7 +60,9 @@ Simulation::Simulation(std::size_t n, std::uint64_t seed,
       crashes_(std::move(crashes)),
       crashed_(n, false),
       crash_time_(n, std::numeric_limits<Time>::infinity()),
-      sends_done_(n, 0) {
+      sends_done_(n, 0),
+      plan_spent_(n, false),
+      incarnation_(n, 0) {
   CHC_CHECK(n_ >= 1, "simulation needs at least one process");
   CHC_CHECK(delay_ != nullptr, "delay model required");
   proc_rngs_.reserve(n_);
@@ -85,6 +87,11 @@ void Simulation::set_tracer(obs::Tracer* tracer) {
   tracer_ = tracer != nullptr ? tracer : &disabled_tracer_;
 }
 
+void Simulation::set_process_factory(ProcessFactory factory) {
+  CHC_CHECK(!started_, "process factory must be installed before run()");
+  factory_ = std::move(factory);
+}
+
 void Simulation::set_metrics(obs::Registry* metrics) {
   CHC_CHECK(!started_, "metrics must be attached before run()");
   delivery_latency_ =
@@ -104,7 +111,8 @@ bool Simulation::consume_send_budget(ProcessId from, Time now) {
     ++stats_.sends_suppressed;
     return false;
   }
-  if (const CrashPlan* plan = crashes_.plan_for(from)) {
+  if (const CrashPlan* plan = crashes_.plan_for(from);
+      plan != nullptr && !plan_spent_[from]) {
     if (plan->after_sends && sends_done_[from] >= *plan->after_sends) {
       crash_now(from, now);
       ++stats_.sends_suppressed;
@@ -193,7 +201,10 @@ void Simulation::enqueue_send(ProcessId from, ProcessId to, int tag,
 void Simulation::crash_now(ProcessId p, Time now) {
   if (crashed_[p]) return;
   crashed_[p] = true;
-  crash_time_[p] = now;
+  plan_spent_[p] = true;
+  if (crash_time_[p] == std::numeric_limits<Time>::infinity()) {
+    crash_time_[p] = now;
+  }
   tracer_->emit_with([&] {
     obs::TraceEvent e;
     e.kind = obs::EventKind::kCrash;
@@ -203,10 +214,35 @@ void Simulation::crash_now(ProcessId p, Time now) {
   });
 }
 
+void Simulation::recover_now(ProcessId p, Time now) {
+  // A no-op when the crash trigger never fired (e.g. an after_sends budget
+  // the process never exhausted): there is nothing to recover from.
+  if (!crashed_[p]) return;
+  CHC_CHECK(factory_ != nullptr,
+            "recover_at requires a process factory (set_process_factory)");
+  crashed_[p] = false;
+  ++incarnation_[p];
+  ++stats_.recoveries;
+  procs_[p] = factory_(p, incarnation_[p], std::move(procs_[p]));
+  CHC_CHECK(procs_[p] != nullptr, "process factory returned null");
+  tracer_->emit_with([&] {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kRecover;
+    e.t = now;
+    e.p = p;
+    return e;
+  });
+  ContextImpl ctx(this, p, now);
+  procs_[p]->on_start(ctx);
+}
+
 RunResult Simulation::run(std::uint64_t max_events) {
   CHC_CHECK(procs_.size() == n_, "add_process must be called exactly n times");
   if (!started_) {
     started_ = true;
+    CHC_CHECK(!crashes_.any_recovery() || factory_ != nullptr,
+              "crash schedule plans a recovery but no process factory is "
+              "installed");
     for (ProcessId p = 0; p < n_; ++p) {
       Event e;
       e.t = 0.0;
@@ -220,6 +256,15 @@ RunResult Simulation::run(std::uint64_t max_events) {
           c.kind = EventKind::kCrashAtTime;
           c.target = p;
           push_event(std::move(c));
+        }
+        if (plan->recover_at) {
+          CHC_CHECK(!plan->at_time || *plan->recover_at > *plan->at_time,
+                    "recover_at must come after at_time");
+          Event r;
+          r.t = *plan->recover_at;
+          r.kind = EventKind::kRecoverAt;
+          r.target = p;
+          push_event(std::move(r));
         }
       }
     }
@@ -240,6 +285,9 @@ RunResult Simulation::run(std::uint64_t max_events) {
     switch (e.kind) {
       case EventKind::kCrashAtTime:
         crash_now(e.target, e.t);
+        break;
+      case EventKind::kRecoverAt:
+        recover_now(e.target, e.t);
         break;
       case EventKind::kStart: {
         if (crashed_[e.target]) break;
@@ -297,6 +345,16 @@ bool Simulation::crashed(ProcessId p) const {
 Time Simulation::crash_time(ProcessId p) const {
   CHC_CHECK(p < n_, "process id out of range");
   return crash_time_[p];
+}
+
+std::size_t Simulation::incarnation(ProcessId p) const {
+  CHC_CHECK(p < n_, "process id out of range");
+  return incarnation_[p];
+}
+
+Process& Simulation::process(ProcessId p) {
+  CHC_CHECK(p < procs_.size(), "process id out of range");
+  return *procs_[p];
 }
 
 std::uint64_t Simulation::sends_of(ProcessId p) const {

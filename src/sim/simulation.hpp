@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <queue>
@@ -47,6 +48,9 @@ struct SimStats {
   // simulator itself cannot tell a retransmission from a fresh send).
   std::uint64_t retransmits = 0;
   std::map<int, std::uint64_t> retransmit_by_tag;
+
+  /// Crash-recover restarts performed (CrashPlan::recover_at).
+  std::uint64_t recoveries = 0;
 };
 
 struct RunResult {
@@ -56,6 +60,15 @@ struct RunResult {
 
 class Simulation {
  public:
+  /// Builds the replacement for a process restarting after a crash
+  /// (CrashPlan::recover_at). `incarnation` counts restarts (1 for the
+  /// first recovery); `retired` is the crashed instance, handed over so
+  /// the harness can harvest its statistics before it is destroyed. The
+  /// replacement starts from scratch: the simulator calls on_start on it
+  /// at the recovery time (crash-recover with state loss).
+  using ProcessFactory = std::function<std::unique_ptr<Process>(
+      ProcessId p, std::size_t incarnation, std::unique_ptr<Process> retired)>;
+
   Simulation(std::size_t n, std::uint64_t seed,
              std::unique_ptr<DelayModel> delay, CrashSchedule crashes);
 
@@ -81,20 +94,30 @@ class Simulation {
   /// delivery-latency histogram and message counters.
   void set_metrics(obs::Registry* metrics);
 
+  /// Installs the rebuild hook for crash-recover plans (call before run();
+  /// required iff any CrashPlan has recover_at).
+  void set_process_factory(ProcessFactory factory);
+
   /// Runs to quiescence or until `max_events` events have been processed.
   RunResult run(std::uint64_t max_events = 50'000'000);
 
   std::size_t n() const { return n_; }
   bool crashed(ProcessId p) const;
-  Time crash_time(ProcessId p) const;  ///< +inf when never crashed
+  Time crash_time(ProcessId p) const;  ///< +inf when never crashed (first
+                                       ///< crash when later recovered)
+  /// Restarts performed for p (0 = original incarnation still running).
+  std::size_t incarnation(ProcessId p) const;
   const SimStats& stats() const { return stats_; }
+
+  /// The (current incarnation of the) registered process.
+  Process& process(ProcessId p);
 
   /// Messages a process managed to send before crashing (for building the
   /// paper's F[t] sets in the analysis harness).
   std::uint64_t sends_of(ProcessId p) const;
 
  private:
-  enum class EventKind { kStart, kDeliver, kTimer, kCrashAtTime };
+  enum class EventKind { kStart, kDeliver, kTimer, kCrashAtTime, kRecoverAt };
 
   struct Event {
     Time t = 0.0;
@@ -122,6 +145,7 @@ class Simulation {
   /// says this send must not happen.
   bool consume_send_budget(ProcessId from, Time now);
   void crash_now(ProcessId p, Time now);
+  void recover_now(ProcessId p, Time now);
 
   std::size_t n_;
   obs::Tracer disabled_tracer_;  ///< target of tracer_ when none attached
@@ -137,6 +161,12 @@ class Simulation {
   std::vector<bool> crashed_;
   std::vector<Time> crash_time_;
   std::vector<std::uint64_t> sends_done_;
+  /// Crash plan already fired: a recovered process must not re-trip its
+  /// plan (an after_sends budget would otherwise instantly re-crash the
+  /// fresh incarnation, whose sends_done_ carries over).
+  std::vector<bool> plan_spent_;
+  std::vector<std::size_t> incarnation_;
+  ProcessFactory factory_;
 
   // FIFO enforcement: earliest allowed next delivery per directed channel.
   std::map<std::pair<ProcessId, ProcessId>, Time> channel_front_;

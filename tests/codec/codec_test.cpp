@@ -135,6 +135,8 @@ TEST(Codec, RelFrameRoundTrip) {
   f.seq = 0xDEADBEEFCAFE0001ULL;
   f.cum_ack = 42;
   f.inner_tag = 203;
+  f.src_epoch = 2;
+  f.dst_epoch = 5;
   f.inner = encode(geo::Vec{1.0, -2.5});
   const auto buf = encode(f);
   EXPECT_EQ(buf.size(), encoded_size(f));
@@ -143,6 +145,8 @@ TEST(Codec, RelFrameRoundTrip) {
   EXPECT_EQ(back->seq, f.seq);
   EXPECT_EQ(back->cum_ack, f.cum_ack);
   EXPECT_EQ(back->inner_tag, f.inner_tag);
+  EXPECT_EQ(back->src_epoch, 2u);
+  EXPECT_EQ(back->dst_epoch, 5u);
   EXPECT_EQ(back->inner, f.inner);
   // Nested payload decodes in turn.
   const auto inner = decode_vec(back->inner);
@@ -177,17 +181,25 @@ TEST(Codec, RelFrameMalformedRejected) {
   Writer w;
   w.put_u64(0);
   w.put_u64(0);
-  w.put_u32(1);
+  w.put_u32(1);       // tag
+  w.put_u32(0);       // src_epoch
+  w.put_u32(0);       // dst_epoch
   w.put_u32(1u << 30);
   EXPECT_FALSE(decode_rel_frame(w.take()).has_value());
 }
 
 TEST(Codec, RelAckRoundTripAndRejection) {
-  const auto buf = encode_rel_ack(0x0123456789ABCDEFULL);
-  EXPECT_EQ(buf.size(), 8u);
+  RelAckFrame a;
+  a.cum_ack = 0x0123456789ABCDEFULL;
+  a.src_epoch = 3;
+  a.dst_epoch = 1;
+  const auto buf = encode_rel_ack(a);
+  EXPECT_EQ(buf.size(), 16u);  // u64 cum_ack + two u32 epochs
   const auto back = decode_rel_ack(buf);
   ASSERT_TRUE(back.has_value());
-  EXPECT_EQ(*back, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(back->cum_ack, a.cum_ack);
+  EXPECT_EQ(back->src_epoch, 3u);
+  EXPECT_EQ(back->dst_epoch, 1u);
 
   EXPECT_FALSE(decode_rel_ack(Buffer{1, 2, 3}).has_value());  // truncated
   Buffer extra = buf;

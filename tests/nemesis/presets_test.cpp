@@ -1,0 +1,79 @@
+// Preset matrix tests: every named scenario runs checker-clean and meets
+// its decide expectation; the over-budget preset stalls safe.
+#include "nemesis/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "obs/metrics.hpp"
+
+namespace chc::nemesis {
+namespace {
+
+TEST(Presets, MatrixIsStable) {
+  const auto& all = presets();
+  ASSERT_GE(all.size(), 7u);
+  std::set<std::string> names;
+  for (const Preset& p : all) {
+    EXPECT_TRUE(names.insert(p.name).second) << "duplicate " << p.name;
+    EXPECT_FALSE(p.description.empty()) << p.name;
+    EXPECT_LE(p.crash_count, p.f) << p.name;
+    // Resilience: the paper needs n >= (d+2)f + 1.
+    EXPECT_GE(p.n, (p.d + 2) * p.f + 1) << p.name;
+  }
+  EXPECT_NE(find_preset("partition_heal"), nullptr);
+  EXPECT_NE(find_preset("over_budget"), nullptr);
+  EXPECT_EQ(find_preset("no_such_preset"), nullptr);
+}
+
+TEST(Presets, EveryPresetPassesAtMultipleSeeds) {
+  for (const Preset& p : presets()) {
+    for (const std::uint64_t seed : {3ull, 11ull}) {
+      const ScenarioResult r = run_preset(p, seed);
+      EXPECT_TRUE(r.check.ok())
+          << p.name << " seed=" << seed << ": " << summarize(r);
+      EXPECT_TRUE(r.passed)
+          << p.name << " seed=" << seed << ": " << summarize(r);
+      EXPECT_FALSE(r.trace_lines.empty()) << p.name;
+    }
+  }
+}
+
+TEST(Presets, OverBudgetStallsSafeNotUnsafe) {
+  const Preset* p = find_preset("over_budget");
+  ASSERT_NE(p, nullptr);
+  EXPECT_FALSE(p->expect_decide);
+  const ScenarioResult r = run_preset(*p, 3);
+  EXPECT_EQ(r.outcome, Outcome::kStalledSafe) << summarize(r);
+  EXPECT_TRUE(r.check.ok()) << summarize(r);
+  EXPECT_TRUE(r.check.over_budget);  // checker saw > f crashes
+  EXPECT_EQ(r.decided, 0u);
+}
+
+TEST(Presets, CrashRecoverActuallyRecovers) {
+  const Preset* p = find_preset("crash_recover");
+  ASSERT_NE(p, nullptr);
+  const ScenarioResult r = run_preset(*p, 3);
+  EXPECT_TRUE(r.passed) << summarize(r);
+  EXPECT_EQ(r.recoveries, 1u);
+  EXPECT_EQ(r.check.recoveries, 1u);  // offline checker agrees
+  EXPECT_GE(r.channel_resets, 1u);    // epoch protocol kicked in
+}
+
+TEST(Presets, RunFeedsMetricsRegistry) {
+  obs::Registry reg;
+  const Preset* p = find_preset("partition_heal");
+  ASSERT_NE(p, nullptr);
+  const ScenarioResult r = run_preset(*p, 3, &reg);
+  ASSERT_TRUE(r.passed) << summarize(r);
+  EXPECT_EQ(reg.counter("nemesis.runs").value(), 1u);
+  EXPECT_EQ(reg.counter("nemesis.decided_runs").value(), 1u);
+  EXPECT_EQ(reg.counter("nemesis.violations").value(), 0u);
+  EXPECT_GT(reg.gauge("nemesis.decide_latency").value(), 0.0);
+  // The run's own counters flow through the same registry.
+  EXPECT_GT(reg.counter("net.rel.data_sent").value(), 0u);
+}
+
+}  // namespace
+}  // namespace chc::nemesis

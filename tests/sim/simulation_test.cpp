@@ -178,6 +178,89 @@ TEST(Simulation, CrashAfterZeroSendsSilencesProcess) {
   EXPECT_GE(rr.stats.sends_suppressed, 1u);
 }
 
+TEST(Simulation, CrashRecoverRebuildsThroughFactory) {
+  // Process 1 crashes at t=0.05 (losing the whole burst from 0) and
+  // recovers at t=5 with fresh state; process 0 sends a second burst at
+  // t=10 via a timer — the new incarnation receives it.
+  class SecondBurst final : public Process {
+   public:
+    explicit SecondBurst(Recorder::Log* log) : log_(log) {}
+    void on_start(Context& ctx) override {
+      for (int i = 1; i <= 5; ++i) ctx.send(1, kTagData, int{i});
+      ctx.set_timer(10.0, 1);
+    }
+    void on_message(Context&, const Message&) override {}
+    void on_timer(Context& ctx, int) override {
+      for (int i = 6; i <= 10; ++i) ctx.send(1, kTagData, int{i});
+      (void)log_;
+    }
+
+   private:
+    Recorder::Log* log_;
+  };
+
+  std::vector<Recorder::Log> logs(2);
+  std::size_t factory_calls = 0;
+  CrashSchedule cs;
+  cs.set(1, CrashPlan::window(0.05, 5.0));
+  Simulation sim(2, 19, std::make_unique<UniformDelay>(0.1, 1.0), cs);
+  sim.add_process(std::make_unique<SecondBurst>(&logs[0]));
+  sim.add_process(std::make_unique<Recorder>(&logs[1], false, 0));
+  sim.set_process_factory([&](ProcessId p, std::size_t incarnation,
+                              std::unique_ptr<Process> retired)
+                              -> std::unique_ptr<Process> {
+    ++factory_calls;
+    EXPECT_EQ(p, 1u);
+    EXPECT_EQ(incarnation, 1u);
+    EXPECT_NE(retired, nullptr);
+    return std::make_unique<Recorder>(&logs[1], false, 0);
+  });
+  const auto rr = sim.run();
+  EXPECT_TRUE(rr.quiescent);
+  EXPECT_EQ(factory_calls, 1u);
+  EXPECT_EQ(rr.stats.recoveries, 1u);
+  EXPECT_FALSE(sim.crashed(1));  // recovered
+  EXPECT_EQ(sim.incarnation(1), 1u);
+  EXPECT_DOUBLE_EQ(sim.crash_time(1), 0.05);  // first crash remembered
+  // First burst lost to the crash, second burst fully delivered.
+  ASSERT_EQ(logs[1].deliveries.size(), 5u);
+  EXPECT_EQ(logs[1].deliveries.front().second, 6);
+  EXPECT_EQ(rr.stats.messages_dropped, 5u);
+}
+
+TEST(Simulation, RecoveryRequiresFactory) {
+  Recorder::Log log;
+  CrashSchedule cs;
+  cs.set(0, CrashPlan::window(1.0, 2.0));
+  Simulation sim(1, 1, std::make_unique<FixedDelay>(1.0), cs);
+  sim.add_process(std::make_unique<TimerProc>(&log));
+  EXPECT_THROW(sim.run(), ContractViolation);
+}
+
+TEST(Simulation, RecoveryWithoutPriorCrashIsNoop) {
+  // The plan's crash trigger is an after_sends budget the process never
+  // exhausts, so when recover_at fires there is nothing to recover from:
+  // no factory call, no recovery counted, incarnation stays 0.
+  std::vector<Recorder::Log> logs(2);
+  CrashSchedule cs;
+  cs.set(1, CrashPlan::after(100).then_recover_at(5.0));
+  Simulation sim(2, 23, std::make_unique<UniformDelay>(0.1, 1.0), cs);
+  sim.add_process(std::make_unique<Recorder>(&logs[0], false, 3));
+  sim.add_process(std::make_unique<Recorder>(&logs[1], false, 0));
+  sim.set_process_factory([&](ProcessId, std::size_t,
+                              std::unique_ptr<Process>)
+                              -> std::unique_ptr<Process> {
+    ADD_FAILURE() << "factory must not run for a process that never crashed";
+    return std::make_unique<Recorder>(&logs[1], false, 0);
+  });
+  const auto rr = sim.run();
+  EXPECT_TRUE(rr.quiescent);
+  EXPECT_EQ(rr.stats.recoveries, 0u);
+  EXPECT_EQ(sim.incarnation(1), 0u);
+  EXPECT_FALSE(sim.crashed(1));
+  EXPECT_EQ(logs[1].deliveries.size(), 3u);  // burst fully delivered
+}
+
 TEST(Simulation, TimersFireInOrder) {
   Recorder::Log log;
   Simulation sim(1, 5, std::make_unique<FixedDelay>(1.0), {});

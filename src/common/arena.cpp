@@ -1,0 +1,109 @@
+#include "common/arena.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "common/check.hpp"
+
+namespace chc::common {
+namespace {
+
+// Process-wide aggregate. Retired arenas (thread exit) fold their final
+// numbers into the retired_* cells so the totals stay monotone; live arenas
+// are walked under the registry mutex — but that walk is avoided on the hot
+// path entirely: arenas push their counter updates here on the rare events
+// (chunk growth, scope release), never per allocation.
+std::atomic<std::uint64_t> g_chunk_mallocs{0};
+std::atomic<std::uint64_t> g_chunk_bytes{0};
+std::atomic<std::uint64_t> g_high_water{0};
+
+void raise_high_water(std::uint64_t v) {
+  std::uint64_t cur = g_high_water.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !g_high_water.compare_exchange_weak(cur, v,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t min_chunk_bytes)
+    : min_chunk_(min_chunk_bytes < 256 ? 256 : min_chunk_bytes) {}
+
+Arena::~Arena() {
+  raise_high_water(high_water_);
+  for (Chunk& c : chunks_) {
+    g_chunk_bytes.fetch_sub(c.size, std::memory_order_relaxed);
+    ::operator delete(c.data, std::align_val_t{64});
+  }
+}
+
+std::size_t Arena::capacity() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.size;
+  return total;
+}
+
+void Arena::grow(std::size_t need) {
+  // Reuse an already-owned later chunk when it fits (release() rewinds the
+  // cursor but keeps chunks); otherwise double up to the needed size.
+  while (chunk_ + 1 < chunks_.size()) {
+    ++chunk_;
+    offset_ = 0;
+    if (chunks_[chunk_].size >= need) return;
+  }
+  std::size_t size = min_chunk_;
+  if (!chunks_.empty()) size = chunks_.back().size * 2;
+  while (size < need) size *= 2;
+  Chunk c;
+  c.data = static_cast<char*>(::operator new(size, std::align_val_t{64}));
+  c.size = size;
+  chunks_.push_back(c);
+  chunk_ = chunks_.size() - 1;
+  offset_ = 0;
+  ++chunk_mallocs_;
+  g_chunk_mallocs.fetch_add(1, std::memory_order_relaxed);
+  g_chunk_bytes.fetch_add(size, std::memory_order_relaxed);
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  CHC_INTERNAL((align & (align - 1)) == 0 && align <= 64,
+               "arena alignment must be a power of two <= 64");
+  if (bytes == 0) bytes = 1;
+  if (chunks_.empty()) grow(bytes < min_chunk_ ? min_chunk_ : bytes);
+  std::size_t off = (offset_ + align - 1) & ~(align - 1);
+  if (off + bytes > chunks_[chunk_].size) {
+    grow(bytes);
+    off = 0;
+  }
+  void* p = chunks_[chunk_].data + off;
+  offset_ = off + bytes;
+  live_ += bytes;
+  if (live_ > high_water_) high_water_ = live_;
+  return p;
+}
+
+void Arena::release(const Marker& m) {
+  CHC_INTERNAL(m.chunk < chunks_.size() || chunks_.empty(),
+               "arena marker from a different arena");
+  raise_high_water(high_water_);
+  chunk_ = m.chunk;
+  offset_ = m.offset;
+  live_ = m.live;
+}
+
+Arena& thread_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+ArenaStats arena_stats() {
+  ArenaStats s;
+  s.chunk_mallocs = g_chunk_mallocs.load(std::memory_order_relaxed);
+  s.chunk_bytes = g_chunk_bytes.load(std::memory_order_relaxed);
+  s.high_water = g_high_water.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace chc::common

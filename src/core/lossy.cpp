@@ -4,8 +4,10 @@
 #include <set>
 #include <utility>
 
+#include "common/arena.hpp"
 #include "common/check.hpp"
 #include "core/process_cc.hpp"
+#include "geometry/intern.hpp"
 #include "net/faulty_link.hpp"
 
 namespace chc::core {
@@ -248,6 +250,24 @@ LossyRunOutput run_cc_lossy_custom(const LossyRunConfig& lc,
     lc.metrics->gauge("cc.max_round")
         .set(static_cast<double>(out.trace->max_round()));
     lc.metrics->gauge("sim.end_time").set(out.stats.end_time);
+    // Geometry-kernel health: arena churn and the d = 2 incremental-L hit
+    // rate. Process-wide totals (gauges, not deltas) — a steady-state run
+    // shows geo.arena.chunk_mallocs flat across repeats.
+    const common::ArenaStats as = common::arena_stats();
+    lc.metrics->gauge("geo.arena.chunk_mallocs")
+        .set(static_cast<double>(as.chunk_mallocs));
+    lc.metrics->gauge("geo.arena.chunk_bytes")
+        .set(static_cast<double>(as.chunk_bytes));
+    lc.metrics->gauge("geo.arena.high_water")
+        .set(static_cast<double>(as.high_water));
+    const geo::InternStats is = geo::intern_stats();
+    lc.metrics->gauge("geo.combo.hits").set(static_cast<double>(is.combo_hits));
+    lc.metrics->gauge("geo.combo.misses")
+        .set(static_cast<double>(is.combo_misses));
+    lc.metrics->gauge("geo.combo.delta_hits")
+        .set(static_cast<double>(is.combo_delta_hits));
+    lc.metrics->gauge("geo.combo.delta_misses")
+        .set(static_cast<double>(is.combo_delta_misses));
   }
 
   const std::set<sim::ProcessId> faulty(workload.faulty.begin(),

@@ -1,0 +1,190 @@
+#include "geometry/combine2d.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/arena.hpp"
+#include "common/check.hpp"
+#include "geometry/hull2d.hpp"
+
+namespace chc::geo {
+namespace {
+
+/// 0 when the edge direction lies in the half-open upper halfplane
+/// (angle ∈ [0, π)), 1 for the lower ([π, 2π)).
+int angle_half(double ex, double ey) {
+  if (ey > 0.0) return 0;
+  if (ey < 0.0) return 1;
+  return ex > 0.0 ? 0 : 1;
+}
+
+/// Value-based total preorder on edge vectors: pseudo-angle half, then
+/// cross product within a half-turn, then the raw IEEE bits of (ex, ey).
+/// Two edges that compare equal are bitwise-identical vectors, so any
+/// sorted arrangement of a given multiset yields the same boundary-walk
+/// bits — the property the incremental patch path relies on. (Operand
+/// rank deliberately does not participate: the order of a merged sequence
+/// must not depend on which round assembled it.)
+bool angle_less(double aex, double aey, double bex, double bey) {
+  const int ha = angle_half(aex, aey), hb = angle_half(bex, bey);
+  if (ha != hb) return ha < hb;
+  const double cr = aex * bey - aey * bex;
+  if (cr != 0.0) return cr > 0.0;
+  const std::uint64_t ax = std::bit_cast<std::uint64_t>(aex);
+  const std::uint64_t bx = std::bit_cast<std::uint64_t>(bex);
+  if (ax != bx) return ax < bx;
+  return std::bit_cast<std::uint64_t>(aey) < std::bit_cast<std::uint64_t>(bey);
+}
+
+bool edge_less(const CombEdge& a, const CombEdge& b) {
+  return angle_less(a.ex, a.ey, b.ex, b.ey);
+}
+
+/// CCW copy of a 2-D convex polygon's vertices (reverses if needed).
+std::vector<Vec> ccw2(const std::vector<Vec>& poly) {
+  if (poly.size() < 3) return poly;
+  if (polygon_area(poly) < 0.0) {
+    return std::vector<Vec>(poly.rbegin(), poly.rend());
+  }
+  return poly;
+}
+
+}  // namespace
+
+OperandEdges build_operand_edges(const Polytope& p, double weight) {
+  OperandEdges fan;
+  std::vector<Vec> v = ccw2(p.vertices());
+  for (Vec& q : v) q *= weight;
+  std::size_t lo = 0;
+  for (std::size_t j = 1; j < v.size(); ++j) {
+    if (v[j][1] < v[lo][1] || (v[j][1] == v[lo][1] && v[j][0] < v[lo][0])) {
+      lo = j;
+    }
+  }
+  fan.start_x = v[lo][0];
+  fan.start_y = v[lo][1];
+  const std::size_t m = v.size();
+  fan.edges.reserve(m);
+  for (std::size_t j = 0; j < m && m >= 2; ++j) {
+    const Vec& a = v[(lo + j) % m];
+    const Vec& b = v[(lo + j + 1) % m];
+    const CombEdge e{b[0] - a[0], b[1] - a[1]};
+    // Zero edges cannot come from canonical polytopes, but guard anyway:
+    // they have no pseudo-angle and would break the merge's ordering.
+    if (e.ex != 0.0 || e.ey != 0.0) fan.edges.push_back(e);
+  }
+  // A canonical CCW polygon's edges are already angle-sorted from the
+  // bottom-most vertex; verify instead of sorting, and fall back for inputs
+  // that violate it (non-canonical callers).
+  if (!std::is_sorted(fan.edges.begin(), fan.edges.end(), edge_less)) {
+    std::sort(fan.edges.begin(), fan.edges.end(), edge_less);
+  }
+  return fan;
+}
+
+std::vector<TaggedEdge> merge_fans(
+    const std::vector<const OperandEdges*>& fans,
+    const std::vector<const void*>* owners) {
+  std::size_t total = 0;
+  for (const OperandEdges* f : fans) total += f->edges.size();
+
+  // K-way merge of the sorted fans: a linear scan over the k heads per
+  // output edge (k is the round size — small — so this beats re-sorting
+  // all E edges every round). Ties pick the lowest-index fan; tied edges
+  // are bitwise-identical, so the pick never changes downstream bits.
+  std::vector<std::size_t> head(fans.size(), 0);
+  std::vector<TaggedEdge> out;
+  out.reserve(total);
+  for (std::size_t step = 0; step < total; ++step) {
+    std::size_t pick = fans.size();
+    for (std::size_t f = 0; f < fans.size(); ++f) {
+      if (head[f] >= fans[f]->edges.size()) continue;
+      if (pick == fans.size() ||
+          edge_less(fans[f]->edges[head[f]], fans[pick]->edges[head[pick]])) {
+        pick = f;
+      }
+    }
+    CHC_INTERNAL(pick < fans.size(), "merge exhausted fans early");
+    const CombEdge& e = fans[pick]->edges[head[pick]];
+    ++head[pick];
+    out.push_back(TaggedEdge{
+        e.ex, e.ey, owners == nullptr ? nullptr : (*owners)[pick]});
+  }
+  return out;
+}
+
+std::vector<TaggedEdge> patch_merged(
+    const std::vector<TaggedEdge>& prev,
+    const std::vector<const void*>& removed,
+    const std::vector<const OperandEdges*>& added,
+    const std::vector<const void*>& added_owners) {
+  // The arrivals' edges, sorted and tagged. One added fan (the common
+  // single-swap round) is already sorted — just tag it.
+  std::vector<TaggedEdge> adds;
+  if (added.size() == 1) {
+    adds.reserve(added[0]->edges.size());
+    for (const CombEdge& e : added[0]->edges) {
+      adds.push_back(TaggedEdge{e.ex, e.ey, added_owners[0]});
+    }
+  } else if (!added.empty()) {
+    adds = merge_fans(added, &added_owners);
+  }
+
+  // One pass: drop the departed owners' edges (`removed` is tiny — a
+  // linear membership test beats any set) while two-way merging the
+  // arrivals. Ties keep the surviving edge first (tied edges are bitwise
+  // equal, so the preference is cosmetic).
+  std::vector<TaggedEdge> out;
+  out.reserve(prev.size() + adds.size());
+  std::size_t j = 0;
+  for (const TaggedEdge& e : prev) {
+    bool drop = false;
+    for (const void* r : removed) drop |= (e.owner == r);
+    if (drop) continue;
+    while (j < adds.size() && angle_less(adds[j].ex, adds[j].ey, e.ex, e.ey)) {
+      out.push_back(adds[j++]);
+    }
+    out.push_back(e);
+  }
+  out.insert(out.end(), adds.begin() + static_cast<std::ptrdiff_t>(j),
+             adds.end());
+  return out;
+}
+
+Polytope emit_walk(double start_x, double start_y,
+                   const std::vector<TaggedEdge>& merged, double rel_tol) {
+  if (merged.empty()) {
+    return Polytope::from_points({Vec{start_x, start_y}}, rel_tol);
+  }
+
+  // The walk closes back at `start` because each fan's edges sum to zero,
+  // so the last (maximal) edge is dropped rather than emitting a
+  // near-duplicate of the start vertex. The walk lives in arena scratch
+  // until canonicalization picks the surviving vertices.
+  common::ArenaScope scope;
+  const std::size_t n = merged.size();
+  double* xs = static_cast<double*>(
+      scope.arena().allocate(n * sizeof(double), alignof(double)));
+  double* ys = static_cast<double*>(
+      scope.arena().allocate(n * sizeof(double), alignof(double)));
+  xs[0] = start_x;
+  ys[0] = start_y;
+  for (std::size_t step = 0; step + 1 < n; ++step) {
+    xs[step + 1] = xs[step] + merged[step].ex;
+    ys[step + 1] = ys[step] + merged[step].ey;
+  }
+  return Polytope::from_convex_walk_xy(xs, ys, n, rel_tol);
+}
+
+Polytope combine2d(const std::vector<const OperandEdges*>& fans,
+                   double rel_tol) {
+  CHC_CHECK(!fans.empty(), "combine2d over zero operand fans");
+  double start_x = 0.0, start_y = 0.0;
+  for (const OperandEdges* f : fans) {
+    start_x += f->start_x;
+    start_y += f->start_y;
+  }
+  return emit_walk(start_x, start_y, merge_fans(fans, nullptr), rel_tol);
+}
+
+}  // namespace chc::geo

@@ -45,9 +45,17 @@ PolytopeHandle intern(Polytope p);
 /// A bounded memo table for equal-weight combinations (FIFO eviction).
 /// Thread-safe; one instance may be shared, or installed per worker thread
 /// with set_thread_combo_cache for contention-free sharded use.
+///
+/// Capacity sizing: each memo entry pins its operand handles and the
+/// combined output, so the table's live footprint scales with capacity ×
+/// round size. The memo earns its keep by deduplicating repeats of the
+/// SAME operand multiset — sibling instances of a shard working the same
+/// round — a window of a few dozen entries. Oversizing it retains long-dead
+/// rounds whose only effect is to evict the round pipeline's working set
+/// from cache (measured ~2x on the round-churn bench at capacity 4096).
 class ComboCache {
  public:
-  explicit ComboCache(std::size_t capacity = 512);
+  explicit ComboCache(std::size_t capacity = 64);
   ~ComboCache();
   ComboCache(const ComboCache&) = delete;
   ComboCache& operator=(const ComboCache&) = delete;
@@ -83,6 +91,13 @@ struct InternStats {
   std::uint64_t intern_evictions = 0;  ///< LRU victims dropped from the table
   std::uint64_t combo_hits = 0;     ///< memoized L reused a cached result
   std::uint64_t combo_misses = 0;   ///< memoized L computed from scratch
+  /// The d = 2 incremental path (combine2d.hpp): on a combination miss,
+  /// operand edge fans surviving from earlier rounds are reused
+  /// (delta-hits) and only the changed operands rebuild theirs
+  /// (delta-misses) — a round whose membership changed by one process pays
+  /// one fan build plus the merge instead of a full recomputation.
+  std::uint64_t combo_delta_hits = 0;    ///< operand fans reused
+  std::uint64_t combo_delta_misses = 0;  ///< operand fans (re)built
 };
 InternStats intern_stats();
 

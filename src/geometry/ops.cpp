@@ -5,11 +5,14 @@
 #include <cstdint>
 #include <utility>
 
+#include "common/arena.hpp"
 #include "common/check.hpp"
 #include "common/combinatorics.hpp"
 #include "common/thread_pool.hpp"
+#include "geometry/combine2d.hpp"
 #include "geometry/hull2d.hpp"
 #include "geometry/quickhull.hpp"
+#include "geometry/simd.hpp"
 #include "lp/simplex.hpp"
 
 namespace chc::geo {
@@ -191,82 +194,22 @@ std::vector<Vec> ccw2(const std::vector<Vec>& poly) {
 
 // --- Engine: k-way Minkowski edge merge (d = 2) --------------------------
 
-/// One directed boundary edge of a scaled operand polygon, tagged with its
-/// (operand, edge) rank for a deterministic sort tie-break.
-struct MergeEdge {
-  double ex, ey;
-  std::uint32_t poly, idx;
-};
-
-/// 0 when the edge direction lies in the half-open upper halfplane
-/// (angle ∈ [0, π)), 1 for the lower ([π, 2π)) — the exact pseudo-angle
-/// ordering a CCW polygon's edges already follow from its bottom vertex.
-int angle_half(const MergeEdge& e) {
-  if (e.ey > 0.0) return 0;
-  if (e.ey < 0.0) return 1;
-  return e.ex > 0.0 ? 0 : 1;
-}
-
-bool angle_less(const MergeEdge& a, const MergeEdge& b) {
-  const int ha = angle_half(a), hb = angle_half(b);
-  if (ha != hb) return ha < hb;
-  const double cr = a.ex * b.ey - a.ey * b.ex;
-  if (cr != 0.0) return cr > 0.0;
-  if (a.poly != b.poly) return a.poly < b.poly;
-  return a.idx < b.idx;
-}
-
-/// L for d = 2 by a single k-way rotating edge-vector merge: the Minkowski
-/// sum's boundary is the angle-sorted concatenation of every operand's
-/// edge vectors, started from the sum of the operands' bottom-most
-/// vertices. O(E log E) in the total edge count E — replaces k sequential
-/// minkowski_sum2d re-hulls of growing intermediate polygons.
+/// L for d = 2 by the fan-merge engine (combine2d.hpp): per-operand edge
+/// fans built fresh, then one k-way rotating merge. The interned round
+/// combination shares the same merge but reuses cached fans across rounds.
 Polytope linear_combination_kway2d(const std::vector<Polytope>& polys,
                                    const std::vector<double>& weights,
                                    double rel_tol) {
-  Vec start(2, 0.0);
-  std::vector<MergeEdge> edges;
-  std::uint32_t rank = 0;
+  std::vector<OperandEdges> fans;
+  fans.reserve(polys.size());
   for (std::size_t i = 0; i < polys.size(); ++i) {
     if (weights[i] == 0.0) continue;
-    std::vector<Vec> v = ccw2(polys[i].vertices());
-    for (Vec& p : v) p *= weights[i];
-    std::size_t lo = 0;
-    for (std::size_t j = 1; j < v.size(); ++j) {
-      if (v[j][1] < v[lo][1] ||
-          (v[j][1] == v[lo][1] && v[j][0] < v[lo][0])) {
-        lo = j;
-      }
-    }
-    start += v[lo];
-    const std::size_t m = v.size();
-    for (std::size_t j = 0; j < m && m >= 2; ++j) {
-      const Vec& a = v[(lo + j) % m];
-      const Vec& b = v[(lo + j + 1) % m];
-      const MergeEdge e{b[0] - a[0], b[1] - a[1], rank,
-                        static_cast<std::uint32_t>(j)};
-      // Zero edges cannot come from canonical polytopes, but guard anyway:
-      // they have no pseudo-angle and would break the sort's ordering.
-      if (e.ex != 0.0 || e.ey != 0.0) edges.push_back(e);
-    }
-    ++rank;
+    fans.push_back(build_operand_edges(polys[i], weights[i]));
   }
-  if (edges.empty()) return Polytope::from_points({start}, rel_tol);
-
-  std::sort(edges.begin(), edges.end(), angle_less);
-
-  std::vector<Vec> out;
-  out.reserve(edges.size());
-  Vec cur = start;
-  out.push_back(cur);
-  // The edge vectors of each operand sum to zero, so the walk closes back
-  // at `start` (up to roundoff): the last edge is dropped rather than
-  // emitting a near-duplicate of the start vertex.
-  for (std::size_t j = 0; j + 1 < edges.size(); ++j) {
-    cur = Vec{cur[0] + edges[j].ex, cur[1] + edges[j].ey};
-    out.push_back(cur);
-  }
-  return Polytope::from_points(out, rel_tol);
+  std::vector<const OperandEdges*> ptrs;
+  ptrs.reserve(fans.size());
+  for (const OperandEdges& f : fans) ptrs.push_back(&f);
+  return combine2d(ptrs, rel_tol);
 }
 
 // --- Engine: balanced merge tree (general d) ------------------------------
@@ -438,24 +381,46 @@ SubsetHull2d build_subset_hull2d(const std::vector<Vec>& points,
   return out;
 }
 
-/// clip_halfplane with a containment pre-check: when every vertex already
-/// satisfies the halfplane the clip is the identity, so the (sorting)
-/// re-canonicalization inside clip_halfplane is skipped entirely. In the
-/// subset-hull reduction almost all clips are no-ops — the intersection
-/// shrinks once and then stays inside most subsequent hulls.
-std::vector<Vec> clip_halfplane_checked(std::vector<Vec> poly, const Vec& a,
-                                        double b, double tol) {
-  const double dist_tol = tol * std::max(1.0, a.norm());
-  bool all_inside = true;
-  for (const Vec& p : poly) {
-    if (a.dot(p) > b + dist_tol) {
-      all_inside = false;
-      break;
+/// The working polygon of the ordered 2-D clip reduction plus an SoA
+/// (coordinate-major) mirror of its vertices, so the per-halfplane
+/// containment pre-check is one batched simd::all_below sweep. The mirror
+/// lives on the thread arena and is rebuilt only when a clip actually
+/// changes the polygon — in the subset-hull reduction almost all clips are
+/// no-ops (the intersection shrinks once, then stays inside most subsequent
+/// hulls), so the common case is a pure read.
+class ClipReduction2d {
+ public:
+  explicit ClipReduction2d(std::vector<Vec> poly) : poly_(std::move(poly)) {}
+
+  const std::vector<Vec>& poly() const { return poly_; }
+  bool empty() const { return poly_.empty(); }
+
+  /// Clips by {x : a·x <= b}; returns false once the polygon is empty.
+  bool clip(const Vec& a, double b, double tol) {
+    const double dist_tol = tol * std::max(1.0, a.norm());
+    if (dirty_) {
+      sx_.assign(poly_.size(), 0.0);
+      sy_.assign(poly_.size(), 0.0);
+      for (std::size_t i = 0; i < poly_.size(); ++i) {
+        sx_[i] = poly_[i][0];
+        sy_[i] = poly_[i][1];
+      }
+      dirty_ = false;
     }
+    const double* xs[2] = {sx_.data(), sy_.data()};
+    if (simd::all_below(xs, 2, poly_.size(), a.data(), b + dist_tol)) {
+      return true;  // every vertex already inside: the clip is the identity
+    }
+    poly_ = clip_halfplane(poly_, a, b, tol);
+    dirty_ = true;
+    return !poly_.empty();
   }
-  if (all_inside) return poly;
-  return clip_halfplane(poly, a, b, tol);
-}
+
+ private:
+  std::vector<Vec> poly_;
+  common::ArenaVector<double> sx_, sy_;
+  bool dirty_ = true;
+};
 
 }  // namespace
 
@@ -466,7 +431,11 @@ Polytope intersect_halfspaces(std::size_t dim,
     CHC_CHECK(h.a.dim() == dim, "halfspace dimension mismatch");
   }
   CHC_CHECK(!halfspaces.empty(), "unbounded: empty halfspace system");
-  IntersectWorkspace ws;
+  // One workspace per thread: the LP matrices and dual point set keep their
+  // capacity across calls (and across the recursion inside one call), so a
+  // steady-state round performs no heap allocation here. Safe because
+  // intersect_impl is not re-entered through any of its callees.
+  static thread_local IntersectWorkspace ws;
   return intersect_impl(dim, halfspaces, rel_tol, 0, ws);
 }
 
@@ -561,15 +530,17 @@ Polytope intersection_of_subset_hulls(const std::vector<Vec>& points,
     const double tol = rel_tol * scale;
     // Ordered reduction: clip the first subset's polygon with every later
     // subset's halfplanes, in rank order.
-    std::vector<Vec> poly = hulls[0].poly;
-    for (std::size_t i = 1; i < hulls.size() && !poly.empty(); ++i) {
+    common::ArenaScope scratch;  // reclaims the SoA mirrors wholesale
+    ClipReduction2d reduction(hulls[0].poly);
+    bool alive = !reduction.empty();
+    for (std::size_t i = 1; i < hulls.size() && alive; ++i) {
       for (const Halfspace& hs : hulls[i].hs) {
-        poly = clip_halfplane_checked(std::move(poly), hs.a, hs.b, tol);
-        if (poly.empty()) break;
+        alive = reduction.clip(hs.a, hs.b, tol);
+        if (!alive) break;
       }
     }
-    if (poly.empty()) return Polytope::empty(2);
-    return Polytope::from_points(poly, rel_tol);
+    if (!alive) return Polytope::empty(2);
+    return Polytope::from_points(reduction.poly(), rel_tol);
   }
 
   std::vector<std::vector<Halfspace>> sub_hs(subsets.size());

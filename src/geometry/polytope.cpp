@@ -4,10 +4,12 @@
 #include <cmath>
 #include <ostream>
 
+#include "common/arena.hpp"
 #include "common/check.hpp"
 #include "geometry/distance.hpp"
 #include "geometry/hull2d.hpp"
 #include "geometry/quickhull.hpp"
+#include "geometry/simd.hpp"
 
 namespace chc::geo {
 namespace {
@@ -102,6 +104,115 @@ Polytope Polytope::from_points(const std::vector<Vec>& points,
   }
   p.verts_ = points;
   p.finalize(rel_tol);
+  return p;
+}
+
+Polytope Polytope::from_walk2d(const std::vector<Vec>& points,
+                               double rel_tol) {
+  CHC_CHECK(!points.empty(), "hull of an empty point set; use Polytope::empty");
+  CHC_CHECK(points[0].dim() == 2, "from_walk2d expects 2-D points");
+  common::ArenaScope scope;
+  const std::size_t n = points.size();
+  double* xs = static_cast<double*>(
+      scope.arena().allocate(n * sizeof(double), alignof(double)));
+  double* ys = static_cast<double*>(
+      scope.arena().allocate(n * sizeof(double), alignof(double)));
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = points[i][0];
+    ys[i] = points[i][1];
+  }
+  return from_convex_walk_xy(xs, ys, n, rel_tol);
+}
+
+Polytope Polytope::from_convex_walk_xy(const double* xs, const double* ys,
+                                       std::size_t n, double rel_tol) {
+  CHC_CHECK(n > 0, "hull of an empty point set; use Polytope::empty");
+
+  // Same effective tolerance finalize() uses on its first attempt.
+  std::size_t lo = 0;
+  double scale = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scale = std::max(scale, std::max(std::fabs(xs[i]), std::fabs(ys[i])));
+    if (xs[i] < xs[lo] || (xs[i] == xs[lo] && ys[i] < ys[lo])) lo = i;
+  }
+  const double tol = rel_tol * scale;
+  const double cross_tol = tol * scale * scale;
+
+  // O(n) canonicalization of an already-convex CCW boundary walk: rotate
+  // to the lexicographically-lowest (x, then y) vertex — hull2d's start —
+  // then one Graham-style pass with hull2d's exact predicates (approx_eq
+  // point dedup, cross ≤ tol pruning). Runs on index scratch; falls back
+  // to the full sort-based hull whenever the walk is not robustly convex.
+  common::ArenaScope scope;
+  std::uint32_t* keep = static_cast<std::uint32_t*>(
+      scope.arena().allocate(n * sizeof(std::uint32_t), alignof(std::uint32_t)));
+  const auto cross_keep = [&](std::size_t a, std::size_t b, std::size_t c) {
+    return (xs[b] - xs[a]) * (ys[c] - ys[a]) -
+           (ys[b] - ys[a]) * (xs[c] - xs[a]);
+  };
+  const auto near_pt = [&](std::size_t a, std::size_t b) {
+    return std::fabs(xs[a] - xs[b]) <= tol && std::fabs(ys[a] - ys[b]) <= tol;
+  };
+  std::size_t k = 0;
+  keep[k++] = static_cast<std::uint32_t>(lo);
+  for (std::size_t s = 1; s < n; ++s) {
+    const std::size_t i = (lo + s) % n;
+    if (near_pt(keep[k - 1], i)) continue;
+    while (k >= 2 && cross_keep(keep[k - 2], keep[k - 1], i) <= cross_tol) --k;
+    keep[k++] = static_cast<std::uint32_t>(i);
+  }
+  // Close the loop: the junction back to the start vertex obeys the same
+  // dedup and turn predicates as every interior vertex.
+  while (k >= 2 && (near_pt(keep[k - 1], keep[0]) ||
+                    cross_keep(keep[k - 2], keep[k - 1], keep[0]) <= cross_tol)) {
+    --k;
+  }
+  const bool convex =
+      k >= 3 && cross_keep(keep[k - 1], keep[0], keep[1]) > cross_tol;
+  if (convex) {
+    double twice = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t a = keep[i], b = keep[(i + 1) % k];
+      twice += xs[a] * ys[b] - xs[b] * ys[a];
+    }
+    const double area = twice / 2.0;
+    if (area > 0.0) {
+      std::vector<Vec> hull;
+      hull.reserve(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        hull.push_back(Vec{xs[keep[i]], ys[keep[i]]});
+      }
+      return assemble_walk2d(std::move(hull), area);
+    }
+  }
+
+  // Not a clean convex walk under this tolerance: run the exact path
+  // from_points would, so the two constructors accept the same inputs.
+  std::vector<Vec> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) points.push_back(Vec{xs[i], ys[i]});
+  std::vector<Vec> hull = hull2d(points, tol);
+  if (hull.size() < 3) return from_points(points, rel_tol);
+  const double area = polygon_area(hull);
+  if (!(area > 0.0)) return from_points(points, rel_tol);
+  return assemble_walk2d(std::move(hull), area);
+}
+
+Polytope Polytope::assemble_walk2d(std::vector<Vec> hull, double area) {
+  // Full-dimensional: identity subspace, so the local hull IS the vertex
+  // set and the facet normals come straight off the CCW edges — the exact
+  // k == 2 branch of finalize(), minus rank detection and the ladder. The
+  // H-rep is deferred: CC rounds consume only vertices, so facets are
+  // built on the first halfspaces() call.
+  Polytope p;
+  p.ambient_dim_ = 2;
+  p.sub_ = AffineSubspace::canonical(2);
+  p.verts_ = std::move(hull);
+  // local_verts_ stays empty: the identity subspace makes it equal to
+  // verts_, so local_vertices() aliases instead of copying.
+  p.intrinsic_measure_ = area;
+  p.hrep_cell_ = std::make_shared<HrepCell>();
+  p.build_soa();
   return p;
 }
 
@@ -203,8 +314,15 @@ void Polytope::finalize(double rel_tol) {
     for (const Vec& lv : local_verts_) verts_.push_back(sub_.lift(lv));
   }
 
-  // Ambient H-representation: lift local facets, then pin the affine hull
-  // with an equality pair per complement direction.
+  build_hrep(local_hs);
+  build_soa();
+}
+
+// Ambient H-representation: lift local facets, then pin the affine hull
+// with an equality pair per complement direction.
+void Polytope::build_hrep(const std::vector<Halfspace>& local_hs) {
+  const std::size_t d = ambient_dim_;
+  const std::size_t k = sub_.dim();
   hrep_.clear();
   for (const Halfspace& hs : local_hs) {
     Vec a(d, 0.0);
@@ -220,6 +338,17 @@ void Polytope::finalize(double rel_tol) {
   }
 }
 
+void Polytope::build_soa() {
+  soa_.clear();
+  if (verts_.empty() || ambient_dim_ == 0 || ambient_dim_ > 4) return;
+  const std::size_t n = verts_.size();
+  soa_.resize(n * ambient_dim_);
+  for (std::size_t j = 0; j < ambient_dim_; ++j) {
+    double* col = soa_.data() + j * n;
+    for (std::size_t i = 0; i < n; ++i) col[i] = verts_[i][j];
+  }
+}
+
 std::size_t Polytope::affine_dim() const {
   CHC_CHECK(!is_empty(), "affine dimension of the empty polytope");
   return sub_.dim();
@@ -227,6 +356,27 @@ std::size_t Polytope::affine_dim() const {
 
 const std::vector<Halfspace>& Polytope::halfspaces() const {
   CHC_CHECK(!is_empty(), "H-representation of the empty polytope");
+  if (hrep_cell_ != nullptr) {
+    // Deferred walk-built polytope: derive the facets from the CCW vertex
+    // loop on first use — the same loop (and therefore the same bits) the
+    // eager k == 2 finalize branch runs.
+    std::call_once(hrep_cell_->once, [this] {
+      std::vector<Halfspace> hs;
+      hs.reserve(verts_.size());
+      for (std::size_t i = 0; i < verts_.size(); ++i) {
+        const Vec& a = verts_[i];
+        const Vec& b = verts_[(i + 1) % verts_.size()];
+        // Outward normal of a CCW edge: rotate the edge direction by -90°.
+        Vec n{b[1] - a[1], a[0] - b[0]};
+        const double len = n.norm();
+        CHC_INTERNAL(len > 1e-300, "degenerate polygon edge");
+        n *= 1.0 / len;
+        hs.push_back({n, n.dot(a)});
+      }
+      hrep_cell_->hs = std::move(hs);
+    });
+    return hrep_cell_->hs;
+  }
   return hrep_;
 }
 
@@ -238,12 +388,13 @@ Vec Polytope::nearest_point(const Vec& p) const {
   const std::size_t k = sub_.dim();
   const Vec local_p = sub_.project(p);
   Vec local_best(k, 0.0);
+  const std::vector<Vec>& lv = local_vertices();
   if (k == 1) {
-    local_best[0] = std::clamp(local_p[0], local_verts_[0][0], local_verts_[1][0]);
+    local_best[0] = std::clamp(local_p[0], lv[0][0], lv[1][0]);
   } else if (k == 2) {
-    local_best = polygon_nearest_point(local_verts_, local_p);
+    local_best = polygon_nearest_point(lv, local_p);
   } else {
-    local_best = nearest_point_in_hull(local_verts_, local_p);
+    local_best = nearest_point_in_hull(lv, local_p);
   }
   return sub_.lift(local_best);
 }
@@ -268,6 +419,17 @@ bool Polytope::contains(const Polytope& other, double tol) const {
 
 const Vec& Polytope::support(const Vec& dir) const {
   CHC_CHECK(!is_empty(), "support of the empty polytope");
+  if (has_soa()) {
+    // Batched argmax over the SoA mirror: same accumulation order and
+    // first-wins strict compare as the scalar loop below, so the result is
+    // bit-identical (simd.hpp's contract).
+    const double* xs[Vec::kInlineDim];
+    const std::size_t n = verts_.size();
+    for (std::size_t j = 0; j < ambient_dim_; ++j) xs[j] = soa_.data() + j * n;
+    double best_val = 0.0;
+    return verts_[simd::argmax_dot(xs, ambient_dim_, n, dir.data(),
+                                   &best_val)];
+  }
   std::size_t best = 0;
   double best_val = dir.dot(verts_[0]);
   for (std::size_t i = 1; i < verts_.size(); ++i) {

@@ -15,6 +15,8 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -37,6 +39,22 @@ class Polytope {
   /// Convex hull of a point multiset. Handles any affine dimension.
   static Polytope from_points(const std::vector<Vec>& points,
                               double rel_tol = 1e-9);
+
+  /// Fast-path hull of a 2-D point loop that is expected to be a
+  /// full-dimensional convex boundary walk (the Minkowski combination
+  /// output): runs the same hull2d cleanup from_points would, but skips
+  /// affine-rank detection and the degeneracy ladder, pinning the canonical
+  /// (identity) subspace directly. Falls back to from_points whenever the
+  /// cleaned polygon is not robustly 2-dimensional, so it accepts exactly
+  /// the same inputs.
+  static Polytope from_walk2d(const std::vector<Vec>& points,
+                              double rel_tol = 1e-9);
+
+  /// Same contract as from_walk2d over coordinate arrays (`xs[i]`, `ys[i]`,
+  /// i < n): the allocation-lean form the combination kernel emits into.
+  /// The arrays are scratch and not retained.
+  static Polytope from_convex_walk_xy(const double* xs, const double* ys,
+                                      std::size_t n, double rel_tol = 1e-9);
 
   /// Axis-aligned box [lo, hi] (for workloads and clipping).
   static Polytope box(const Vec& lo, const Vec& hi);
@@ -70,8 +88,19 @@ class Polytope {
   /// The empty polytope is contained in everything.
   bool contains(const Polytope& other, double tol = 1e-7) const;
 
-  /// Vertex supporting direction `dir` (argmax over vertices of dir·v).
+  /// Vertex supporting direction `dir` (argmax over vertices of dir·v,
+  /// first vertex winning ties).
   const Vec& support(const Vec& dir) const;
+
+  /// True when the coordinate-major (SoA) vertex mirror is cached — always
+  /// the case for non-empty polytopes with ambient_dim <= 4. The batched
+  /// SIMD predicates (geometry/simd.hpp) consume this layout.
+  bool has_soa() const { return !soa_.empty(); }
+  /// The j-th coordinate array of the SoA mirror, `vertices().size()`
+  /// doubles long. Requires has_soa() and j < ambient_dim().
+  const double* soa_coord(std::size_t j) const {
+    return soa_.data() + j * verts_.size();
+  }
 
   /// Arithmetic mean of the vertices (a canonical interior point).
   Vec vertex_centroid() const;
@@ -92,14 +121,38 @@ class Polytope {
   Polytope scaled(double s) const;  ///< scales about the origin
 
  private:
+  /// Deferred H-rep for walk-built full-dimensional 2-D polytopes: the CC
+  /// round pipeline consumes only vertices, so facet construction waits for
+  /// the first halfspaces() call. The cell is shared by copies (one build
+  /// serves all) and call_once makes concurrent first readers safe; the
+  /// built facets are bit-identical to the eager construction's.
+  struct HrepCell {
+    std::once_flag once;
+    std::vector<Halfspace> hs;
+  };
+
   std::size_t ambient_dim_ = 0;
   std::vector<Vec> verts_;            // canonical minimal vertices (ambient)
   AffineSubspace sub_ = AffineSubspace::from_points({Vec{0.0}});  // placeholder
-  std::vector<Vec> local_verts_;      // verts_ projected into sub_
-  std::vector<Halfspace> hrep_;       // ambient H-rep
+  std::vector<Vec> local_verts_;      // verts_ projected into sub_; may be
+                                      // empty when sub_ is the identity
+                                      // (walk-built) — use local_vertices()
+  std::vector<Halfspace> hrep_;       // ambient H-rep (empty when deferred)
+  std::shared_ptr<HrepCell> hrep_cell_;  // non-null iff H-rep is deferred
+  std::vector<double> soa_;           // coordinate-major vertex mirror, d<=4
   double intrinsic_measure_ = 0.0;
 
+  /// Vertices in subspace coordinates; identical to verts_ (and not stored
+  /// twice) for identity-subspace polytopes.
+  const std::vector<Vec>& local_vertices() const {
+    return local_verts_.empty() ? verts_ : local_verts_;
+  }
   void finalize(double rel_tol);      // fills sub_/local_verts_/hrep_/measure
+  void build_hrep(const std::vector<Halfspace>& local_hs);  // lift to ambient
+  void build_soa();
+  /// Full-dimensional 2-D assembly from a canonical CCW hull: identity
+  /// subspace, deferred H-rep.
+  static Polytope assemble_walk2d(std::vector<Vec> hull, double area);
 };
 
 std::ostream& operator<<(std::ostream& os, const Polytope& p);

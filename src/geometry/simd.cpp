@@ -1,0 +1,156 @@
+#include "geometry/simd.hpp"
+
+#include <atomic>
+
+namespace chc::geo::simd {
+
+// AVX2 twins (simd_avx2.cpp); only present when CHC_SIMD_AVX2 is defined.
+#if defined(CHC_SIMD_AVX2)
+namespace avx2 {
+void affine_eval(const double* const* xs, std::size_t d, std::size_t n,
+                 const double* a, double b, double* out);
+void affine_eval_idx(const double* const* xs, std::size_t d,
+                     const std::size_t* idx, std::size_t n, const double* a,
+                     double b, double* out);
+bool all_below(const double* const* xs, std::size_t d, std::size_t n,
+               const double* a, double bound);
+std::size_t argmax_dot(const double* const* xs, std::size_t d, std::size_t n,
+                       const double* a, double* val_out);
+std::size_t argmin_dot(const double* const* xs, std::size_t d, std::size_t n,
+                       const double* a, double* val_out);
+void cross2_batch(double ax, double ay, double bx, double by,
+                  const double* cx, const double* cy, std::size_t n,
+                  double* out);
+bool cpu_supported();
+}  // namespace avx2
+#endif
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+bool cpu_has_avx2() {
+#if defined(CHC_SIMD_AVX2)
+  static const bool has = avx2::cpu_supported();
+  return has;
+#else
+  return false;
+#endif
+}
+
+/// dot(a, x_i) accumulated exactly like Vec::dot: s = 0.0, then += in
+/// coordinate order.
+inline double dot_point(const double* const* xs, std::size_t d,
+                        std::size_t i, const double* a) {
+  double s = 0.0;
+  for (std::size_t j = 0; j < d; ++j) s += a[j] * xs[j][i];
+  return s;
+}
+
+}  // namespace
+
+bool avx2_compiled() {
+#if defined(CHC_SIMD_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool avx2_active() {
+  return avx2_compiled() && cpu_has_avx2() &&
+         g_enabled.load(std::memory_order_relaxed);
+}
+
+bool set_enabled(bool on) {
+  return g_enabled.exchange(on, std::memory_order_relaxed);
+}
+
+void affine_eval(const double* const* xs, std::size_t d, std::size_t n,
+                 const double* a, double b, double* out) {
+#if defined(CHC_SIMD_AVX2)
+  if (avx2_active()) {
+    avx2::affine_eval(xs, d, n, a, b, out);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) out[i] = dot_point(xs, d, i, a) - b;
+}
+
+void affine_eval_idx(const double* const* xs, std::size_t d,
+                     const std::size_t* idx, std::size_t n, const double* a,
+                     double b, double* out) {
+#if defined(CHC_SIMD_AVX2)
+  if (avx2_active()) {
+    avx2::affine_eval_idx(xs, d, idx, n, a, b, out);
+    return;
+  }
+#endif
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = dot_point(xs, d, idx[k], a) - b;
+  }
+}
+
+bool all_below(const double* const* xs, std::size_t d, std::size_t n,
+               const double* a, double bound) {
+#if defined(CHC_SIMD_AVX2)
+  if (avx2_active()) return avx2::all_below(xs, d, n, a, bound);
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dot_point(xs, d, i, a) > bound) return false;
+  }
+  return true;
+}
+
+std::size_t argmax_dot(const double* const* xs, std::size_t d, std::size_t n,
+                       const double* a, double* val_out) {
+#if defined(CHC_SIMD_AVX2)
+  if (avx2_active()) return avx2::argmax_dot(xs, d, n, a, val_out);
+#endif
+  std::size_t best = 0;
+  double best_val = dot_point(xs, d, 0, a);
+  for (std::size_t i = 1; i < n; ++i) {
+    const double v = dot_point(xs, d, i, a);
+    if (v > best_val) {
+      best_val = v;
+      best = i;
+    }
+  }
+  *val_out = best_val;
+  return best;
+}
+
+std::size_t argmin_dot(const double* const* xs, std::size_t d, std::size_t n,
+                       const double* a, double* val_out) {
+#if defined(CHC_SIMD_AVX2)
+  if (avx2_active()) return avx2::argmin_dot(xs, d, n, a, val_out);
+#endif
+  std::size_t best = 0;
+  double best_val = dot_point(xs, d, 0, a);
+  for (std::size_t i = 1; i < n; ++i) {
+    const double v = dot_point(xs, d, i, a);
+    if (v < best_val) {
+      best_val = v;
+      best = i;
+    }
+  }
+  *val_out = best_val;
+  return best;
+}
+
+void cross2_batch(double ax, double ay, double bx, double by,
+                  const double* cx, const double* cy, std::size_t n,
+                  double* out) {
+#if defined(CHC_SIMD_AVX2)
+  if (avx2_active()) {
+    avx2::cross2_batch(ax, ay, bx, by, cx, cy, n, out);
+    return;
+  }
+#endif
+  const double ux = bx - ax, uy = by - ay;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = ux * (cy[i] - ay) - uy * (cx[i] - ax);
+  }
+}
+
+}  // namespace chc::geo::simd

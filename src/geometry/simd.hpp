@@ -1,0 +1,68 @@
+// Batched geometric predicates with runtime SIMD dispatch.
+//
+// The kernels below evaluate one direction (or halfplane, or edge) against
+// many points laid out in SoA (structure-of-arrays) form: xs[j] points at
+// the j-th coordinate array, one double per point. For d <= 4 this is
+// exactly the layout Polytope caches for its vertex set (`soa_coord`), so
+// support maps, clip prechecks and Wolfe's major cycle all become one
+// batched sweep instead of a Vec-at-a-time loop.
+//
+// Bit-identity contract: every kernel has a scalar implementation whose
+// floating-point operation order per point mirrors the Vec-based code it
+// replaces (dot accumulates from 0.0 in coordinate order; cross2 is
+// mul,mul,sub), and the AVX2 variants perform the identical per-lane
+// operation sequence (no FMA, no reassociation). Selections (argmax/argmin,
+// any/all tests) use the same strict comparisons and first-wins tie-breaks
+// as the scalar loops, so switching the dispatch can never change a result
+// bit — only its speed. tests/geometry/simd_test.cpp enforces this over
+// adversarial inputs for d in 1..4.
+//
+// Dispatch: the AVX2 path is compiled when the CHC_SIMD CMake option is ON
+// on an x86-64 toolchain (per-function target attributes; no -mavx2 on the
+// whole TU) and taken when the CPU reports AVX2 at runtime. set_enabled()
+// lets tests force the scalar fallback in-process.
+#pragma once
+
+#include <cstddef>
+
+namespace chc::geo::simd {
+
+/// True when the AVX2 kernels were compiled in (CHC_SIMD=ON, x86-64).
+bool avx2_compiled();
+/// True when batched kernels will take the AVX2 path right now.
+bool avx2_active();
+/// Enables/disables the AVX2 path at runtime (differential tests force the
+/// scalar fallback). Returns the previous setting. A no-op (always scalar)
+/// when AVX2 is not compiled in or the CPU lacks it.
+bool set_enabled(bool on);
+
+/// out[i] = dot(a, x_i) - b over n points; d in 1..4.
+void affine_eval(const double* const* xs, std::size_t d, std::size_t n,
+                 const double* a, double b, double* out);
+
+/// Gathered variant: out[k] = dot(a, x_{idx[k]}) - b.
+void affine_eval_idx(const double* const* xs, std::size_t d,
+                     const std::size_t* idx, std::size_t n, const double* a,
+                     double b, double* out);
+
+/// True when dot(a, x_i) <= bound for every point (the all-inside clip
+/// precheck). Early-exits on the first violation.
+bool all_below(const double* const* xs, std::size_t d, std::size_t n,
+               const double* a, double bound);
+
+/// First index maximizing dot(a, x_i) under strict `>` (first-wins ties —
+/// the Polytope::support contract). n >= 1. *val_out gets the max value.
+std::size_t argmax_dot(const double* const* xs, std::size_t d, std::size_t n,
+                       const double* a, double* val_out);
+
+/// First index minimizing dot(a, x_i) under strict `<` (Wolfe major cycle).
+std::size_t argmin_dot(const double* const* xs, std::size_t d, std::size_t n,
+                       const double* a, double* val_out);
+
+/// out[i] = (bx - ax) * (cy[i] - ay) - (by - ay) * (cx[i] - ax): the cross2
+/// orientation of many points against one directed segment a->b.
+void cross2_batch(double ax, double ay, double bx, double by,
+                  const double* cx, const double* cy, std::size_t n,
+                  double* out);
+
+}  // namespace chc::geo::simd

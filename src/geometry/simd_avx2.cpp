@@ -1,0 +1,181 @@
+// AVX2 variants of the batched predicates (see simd.hpp for the
+// bit-identity contract). Compiled only when CHC_SIMD_AVX2 is defined; the
+// vector bodies carry per-function target("avx2") attributes so the rest of
+// the library keeps the default ISA and dispatch happens at runtime.
+//
+// Every kernel processes points 4 per vector, lane k = point i+k, and
+// performs per lane exactly the operation sequence of the scalar kernel:
+// dot accumulates from 0.0 in coordinate order with separate mul/add (no
+// FMA), comparisons are the same strict predicates, and reductions resolve
+// ties to the lowest index (first-wins).
+#if defined(CHC_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace chc::geo::simd::avx2 {
+namespace {
+
+inline double dot_point(const double* const* xs, std::size_t d,
+                        std::size_t i, const double* a) {
+  double s = 0.0;
+  for (std::size_t j = 0; j < d; ++j) s += a[j] * xs[j][i];
+  return s;
+}
+
+__attribute__((target("avx2"))) inline __m256d dot_block(
+    const double* const* xs, std::size_t d, std::size_t i, const double* a) {
+  __m256d acc = _mm256_setzero_pd();
+  for (std::size_t j = 0; j < d; ++j) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_set1_pd(a[j]), _mm256_loadu_pd(xs[j] + i)));
+  }
+  return acc;
+}
+
+/// Lowest lane index whose value equals the block extreme `m`.
+__attribute__((target("avx2"))) inline unsigned first_equal_lane(__m256d v,
+                                                                 double m) {
+  const int mask =
+      _mm256_movemask_pd(_mm256_cmp_pd(v, _mm256_set1_pd(m), _CMP_EQ_OQ));
+  return static_cast<unsigned>(__builtin_ctz(static_cast<unsigned>(mask)));
+}
+
+}  // namespace
+
+bool cpu_supported() { return __builtin_cpu_supports("avx2") != 0; }
+
+__attribute__((target("avx2"))) void affine_eval(const double* const* xs,
+                                                 std::size_t d, std::size_t n,
+                                                 const double* a, double b,
+                                                 double* out) {
+  const __m256d vb = _mm256_set1_pd(b);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_sub_pd(dot_block(xs, d, i, a), vb));
+  }
+  for (; i < n; ++i) out[i] = dot_point(xs, d, i, a) - b;
+}
+
+__attribute__((target("avx2"))) void affine_eval_idx(
+    const double* const* xs, std::size_t d, const std::size_t* idx,
+    std::size_t n, const double* a, double b, double* out) {
+  static_assert(sizeof(std::size_t) == 8, "gather assumes 64-bit indices");
+  const __m256d vb = _mm256_set1_pd(b);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256i vi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(idx + k));
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t j = 0; j < d; ++j) {
+      const __m256d gathered =
+          _mm256_i64gather_pd(xs[j], vi, sizeof(double));
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_set1_pd(a[j]), gathered));
+    }
+    _mm256_storeu_pd(out + k, _mm256_sub_pd(acc, vb));
+  }
+  for (; k < n; ++k) out[k] = dot_point(xs, d, idx[k], a) - b;
+}
+
+__attribute__((target("avx2"))) bool all_below(const double* const* xs,
+                                               std::size_t d, std::size_t n,
+                                               const double* a, double bound) {
+  const __m256d vbound = _mm256_set1_pd(bound);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d cmp =
+        _mm256_cmp_pd(dot_block(xs, d, i, a), vbound, _CMP_GT_OQ);
+    if (_mm256_movemask_pd(cmp) != 0) return false;
+  }
+  for (; i < n; ++i) {
+    if (dot_point(xs, d, i, a) > bound) return false;
+  }
+  return true;
+}
+
+__attribute__((target("avx2"))) std::size_t argmax_dot(const double* const* xs,
+                                                       std::size_t d,
+                                                       std::size_t n,
+                                                       const double* a,
+                                                       double* val_out) {
+  std::size_t best = 0;
+  double best_val = dot_point(xs, d, 0, a);
+  // The first block overlaps point 0; that only re-tests it against itself.
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = dot_block(xs, d, i, a);
+    const __m256d hi = _mm256_max_pd(v, _mm256_permute2f128_pd(v, v, 1));
+    const __m256d m4 = _mm256_max_pd(hi, _mm256_permute_pd(hi, 0x5));
+    const double block_max = _mm256_cvtsd_f64(m4);
+    if (block_max > best_val) {
+      best_val = block_max;
+      best = i + first_equal_lane(v, block_max);
+    }
+  }
+  for (; i < n; ++i) {
+    const double v = dot_point(xs, d, i, a);
+    if (v > best_val) {
+      best_val = v;
+      best = i;
+    }
+  }
+  *val_out = best_val;
+  return best;
+}
+
+__attribute__((target("avx2"))) std::size_t argmin_dot(const double* const* xs,
+                                                       std::size_t d,
+                                                       std::size_t n,
+                                                       const double* a,
+                                                       double* val_out) {
+  std::size_t best = 0;
+  double best_val = dot_point(xs, d, 0, a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = dot_block(xs, d, i, a);
+    const __m256d lo = _mm256_min_pd(v, _mm256_permute2f128_pd(v, v, 1));
+    const __m256d m4 = _mm256_min_pd(lo, _mm256_permute_pd(lo, 0x5));
+    const double block_min = _mm256_cvtsd_f64(m4);
+    if (block_min < best_val) {
+      best_val = block_min;
+      best = i + first_equal_lane(v, block_min);
+    }
+  }
+  for (; i < n; ++i) {
+    const double v = dot_point(xs, d, i, a);
+    if (v < best_val) {
+      best_val = v;
+      best = i;
+    }
+  }
+  *val_out = best_val;
+  return best;
+}
+
+__attribute__((target("avx2"))) void cross2_batch(double ax, double ay,
+                                                  double bx, double by,
+                                                  const double* cx,
+                                                  const double* cy,
+                                                  std::size_t n, double* out) {
+  const double ux = bx - ax, uy = by - ay;
+  const __m256d vux = _mm256_set1_pd(ux);
+  const __m256d vuy = _mm256_set1_pd(uy);
+  const __m256d vax = _mm256_set1_pd(ax);
+  const __m256d vay = _mm256_set1_pd(ay);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(cy + i), vay);
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(cx + i), vax);
+    _mm256_storeu_pd(out + i, _mm256_sub_pd(_mm256_mul_pd(vux, dy),
+                                            _mm256_mul_pd(vuy, dx)));
+  }
+  for (; i < n; ++i) {
+    out[i] = ux * (cy[i] - ay) - uy * (cx[i] - ax);
+  }
+}
+
+}  // namespace chc::geo::simd::avx2
+
+#endif  // CHC_SIMD_AVX2

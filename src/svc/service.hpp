@@ -70,8 +70,11 @@ struct ServiceConfig {
   std::size_t shards = 0;
   /// Bounded per-shard FIFO run-queue capacity (backpressure threshold).
   std::size_t queue_capacity = 64;
-  /// Capacity of each shard's private combination memo table.
-  std::size_t combo_cache_capacity = 512;
+  /// Capacity of each shard's private combination memo table. Sized for
+  /// same-round duplicate combinations across the shard's instances; an
+  /// oversized memo pins dead rounds and evicts the live working set
+  /// (see ComboCache's capacity note).
+  std::size_t combo_cache_capacity = 64;
   /// Optional admission/completion counters (svc.* names).
   obs::Registry* metrics = nullptr;
   /// When set, each traced instance's stream is also written to

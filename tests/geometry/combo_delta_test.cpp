@@ -1,0 +1,174 @@
+// The d = 2 incremental combination path (ISSUE 7 tentpole part 4).
+//
+// equal_weight_combination_interned caches each operand's angle-sorted edge
+// fan keyed on (handle, weight). When round r+1's membership differs from
+// round r by one process — the common case under a single crash — the miss
+// path rebuilds exactly one fan and reuses the rest. These tests prove the
+// two load-bearing claims:
+//  * bit-identity: the delta path returns the exact bits of a full
+//    equal_weight_combination recomputation, across rounds of shifting
+//    membership (a cached fan is a pure function of handle value and
+//    weight, and the k-way merge is order-deterministic);
+//  * the delta counters account for every fan: swapped-in operands miss,
+//    survivors hit, and non-planar operands never touch the fan cache.
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/intern.hpp"
+#include "geometry/ops.hpp"
+#include "geometry/polytope.hpp"
+#include "geometry/vec.hpp"
+
+namespace chc::geo {
+namespace {
+
+/// An irregular (asymmetric, no lattice alignment) pentagon around `c`.
+Polytope pentagon(double cx, double cy, double r) {
+  return Polytope::from_points({
+      Vec{cx + r, cy + 0.1 * r},
+      Vec{cx + 0.31 * r, cy + 0.97 * r},
+      Vec{cx - 0.78 * r, cy + 0.55 * r},
+      Vec{cx - 0.71 * r, cy - 0.62 * r},
+      Vec{cx + 0.42 * r, cy - 0.83 * r},
+  });
+}
+
+void expect_bitwise_equal(const Polytope& a, const Polytope& b,
+                          const char* what) {
+  ASSERT_EQ(a.ambient_dim(), b.ambient_dim()) << what;
+  ASSERT_EQ(a.vertices().size(), b.vertices().size()) << what;
+  for (std::size_t i = 0; i < a.vertices().size(); ++i) {
+    const Vec& va = a.vertices()[i];
+    const Vec& vb = b.vertices()[i];
+    for (std::size_t j = 0; j < a.ambient_dim(); ++j) {
+      const double x = va[j], y = vb[j];
+      ASSERT_EQ(0, std::memcmp(&x, &y, sizeof(double)))
+          << what << ": vertex " << i << " coord " << j << " differs: " << x
+          << " vs " << y;
+    }
+  }
+}
+
+class ComboDeltaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clear_intern_caches();
+    prev_ = set_thread_combo_cache(&cache_);
+  }
+  void TearDown() override {
+    set_thread_combo_cache(prev_);
+    clear_intern_caches();
+  }
+  ComboCache cache_{64};
+  ComboCache* prev_ = nullptr;
+};
+
+TEST_F(ComboDeltaTest, DeltaPathMatchesFullRecomputeBitwise) {
+  constexpr std::size_t kOperands = 6;
+  constexpr int kRounds = 9;
+  std::vector<PolytopeHandle> round;
+  for (std::size_t i = 0; i < kOperands; ++i) {
+    round.push_back(intern(pentagon(static_cast<double>(i), 0.3 * i, 1.0 + 0.2 * i)));
+  }
+  // Swap one operand per round: the delta path reuses kOperands-1 cached
+  // fans every round after the first, yet must still emit the bits a
+  // from-scratch L would.
+  for (int r = 0; r < kRounds; ++r) {
+    const PolytopeHandle combined =
+        equal_weight_combination_interned(round, 1e-9);
+    std::vector<Polytope> values;
+    for (const auto& h : round) values.push_back(*h);
+    const Polytope full = equal_weight_combination(values, 1e-9);
+    expect_bitwise_equal(*combined, full, "delta vs full recompute");
+
+    const std::size_t slot = static_cast<std::size_t>(r) % kOperands;
+    round[slot] =
+        intern(pentagon(2.0 + 0.7 * r, -1.0 + 0.4 * r, 0.5 + 0.1 * r));
+  }
+  const InternStats s = intern_stats();
+  // Every round was a distinct multiset (one combo miss each); survivors'
+  // fans were reused.
+  EXPECT_EQ(s.combo_misses, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(s.combo_delta_misses,
+            kOperands + static_cast<std::uint64_t>(kRounds - 1));
+  EXPECT_EQ(s.combo_delta_hits,
+            static_cast<std::uint64_t>(kRounds - 1) * (kOperands - 1));
+}
+
+TEST_F(ComboDeltaTest, FanReuseCountersTrackMembershipChanges) {
+  std::vector<PolytopeHandle> ops = {
+      intern(pentagon(0.0, 0.0, 1.0)),
+      intern(pentagon(3.0, 1.0, 2.0)),
+      intern(pentagon(-2.0, 4.0, 1.5)),
+      intern(pentagon(1.0, -3.0, 0.8)),
+      intern(pentagon(5.0, 5.0, 1.1)),
+  };
+  // Round 1: cold cache — every fan is built.
+  (void)equal_weight_combination_interned(ops, 1e-9);
+  InternStats s = intern_stats();
+  EXPECT_EQ(s.combo_misses, 1u);
+  EXPECT_EQ(s.combo_delta_misses, 5u);
+  EXPECT_EQ(s.combo_delta_hits, 0u);
+
+  // Round 2: one process's state changed — one fan build, four reuses.
+  ops[2] = intern(pentagon(9.0, 9.0, 0.7));
+  (void)equal_weight_combination_interned(ops, 1e-9);
+  s = intern_stats();
+  EXPECT_EQ(s.combo_misses, 2u);
+  EXPECT_EQ(s.combo_delta_misses, 6u);
+  EXPECT_EQ(s.combo_delta_hits, 4u);
+
+  // Round 3: identical multiset — memo hit, fans never consulted.
+  (void)equal_weight_combination_interned(ops, 1e-9);
+  s = intern_stats();
+  EXPECT_EQ(s.combo_hits, 1u);
+  EXPECT_EQ(s.combo_misses, 2u);
+  EXPECT_EQ(s.combo_delta_misses, 6u);
+  EXPECT_EQ(s.combo_delta_hits, 4u);
+}
+
+TEST_F(ComboDeltaTest, WeightChangesInvalidateFans) {
+  // A fan is keyed on (handle, weight): the same operands at a different
+  // arity must not reuse 1/5-scaled fans for a 1/4-weight combination.
+  std::vector<PolytopeHandle> five = {
+      intern(pentagon(0.0, 0.0, 1.0)), intern(pentagon(2.0, 0.0, 1.0)),
+      intern(pentagon(0.0, 2.0, 1.0)), intern(pentagon(2.0, 2.0, 1.0)),
+      intern(pentagon(1.0, 1.0, 1.0)),
+  };
+  (void)equal_weight_combination_interned(five, 1e-9);
+  std::vector<PolytopeHandle> four(five.begin(), five.end() - 1);
+  const PolytopeHandle combined =
+      equal_weight_combination_interned(four, 1e-9);
+  const InternStats s = intern_stats();
+  EXPECT_EQ(s.combo_delta_misses, 9u);  // 5 at weight 1/5 + 4 at weight 1/4
+  EXPECT_EQ(s.combo_delta_hits, 0u);
+  std::vector<Polytope> values;
+  for (const auto& h : four) values.push_back(*h);
+  expect_bitwise_equal(*combined, equal_weight_combination(values, 1e-9),
+                       "arity change");
+}
+
+TEST_F(ComboDeltaTest, NonPlanarOperandsBypassFanCache) {
+  std::vector<PolytopeHandle> ops = {
+      intern(Polytope::from_points(
+          {Vec{0.0, 0.0, 0.0}, Vec{1.0, 0.0, 0.0}, Vec{0.0, 1.0, 0.0},
+           Vec{0.0, 0.0, 1.0}})),
+      intern(Polytope::from_points(
+          {Vec{2.0, 0.0, 0.0}, Vec{3.0, 0.0, 0.0}, Vec{2.0, 1.0, 0.0},
+           Vec{2.0, 0.0, 1.0}})),
+  };
+  const PolytopeHandle combined =
+      equal_weight_combination_interned(ops, 1e-9);
+  const InternStats s = intern_stats();
+  EXPECT_EQ(s.combo_misses, 1u);
+  EXPECT_EQ(s.combo_delta_hits, 0u);
+  EXPECT_EQ(s.combo_delta_misses, 0u);
+  std::vector<Polytope> values = {*ops[0], *ops[1]};
+  expect_bitwise_equal(*combined, equal_weight_combination(values, 1e-9),
+                       "d=3 fallback");
+}
+
+}  // namespace
+}  // namespace chc::geo

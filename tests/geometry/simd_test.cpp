@@ -1,0 +1,241 @@
+// Differential tests for the batched SIMD predicates (geometry/simd.hpp).
+//
+// The contract under test is bit-identity: for every kernel, the AVX2 path
+// must return exactly the bits the scalar fallback returns — same values,
+// same argmax/argmin winner under first-wins ties — over randomized and
+// adversarial inputs (collinear runs, exact duplicates, signed zeros) for
+// d in 1..4. When AVX2 is not compiled in or the CPU lacks it the suite
+// still runs scalar-vs-scalar (trivially green) and logs why.
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/simd.hpp"
+
+namespace chc::geo {
+namespace {
+
+bool simd_testable() {
+  if (!simd::avx2_compiled()) {
+    // Keep the suite green but visible: scalar-vs-scalar is vacuous.
+    std::fputs("[simd_test] AVX2 not compiled in; differential coverage "
+               "is scalar-vs-scalar only\n", stderr);
+    return false;
+  }
+  const bool prev = simd::set_enabled(true);
+  const bool active = simd::avx2_active();
+  simd::set_enabled(prev);
+  if (!active) {
+    std::fputs("[simd_test] CPU lacks AVX2; differential coverage is "
+               "scalar-vs-scalar only\n", stderr);
+  }
+  return active;
+}
+
+/// Runs `body` twice — SIMD enabled then disabled — restoring the previous
+/// dispatch setting afterwards, and hands each run a tag for messages.
+template <typename F>
+void both_paths(F body) {
+  const bool prev = simd::set_enabled(true);
+  body("avx2");
+  simd::set_enabled(false);
+  body("scalar");
+  simd::set_enabled(prev);
+}
+
+struct Batch {
+  std::size_t d = 0;
+  std::vector<std::vector<double>> cols;  // cols[j][i] = coord j of point i
+  std::vector<double> a;                  // direction / normal
+  double b = 0.0;                         // offset
+
+  std::size_t n() const { return cols.empty() ? 0 : cols[0].size(); }
+  void ptrs(const double** xs) const {
+    for (std::size_t j = 0; j < d; ++j) xs[j] = cols[j].data();
+  }
+};
+
+/// Random batch with adversarial structure mixed in: duplicated points,
+/// collinear runs (point i+1 = midpoint of i and i+2), signed zeros, and
+/// coordinates at very different magnitudes.
+Batch random_batch(std::mt19937_64& rng, std::size_t d, std::size_t n) {
+  std::uniform_real_distribution<double> u(-10.0, 10.0);
+  std::uniform_int_distribution<int> kind(0, 9);
+  Batch batch;
+  batch.d = d;
+  batch.cols.assign(d, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const int k = kind(rng);
+    for (std::size_t j = 0; j < d; ++j) {
+      double v = u(rng);
+      if (k == 0) v = 0.0;
+      if (k == 1) v = -0.0;
+      if (k == 2) v = u(rng) * 1e-12;   // denormal-adjacent magnitudes
+      if (k == 3) v = u(rng) * 1e12;
+      if (k == 4 && i > 0) v = batch.cols[j][i - 1];  // exact duplicate
+      if (k == 5 && i > 1) {  // exact midpoint -> collinear triple
+        v = 0.5 * (batch.cols[j][i - 1] + batch.cols[j][i - 2]);
+      }
+      batch.cols[j][i] = v;
+    }
+  }
+  batch.a.assign(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) batch.a[j] = u(rng);
+  if (kind(rng) == 0) batch.a.assign(d, 0.0);  // zero direction: all dots 0
+  batch.b = u(rng);
+  return batch;
+}
+
+TEST(Simd, AffineEvalBitIdentical) {
+  std::mt19937_64 rng(20260808);
+  for (std::size_t d = 1; d <= 4; ++d) {
+    for (int rep = 0; rep < 40; ++rep) {
+      const Batch batch = random_batch(rng, d, 1 + rep % 37);
+      const double* xs[4];
+      batch.ptrs(xs);
+      std::vector<double> scalar(batch.n()), vec(batch.n());
+      both_paths([&](const char* tag) {
+        std::vector<double>& out = simd::avx2_active() ? vec : scalar;
+        simd::affine_eval(xs, d, batch.n(), batch.a.data(), batch.b,
+                          out.data());
+        (void)tag;
+      });
+      if (!simd_testable()) return;
+      ASSERT_EQ(0, std::memcmp(scalar.data(), vec.data(),
+                               batch.n() * sizeof(double)))
+          << "d=" << d << " rep=" << rep;
+    }
+  }
+}
+
+TEST(Simd, AffineEvalIdxBitIdentical) {
+  std::mt19937_64 rng(7);
+  for (std::size_t d = 1; d <= 4; ++d) {
+    for (int rep = 0; rep < 40; ++rep) {
+      const Batch batch = random_batch(rng, d, 3 + rep % 29);
+      const double* xs[4];
+      batch.ptrs(xs);
+      // A gather list with repeats and out-of-order entries.
+      std::uniform_int_distribution<std::size_t> pick(0, batch.n() - 1);
+      std::vector<std::size_t> idx(1 + rep % 23);
+      for (std::size_t& i : idx) i = pick(rng);
+      std::vector<double> scalar(idx.size()), vec(idx.size());
+      both_paths([&](const char*) {
+        std::vector<double>& out = simd::avx2_active() ? vec : scalar;
+        simd::affine_eval_idx(xs, d, idx.data(), idx.size(), batch.a.data(),
+                              batch.b, out.data());
+      });
+      if (!simd_testable()) return;
+      ASSERT_EQ(0, std::memcmp(scalar.data(), vec.data(),
+                               idx.size() * sizeof(double)))
+          << "d=" << d << " rep=" << rep;
+    }
+  }
+}
+
+TEST(Simd, AllBelowAgrees) {
+  std::mt19937_64 rng(42);
+  for (std::size_t d = 1; d <= 4; ++d) {
+    for (int rep = 0; rep < 60; ++rep) {
+      Batch batch = random_batch(rng, d, 1 + rep % 31);
+      const double* xs[4];
+      batch.ptrs(xs);
+      // Bias the bound so all three outcomes (all below, none, mixed) occur.
+      const double bound = batch.b * ((rep % 3 == 0) ? 100.0 : 0.01);
+      bool scalar = false, vec = false;
+      both_paths([&](const char*) {
+        bool& out = simd::avx2_active() ? vec : scalar;
+        out = simd::all_below(xs, d, batch.n(), batch.a.data(), bound);
+      });
+      if (!simd_testable()) return;
+      ASSERT_EQ(scalar, vec) << "d=" << d << " rep=" << rep;
+    }
+  }
+}
+
+TEST(Simd, ArgExtremaSameWinnerAndValue) {
+  std::mt19937_64 rng(1234);
+  for (std::size_t d = 1; d <= 4; ++d) {
+    for (int rep = 0; rep < 60; ++rep) {
+      Batch batch = random_batch(rng, d, 1 + rep % 41);
+      // Force ties: copy point 0 over several later slots so first-wins
+      // selection is actually exercised.
+      if (batch.n() >= 4) {
+        for (std::size_t j = 0; j < d; ++j) {
+          batch.cols[j][batch.n() / 2] = batch.cols[j][0];
+          batch.cols[j][batch.n() - 1] = batch.cols[j][0];
+        }
+      }
+      const double* xs[4];
+      batch.ptrs(xs);
+      std::size_t s_max = 0, v_max = 0, s_min = 0, v_min = 0;
+      double s_maxv = 0, v_maxv = 0, s_minv = 0, v_minv = 0;
+      both_paths([&](const char*) {
+        const bool vec = simd::avx2_active();
+        std::size_t& imax = vec ? v_max : s_max;
+        std::size_t& imin = vec ? v_min : s_min;
+        double& mx = vec ? v_maxv : s_maxv;
+        double& mn = vec ? v_minv : s_minv;
+        imax = simd::argmax_dot(xs, d, batch.n(), batch.a.data(), &mx);
+        imin = simd::argmin_dot(xs, d, batch.n(), batch.a.data(), &mn);
+      });
+      if (!simd_testable()) return;
+      ASSERT_EQ(s_max, v_max) << "d=" << d << " rep=" << rep;
+      ASSERT_EQ(s_min, v_min) << "d=" << d << " rep=" << rep;
+      ASSERT_EQ(0, std::memcmp(&s_maxv, &v_maxv, sizeof(double)));
+      ASSERT_EQ(0, std::memcmp(&s_minv, &v_minv, sizeof(double)));
+    }
+  }
+}
+
+TEST(Simd, Cross2BatchBitIdentical) {
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> u(-5.0, 5.0);
+  for (int rep = 0; rep < 80; ++rep) {
+    const std::size_t n = 1 + rep % 37;
+    const double ax = u(rng), ay = u(rng);
+    // Degenerate segments too: a == b makes every cross exactly 0.
+    const double bx = (rep % 7 == 0) ? ax : u(rng);
+    const double by = (rep % 7 == 0) ? ay : u(rng);
+    std::vector<double> cx(n), cy(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      cx[i] = (rep % 5 == 0) ? ax : u(rng);  // collinear-with-a candidates
+      cy[i] = (rep % 5 == 0) ? ay : u(rng);
+      if (i % 9 == 3) { cx[i] = 0.0; cy[i] = -0.0; }
+    }
+    std::vector<double> scalar(n), vec(n);
+    both_paths([&](const char*) {
+      std::vector<double>& out = simd::avx2_active() ? vec : scalar;
+      simd::cross2_batch(ax, ay, bx, by, cx.data(), cy.data(), n, out.data());
+    });
+    if (!simd_testable()) return;
+    ASSERT_EQ(0, std::memcmp(scalar.data(), vec.data(), n * sizeof(double)))
+        << "rep=" << rep;
+  }
+}
+
+TEST(Simd, SignedZeroAndInfPropagateIdentically) {
+  if (!simd_testable()) GTEST_SKIP() << "AVX2 unavailable";
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> col0 = {0.0, -0.0, inf, -inf, 1e308, -1e308, 0.0};
+  const std::vector<double> col1 = {-0.0, 0.0, -inf, inf, -1e308, 1e308, 0.0};
+  const double* xs[2] = {col0.data(), col1.data()};
+  const double a[2] = {1.0, -0.0};
+  std::vector<double> scalar(col0.size()), vec(col0.size());
+  both_paths([&](const char*) {
+    std::vector<double>& out = simd::avx2_active() ? vec : scalar;
+    simd::affine_eval(xs, 2, col0.size(), a, 0.0, out.data());
+  });
+  // NaNs from inf arithmetic must match bitwise too (memcmp, not ==).
+  ASSERT_EQ(0,
+            std::memcmp(scalar.data(), vec.data(),
+                        col0.size() * sizeof(double)));
+}
+
+}  // namespace
+}  // namespace chc::geo

@@ -208,6 +208,27 @@ std::optional<RelAckFrame> decode_rel_ack(const Buffer& buf) {
   return a;
 }
 
+Buffer encode_hello(const HelloFrame& h) {
+  Writer w;
+  w.put_u64(h.node);
+  w.put_u32(h.epoch);
+  w.put_u64(h.cluster);
+  return w.take();
+}
+
+std::optional<HelloFrame> decode_hello(const Buffer& buf) {
+  Reader r(buf);
+  const auto node = r.read_u64();
+  const auto epoch = r.read_u32();
+  const auto cluster = r.read_u64();
+  if (!node || !epoch || !cluster || !r.exhausted()) return std::nullopt;
+  HelloFrame h;
+  h.node = *node;
+  h.epoch = *epoch;
+  h.cluster = *cluster;
+  return h;
+}
+
 std::size_t encoded_size(const geo::Vec& v) { return 4 + 8 * v.dim(); }
 
 std::size_t encoded_size(const geo::Polytope& p) {

@@ -112,6 +112,20 @@ std::optional<RelFrame> decode_rel_frame(const Buffer& buf,
 Buffer encode_rel_ack(const RelAckFrame& a);
 std::optional<RelAckFrame> decode_rel_ack(const Buffer& buf);
 
+// --- Transport handshake (src/transport TCP connections) -----------------
+// First frame on every connection: names the dialing node and its
+// crash-recover epoch, so the acceptor can bind the socket to a peer id
+// before any RelFrame arrives, and both sides can detect a cluster-size
+// mismatch (a misconfigured node) instead of desynchronizing.
+struct HelloFrame {
+  std::uint64_t node = 0;     ///< dialing node's process id
+  std::uint32_t epoch = 0;    ///< dialing node's incarnation
+  std::uint64_t cluster = 0;  ///< dialing node's view of the cluster size
+};
+
+Buffer encode_hello(const HelloFrame& h);
+std::optional<HelloFrame> decode_hello(const Buffer& buf);
+
 /// Wire size in bytes of each payload (for experiment accounting).
 std::size_t encoded_size(const geo::Vec& v);
 std::size_t encoded_size(const geo::Polytope& p);

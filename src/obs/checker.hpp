@@ -80,6 +80,16 @@ struct CheckReport {
   std::size_t rounds_seen = 0;
   bool iz_checked = false;
 
+  // Live-trace accounting (env == "live"; zero / false everywhere else).
+  /// Round containments skipped because a single-node perspective trace
+  /// cannot know the senders' previous states.
+  std::size_t containments_skipped = 0;
+  /// The final line was malformed and dropped: a node crashed (SIGKILL)
+  /// mid-write. Only tolerated for live traces — a truncated tail is the
+  /// expected artifact of a real crash, and every fully written event was
+  /// still checked. Any other env treats a malformed line as corruption.
+  bool truncated_tail = false;
+
   // Nemesis-run accounting.
   std::size_t recoveries = 0;  ///< kRecover events (fresh incarnations)
   /// More than f processes crashed (faulty set union crash events): the

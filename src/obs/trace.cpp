@@ -263,6 +263,10 @@ std::string to_jsonl(const TraceHeader& h) {
   out += std::to_string(h.version);
   out += ",\"env\":";
   json_append_string(out, h.env);
+  if (h.perspective >= 0) {
+    out += ",\"perspective\":";
+    out += std::to_string(h.perspective);
+  }
   const auto u64 = [&out](const char* name, std::uint64_t v) {
     out += ",\"";
     out += name;
@@ -426,6 +430,7 @@ bool parse_header(std::string_view line, TraceHeader& out,
   };
   i32("version", out.version);
   if (const JsonValue* env = j.find("env")) out.env = env->as_string();
+  if (const JsonValue* p = j.find("perspective")) out.perspective = p->as_i64();
   u64("n", out.n);
   u64("f", out.f);
   u64("d", out.d);

@@ -121,7 +121,17 @@ struct HeaderStorm {
 /// fields are plain values; core/replay maps the enums to/from ints.
 struct TraceHeader {
   int version = 1;
-  std::string env = "sim";  ///< "sim" (deterministic) or "rt" (wall clock)
+  /// "sim" (deterministic, replayable), "rt" (threaded runtime, wall
+  /// clock), or "live" (a real multi-process cluster node; wall clock,
+  /// NOT seed-replayable — the checker verifies safety invariants only).
+  std::string env = "sim";
+  /// Live traces are written per node: a node can only record its own
+  /// protocol events, so `perspective` names the one process this trace
+  /// covers and the checker restricts cross-process invariants to what a
+  /// single-process view can support. -1 (the default, omitted from the
+  /// serialized form) means the trace covers every process, as sim / rt /
+  /// merged cluster traces do.
+  std::int64_t perspective = -1;
 
   // Algorithm CC configuration (core::CCConfig, effective values).
   std::uint64_t n = 0, f = 0, d = 1;

@@ -1,0 +1,96 @@
+#include "transport/loopback.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace chc::transport {
+
+class LoopbackHub::Endpoint final : public Transport {
+ public:
+  Endpoint(LoopbackHub* hub, NodeId id, std::size_t n)
+      : hub_(hub), id_(id), n_(n) {}
+
+  ~Endpoint() override {
+    std::lock_guard<std::mutex> lk(hub_->mu_);
+    Mailbox& box = hub_->boxes_[id_];
+    box.open = false;
+    box.q.clear();
+  }
+
+  NodeId self() const override { return id_; }
+  std::size_t n() const override { return n_; }
+
+  bool send(NodeId to, const WireFrame& frame) override {
+    CHC_CHECK(to != id_, "loopback transport: send to self");
+    CHC_CHECK(to < n_, "loopback transport: destination out of range");
+    return hub_->push(id_, to, frame);
+  }
+
+  std::size_t poll(int timeout_ms, const Handler& h) override {
+    std::vector<std::pair<NodeId, WireFrame>> batch;
+    {
+      std::unique_lock<std::mutex> lk(hub_->mu_);
+      Mailbox& box = hub_->boxes_[id_];
+      if (box.q.empty() && timeout_ms > 0) {
+        hub_->cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                           [&] { return !box.q.empty(); });
+      }
+      while (!box.q.empty()) {
+        batch.push_back(std::move(box.q.front()));
+        box.q.pop_front();
+      }
+    }
+    for (auto& [from, frame] : batch) h(from, std::move(frame));
+    return batch.size();
+  }
+
+ private:
+  LoopbackHub* hub_;
+  NodeId id_;
+  std::size_t n_;
+};
+
+LoopbackHub::LoopbackHub(std::size_t n) : boxes_(n) {
+  CHC_CHECK(n > 0, "loopback hub: empty cluster");
+}
+
+std::unique_ptr<Transport> LoopbackHub::endpoint(NodeId id) {
+  CHC_CHECK(id < boxes_.size(), "loopback hub: node id out of range");
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    Mailbox& box = boxes_[id];
+    CHC_CHECK(!box.open, "loopback hub: endpoint already live");
+    box.open = true;
+    box.q.clear();
+  }
+  return std::make_unique<Endpoint>(this, id, boxes_.size());
+}
+
+std::uint64_t LoopbackHub::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+bool LoopbackHub::push(NodeId from, NodeId to, const WireFrame& f) {
+  // Serialize + reparse so loopback exercises the same byte path as TCP.
+  const codec::Buffer bytes = frame_bytes(f);
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  std::optional<WireFrame> reparsed = reader.next();
+  CHC_CHECK(reparsed.has_value() && !reader.corrupt(),
+            "loopback transport: frame does not survive its own codec");
+
+  std::lock_guard<std::mutex> lk(mu_);
+  Mailbox& box = boxes_[to];
+  if (!box.open) {
+    ++dropped_;
+    return false;
+  }
+  box.q.emplace_back(from, std::move(*reparsed));
+  cv_.notify_all();
+  return true;
+}
+
+}  // namespace chc::transport

@@ -1,0 +1,51 @@
+// In-process transport: a hub of locked per-node queues.
+//
+// Gives tests and the E14 baseline the full NodeRuntime stack (byte-level
+// payload codec included — frames are serialized and reparsed, so codec
+// bugs do not hide) without sockets. Each endpoint may be driven by its own
+// thread; the hub is thread-safe. "Crashing" a node is endpoint
+// destruction: its queue is closed and frames sent to it are dropped,
+// which is exactly what a dead TCP peer looks like.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "transport/transport.hpp"
+
+namespace chc::transport {
+
+class LoopbackHub {
+ public:
+  explicit LoopbackHub(std::size_t n);
+
+  /// Creates the endpoint for node `id`. At most one live endpoint per id;
+  /// recreating after destruction models a node restart (the queue starts
+  /// empty — in-flight frames died with the old incarnation).
+  std::unique_ptr<Transport> endpoint(NodeId id);
+
+  /// Frames dropped because the destination had no live endpoint.
+  std::uint64_t dropped() const;
+
+ private:
+  class Endpoint;
+  friend class Endpoint;
+
+  struct Mailbox {
+    std::deque<std::pair<NodeId, WireFrame>> q;
+    bool open = false;
+  };
+
+  bool push(NodeId from, NodeId to, const WireFrame& f);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Mailbox> boxes_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace chc::transport

@@ -1,0 +1,231 @@
+#include "transport/rpc.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace chc::transport {
+
+namespace {
+
+double mono_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+/// Caps a single request/response line; a longer one is a broken client.
+constexpr std::size_t kMaxLineBytes = 1u << 20;
+
+}  // namespace
+
+LineServer::LineServer(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("rpc server: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("rpc server: cannot listen: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+}
+
+LineServer::~LineServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& c : clients_) {
+    if (c->fd >= 0) ::close(c->fd);
+  }
+}
+
+std::size_t LineServer::poll(int timeout_ms, const Handler& h) {
+  std::vector<pollfd> fds;
+  fds.push_back({listen_fd_, POLLIN, 0});
+  for (auto& c : clients_) {
+    short ev = POLLIN;
+    if (!c->outbuf.empty()) ev |= POLLOUT;
+    fds.push_back({c->fd, ev, 0});
+  }
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) return 0;
+
+  if ((fds[0].revents & POLLIN) != 0) {
+    for (;;) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) break;
+      auto c = std::make_unique<Client>();
+      c->fd = fd;
+      clients_.push_back(std::move(c));
+    }
+  }
+
+  std::size_t served = 0;
+  for (std::size_t i = 1; i < fds.size(); ++i) {
+    Client& c = *clients_[i - 1];
+    const short re = fds[i].revents;
+    bool dead = (re & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+                (re & POLLIN) == 0;
+    if (!dead && (re & POLLIN) != 0) {
+      char buf[16 * 1024];
+      for (;;) {
+        const ssize_t got = ::recv(c.fd, buf, sizeof(buf), 0);
+        if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (got <= 0) {
+          dead = true;
+          break;
+        }
+        c.inbuf.append(buf, static_cast<std::size_t>(got));
+        if (c.inbuf.size() > kMaxLineBytes) {
+          dead = true;
+          break;
+        }
+      }
+      std::size_t nl;
+      while (!dead && (nl = c.inbuf.find('\n')) != std::string::npos) {
+        std::string line = c.inbuf.substr(0, nl);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        c.inbuf.erase(0, nl + 1);
+        c.outbuf += h(line);
+        c.outbuf += '\n';
+        ++served;
+      }
+    }
+    while (!dead && !c.outbuf.empty()) {
+      const ssize_t wrote =
+          ::send(c.fd, c.outbuf.data(), c.outbuf.size(), MSG_NOSIGNAL);
+      if (wrote > 0) {
+        c.outbuf.erase(0, static_cast<std::size_t>(wrote));
+        continue;
+      }
+      if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      dead = true;
+    }
+    if (dead) {
+      ::close(c.fd);
+      c.fd = -1;
+    }
+  }
+  std::erase_if(clients_,
+                [](const std::unique_ptr<Client>& c) { return c->fd < 0; });
+  return served;
+}
+
+LineClient::~LineClient() { close(); }
+
+void LineClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  inbuf_.clear();
+}
+
+bool LineClient::connect_to(const std::string& host, std::uint16_t port,
+                            int timeout_ms) {
+  close();
+  sockaddr_in addr = loopback_addr(port);
+  if (host != "127.0.0.1" && host != "localhost" &&
+      ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return false;
+  }
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return false;
+  }
+  if (rc != 0) {
+    pollfd p{fd, POLLOUT, 0};
+    if (::poll(&p, 1, timeout_ms) <= 0) {
+      ::close(fd);
+      return false;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      return false;
+    }
+  }
+  fd_ = fd;
+  return true;
+}
+
+std::optional<std::string> LineClient::request(const std::string& request,
+                                               int timeout_ms) {
+  if (fd_ < 0) return std::nullopt;
+  const double deadline = mono_now() + timeout_ms / 1000.0;
+  std::string out = request;
+  out += '\n';
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t wrote =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (wrote > 0) {
+      sent += static_cast<std::size_t>(wrote);
+      continue;
+    }
+    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int remain =
+          static_cast<int>((deadline - mono_now()) * 1000.0);
+      pollfd p{fd_, POLLOUT, 0};
+      if (remain <= 0 || ::poll(&p, 1, remain) <= 0) {
+        close();
+        return std::nullopt;
+      }
+      continue;
+    }
+    close();
+    return std::nullopt;
+  }
+  for (;;) {
+    const std::size_t nl = inbuf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = inbuf_.substr(0, nl);
+      inbuf_.erase(0, nl + 1);
+      return line;
+    }
+    const int remain = static_cast<int>((deadline - mono_now()) * 1000.0);
+    pollfd p{fd_, POLLIN, 0};
+    if (remain <= 0 || ::poll(&p, 1, remain) <= 0) {
+      close();
+      return std::nullopt;
+    }
+    char buf[16 * 1024];
+    const ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    if (got <= 0 || inbuf_.size() > kMaxLineBytes) {
+      close();
+      return std::nullopt;
+    }
+    inbuf_.append(buf, static_cast<std::size_t>(got));
+  }
+}
+
+}  // namespace chc::transport

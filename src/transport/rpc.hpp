@@ -1,0 +1,77 @@
+// Minimal line-oriented RPC: the client-facing control plane of chc_node.
+//
+// Requests and responses are single '\n'-terminated ASCII lines over TCP —
+// trivially scriptable (netcat works) and easy to drive from the
+// chc_cluster controller. The server is nonblocking and polled from the
+// node's event loop; the client is blocking with deadlines (controllers
+// can afford to wait).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace chc::transport {
+
+class LineServer {
+ public:
+  /// Listens on 127.0.0.1:`port` (0 picks an ephemeral port). Throws
+  /// std::runtime_error when binding fails.
+  explicit LineServer(std::uint16_t port);
+  ~LineServer();
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  using Handler = std::function<std::string(const std::string& request)>;
+
+  /// Accepts, reads and answers pending requests, waiting up to
+  /// `timeout_ms` when idle. One response line per request line; the
+  /// handler's return value is sent verbatim plus '\n'. Returns the number
+  /// of requests served.
+  std::size_t poll(int timeout_ms, const Handler& h);
+
+ private:
+  struct Client {
+    int fd = -1;
+    std::string inbuf;
+    std::string outbuf;
+  };
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Client>> clients_;
+};
+
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Connects with a deadline. false on refusal/timeout.
+  bool connect_to(const std::string& host, std::uint16_t port,
+                  int timeout_ms);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends `request` (+'\n') and reads one response line. nullopt on any
+  /// error or deadline miss (the connection is closed — reconnect to
+  /// retry).
+  std::optional<std::string> request(const std::string& request,
+                                     int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  std::string inbuf_;
+};
+
+}  // namespace chc::transport

@@ -1,0 +1,349 @@
+#include "transport/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace chc::transport {
+
+namespace {
+
+double mono_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Minimum gap between dial attempts to one peer. Redialing is cheap (one
+/// nonblocking connect) and a dead peer refuses instantly, so a short gap
+/// keeps reconnect-after-restart latency low without spinning.
+constexpr double kDialBackoffSec = 0.05;
+
+bool resolve(const std::string& host, std::uint16_t port,
+             sockaddr_in& out) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 ||
+      res == nullptr) {
+    return false;
+  }
+  out = *reinterpret_cast<const sockaddr_in*>(res->ai_addr);
+  out.sin_port = htons(port);
+  ::freeaddrinfo(res);
+  return true;
+}
+
+int make_socket() {
+  return ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+}
+
+}  // namespace
+
+std::vector<PeerAddr> parse_cluster_spec(const std::string& spec,
+                                         std::string* error) {
+  std::vector<PeerAddr> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const std::size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == item.size()) {
+      if (error != nullptr) *error = "malformed cluster entry: '" + item + "'";
+      return {};
+    }
+    const std::string port_str = item.substr(colon + 1);
+    std::uint32_t port = 0;
+    for (char ch : port_str) {
+      if (ch < '0' || ch > '9') {
+        port = 70000;  // force the range error below
+        break;
+      }
+      port = port * 10 + static_cast<std::uint32_t>(ch - '0');
+      if (port > 65535) break;
+    }
+    if (port > 65535) {
+      if (error != nullptr) *error = "bad port in cluster entry: '" + item + "'";
+      return {};
+    }
+    out.push_back({item.substr(0, colon), static_cast<std::uint16_t>(port)});
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty() && error != nullptr) *error = "empty cluster spec";
+  return out;
+}
+
+TcpTransport::TcpTransport(NodeId self, std::vector<PeerAddr> cluster,
+                           std::uint32_t epoch)
+    : self_(self),
+      cluster_(std::move(cluster)),
+      epoch_(epoch),
+      out_(cluster_.size()),
+      next_dial_(cluster_.size(), 0.0) {
+  CHC_CHECK(!cluster_.empty(), "tcp transport: empty cluster");
+  CHC_CHECK(self_ < cluster_.size(), "tcp transport: self out of range");
+  open_listener();
+}
+
+TcpTransport::~TcpTransport() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (Conn& c : out_) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  for (auto& c : in_) {
+    if (c->fd >= 0) ::close(c->fd);
+  }
+}
+
+void TcpTransport::open_listener() {
+  sockaddr_in addr{};
+  if (!resolve(cluster_[self_].host, cluster_[self_].port, addr)) {
+    throw std::runtime_error("tcp transport: cannot resolve own address " +
+                             cluster_[self_].host);
+  }
+  listen_fd_ = make_socket();
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("tcp transport: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("tcp transport: cannot listen on " +
+                             cluster_[self_].host + ": " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  listen_port_ = ntohs(bound.sin_port);
+}
+
+void TcpTransport::close_conn(Conn& c) {
+  if (c.fd >= 0) ::close(c.fd);
+  c.fd = -1;
+  c.connecting = false;
+  c.hello_seen = false;
+  c.reader = FrameReader{};
+  c.outq.clear();
+  c.outq_pos = 0;
+}
+
+bool TcpTransport::ensure_dialed(NodeId to) {
+  Conn& c = out_[to];
+  if (c.fd >= 0) return true;
+  const double now = mono_now();
+  if (now < next_dial_[to]) return false;
+  next_dial_[to] = now + kDialBackoffSec;
+
+  sockaddr_in addr{};
+  if (!resolve(cluster_[to].host, cluster_[to].port, addr)) return false;
+  const int fd = make_socket();
+  if (fd < 0) return false;
+  ++stats_.dials;
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return false;
+  }
+  c.fd = fd;
+  c.connecting = (rc != 0);
+  c.peer = to;
+  // The HELLO is the stream's first frame, queued before anything else.
+  const codec::Buffer hello = frame_bytes(
+      {FrameKind::kHello, 0,
+       codec::encode_hello({static_cast<std::uint64_t>(self_), epoch_,
+                            static_cast<std::uint64_t>(cluster_.size())})});
+  c.outq.assign(hello.begin(), hello.end());
+  c.outq_pos = 0;
+  if (!c.connecting) flush(c);
+  return c.fd >= 0;
+}
+
+bool TcpTransport::flush(Conn& c) {
+  while (c.outq_pos < c.outq.size()) {
+    const ssize_t wrote =
+        ::send(c.fd, c.outq.data() + c.outq_pos, c.outq.size() - c.outq_pos,
+               MSG_NOSIGNAL);
+    if (wrote > 0) {
+      c.outq_pos += static_cast<std::size_t>(wrote);
+      continue;
+    }
+    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    ++stats_.conn_errors;
+    close_conn(c);
+    return false;
+  }
+  c.outq.clear();
+  c.outq_pos = 0;
+  return true;
+}
+
+bool TcpTransport::send(NodeId to, const WireFrame& frame) {
+  CHC_CHECK(to != self_, "tcp transport: send to self");
+  CHC_CHECK(to < cluster_.size(), "tcp transport: destination out of range");
+  if (!ensure_dialed(to)) {
+    ++stats_.frames_dropped;
+    return false;
+  }
+  Conn& c = out_[to];
+  const codec::Buffer bytes = frame_bytes(frame);
+  if (c.outq.size() - c.outq_pos + bytes.size() > kMaxOutqBytes) {
+    ++stats_.frames_dropped;
+    return false;
+  }
+  c.outq.insert(c.outq.end(), bytes.begin(), bytes.end());
+  if (!c.connecting && !flush(c)) {
+    // The connection died mid-queue; the frame is gone with it. The
+    // reliable layer retransmits after redial.
+    ++stats_.frames_dropped;
+    return false;
+  }
+  ++stats_.frames_sent;
+  return true;
+}
+
+void TcpTransport::accept_pending() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;
+    auto c = std::make_unique<Conn>();
+    c->fd = fd;
+    in_.push_back(std::move(c));
+    ++stats_.accepts;
+  }
+}
+
+void TcpTransport::read_conn(Conn& c, bool inbound, const Handler& h,
+                             std::size_t& delivered) {
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t got = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (got <= 0) {  // EOF or error
+      ++stats_.conn_errors;
+      close_conn(c);
+      return;
+    }
+    c.reader.feed(buf, static_cast<std::size_t>(got));
+    while (std::optional<WireFrame> f = c.reader.next()) {
+      if (f->kind == FrameKind::kHello) {
+        const auto hello = codec::decode_hello(f->payload);
+        if (!hello || hello->cluster != cluster_.size() ||
+            hello->node >= cluster_.size() || hello->node == self_) {
+          ++stats_.conn_errors;
+          close_conn(c);
+          return;
+        }
+        c.peer = static_cast<NodeId>(hello->node);
+        c.hello_seen = true;
+        peer_epochs_[c.peer] = hello->epoch;
+        continue;
+      }
+      // Data before identification is protocol abuse on an inbound
+      // connection; on an outbound one the peer is known by construction.
+      if (inbound && !c.hello_seen) {
+        ++stats_.conn_errors;
+        close_conn(c);
+        return;
+      }
+      ++stats_.frames_received;
+      ++delivered;
+      h(c.peer, std::move(*f));
+    }
+    if (c.reader.corrupt()) {
+      ++stats_.conn_errors;
+      close_conn(c);
+      return;
+    }
+  }
+}
+
+std::size_t TcpTransport::poll(int timeout_ms, const Handler& h) {
+  std::vector<pollfd> fds;
+  // Index bookkeeping: slot 0 = listener, then outbound, then inbound.
+  fds.push_back({listen_fd_, POLLIN, 0});
+  std::vector<Conn*> order;
+  std::vector<bool> is_inbound;
+  for (Conn& c : out_) {
+    if (c.fd < 0) continue;
+    short ev = POLLIN;
+    if (c.connecting || c.outq_pos < c.outq.size()) ev |= POLLOUT;
+    fds.push_back({c.fd, ev, 0});
+    order.push_back(&c);
+    is_inbound.push_back(false);
+  }
+  for (auto& c : in_) {
+    fds.push_back({c->fd, POLLIN, 0});
+    order.push_back(c.get());
+    is_inbound.push_back(true);
+  }
+
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  std::size_t delivered = 0;
+  if (ready <= 0) return 0;
+
+  if ((fds[0].revents & POLLIN) != 0) accept_pending();
+  for (std::size_t i = 1; i < fds.size(); ++i) {
+    Conn& c = *order[i - 1];
+    if (c.fd < 0) continue;  // closed earlier in this loop
+    const short re = fds[i].revents;
+    if ((re & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+        (re & POLLIN) == 0) {
+      ++stats_.conn_errors;
+      close_conn(c);
+      continue;
+    }
+    if (c.connecting && (re & POLLOUT) != 0) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        ++stats_.conn_errors;
+        close_conn(c);
+        continue;
+      }
+      c.connecting = false;
+      if (!flush(c)) continue;
+    } else if ((re & POLLOUT) != 0) {
+      if (!flush(c)) continue;
+    }
+    if ((re & POLLIN) != 0) {
+      read_conn(c, is_inbound[i - 1], h, delivered);
+    }
+  }
+  // Compact closed inbound connections.
+  std::erase_if(in_, [](const std::unique_ptr<Conn>& c) { return c->fd < 0; });
+  return delivered;
+}
+
+std::optional<std::uint32_t> TcpTransport::peer_epoch(NodeId peer) const {
+  const auto it = peer_epochs_.find(peer);
+  if (it == peer_epochs_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace chc::transport

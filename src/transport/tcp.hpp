@@ -1,0 +1,118 @@
+// Nonblocking TCP transport: the cluster's real network layer.
+//
+// Topology: every node listens on its cluster address and keeps ONE
+// outbound connection per peer, dialed lazily on first send and redialed
+// with backoff after any failure. Frames to a peer always ride the local
+// node's outbound connection; inbound (accepted) connections are
+// receive-only. That asymmetric scheme needs no connection deduplication
+// handshake and gives each direction of a channel an independent TCP
+// stream — matching the directed-channel model the reliable shim assumes.
+//
+// Every outbound connection opens with a HELLO frame (codec::HelloFrame:
+// node id, incarnation epoch, cluster size), so the acceptor can bind the
+// socket to a peer id before any data arrives and reject misconfigured
+// peers (cluster-size mismatch, out-of-range id). Data received before the
+// HELLO, or after a FrameReader flags corruption, kills the connection.
+//
+// All sockets are nonblocking; poll() multiplexes the listener, every
+// accepted connection and every outbound connection with ::poll. Short
+// writes park the remainder in a per-connection output queue drained on
+// POLLOUT; the queue is bounded (kMaxOutqBytes) and overflow drops the
+// frame — best-effort, the shim retransmits. A connection error or EOF
+// closes the socket; the next send() redials after a short backoff. No
+// thread is spawned: the owning NodeRuntime's event loop calls poll().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "transport/transport.hpp"
+
+namespace chc::transport {
+
+/// One cluster member's address.
+struct PeerAddr {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port,host:port,...". Returns an empty vector and sets
+/// *error on malformed input.
+std::vector<PeerAddr> parse_cluster_spec(const std::string& spec,
+                                         std::string* error = nullptr);
+
+class TcpTransport final : public Transport {
+ public:
+  /// Binds + listens on cluster[self].port (port 0 picks an ephemeral
+  /// port, readable via listen_port() — tests use this). `epoch` is this
+  /// node's incarnation, announced in every HELLO so restarted nodes are
+  /// recognizable at the transport layer too. Throws std::runtime_error
+  /// when the listen socket cannot be bound.
+  TcpTransport(NodeId self, std::vector<PeerAddr> cluster,
+               std::uint32_t epoch = 0);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  NodeId self() const override { return self_; }
+  std::size_t n() const override { return cluster_.size(); }
+  bool send(NodeId to, const WireFrame& frame) override;
+  std::size_t poll(int timeout_ms, const Handler& h) override;
+
+  /// Actual listening port (differs from the spec when it said 0).
+  std::uint16_t listen_port() const { return listen_port_; }
+
+  /// Last epoch announced by `peer`'s HELLO, or nullopt before the first
+  /// inbound connection from it (tests assert the epoch bump on restart).
+  std::optional<std::uint32_t> peer_epoch(NodeId peer) const;
+
+  struct Stats {
+    std::uint64_t dials = 0;          ///< outbound connects attempted
+    std::uint64_t accepts = 0;        ///< inbound connections accepted
+    std::uint64_t conn_errors = 0;    ///< connections torn down on error/EOF
+    std::uint64_t frames_sent = 0;    ///< frames fully queued
+    std::uint64_t frames_dropped = 0; ///< send() could not queue
+    std::uint64_t frames_received = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Per-connection output-queue cap; beyond it send() drops (the shim's
+  /// retransmission absorbs the loss once the queue drains).
+  static constexpr std::size_t kMaxOutqBytes = 8u << 20;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    bool connecting = false;  ///< nonblocking connect() still in flight
+    bool hello_seen = false;  ///< inbound only: peer identified
+    NodeId peer = static_cast<NodeId>(-1);
+    FrameReader reader;
+    std::vector<std::uint8_t> outq;  ///< unwritten bytes (outbound only)
+    std::size_t outq_pos = 0;
+  };
+
+  void open_listener();
+  bool ensure_dialed(NodeId to);
+  void close_conn(Conn& c);
+  bool flush(Conn& c);
+  void read_conn(Conn& c, bool inbound, const Handler& h,
+                 std::size_t& delivered);
+  void accept_pending();
+
+  NodeId self_;
+  std::vector<PeerAddr> cluster_;
+  std::uint32_t epoch_;
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+  std::vector<Conn> out_;                      // indexed by peer id
+  std::vector<double> next_dial_;              // monotonic seconds gate
+  std::vector<std::unique_ptr<Conn>> in_;      // accepted connections
+  std::map<NodeId, std::uint32_t> peer_epochs_;
+  Stats stats_;
+};
+
+}  // namespace chc::transport

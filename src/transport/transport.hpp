@@ -1,0 +1,48 @@
+// The cluster transport abstraction.
+//
+// A Transport moves WireFrames between nodes of a fixed-size cluster. Two
+// implementations share it:
+//
+//   LoopbackTransport  in-process queues — unit tests and the E14 baseline
+//                      run a whole "cluster" in one process with zero
+//                      sockets;
+//   TcpTransport       real nonblocking TCP sockets — the chc_node binary.
+//
+// Delivery is BEST-EFFORT: send() may drop (peer down, queue full, not yet
+// connected) and a crashed peer loses everything in flight. That is exactly
+// the fair-lossy contract net::ReliableChannel was built for, so the node
+// runtime layers the PR 5 shim (epochs, retransmission, cumulative acks)
+// over this interface unchanged, and a TCP connection reset looks to the
+// protocol stack like a lossy patch of network.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "transport/wire.hpp"
+
+namespace chc::transport {
+
+using NodeId = std::size_t;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual NodeId self() const = 0;
+  virtual std::size_t n() const = 0;
+
+  /// Queues one frame to `to` (never to self). Returns false when the
+  /// frame was dropped instead of queued — the caller's reliable layer
+  /// retransmits, so a false here costs latency, not correctness.
+  virtual bool send(NodeId to, const WireFrame& frame) = 0;
+
+  using Handler = std::function<void(NodeId from, WireFrame frame)>;
+
+  /// Drives I/O, invoking `h` for every frame that arrived, waiting up to
+  /// `timeout_ms` for activity when nothing is pending (0 = non-blocking
+  /// poll). Returns the number of frames delivered.
+  virtual std::size_t poll(int timeout_ms, const Handler& h) = 0;
+};
+
+}  // namespace chc::transport

@@ -1,0 +1,91 @@
+#include "transport/wire.hpp"
+
+#include <cstring>
+
+namespace chc::transport {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 1 + 8;  // kind + instance
+
+void put_u32_le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64_le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32_le(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64_le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+bool known_kind(std::uint8_t k) {
+  return k == static_cast<std::uint8_t>(FrameKind::kHello) ||
+         k == static_cast<std::uint8_t>(FrameKind::kData) ||
+         k == static_cast<std::uint8_t>(FrameKind::kAck);
+}
+
+}  // namespace
+
+codec::Buffer frame_bytes(const WireFrame& f) {
+  codec::Buffer out;
+  out.reserve(4 + kHeaderBytes + f.payload.size());
+  put_u32_le(out, static_cast<std::uint32_t>(kHeaderBytes + f.payload.size()));
+  out.push_back(static_cast<std::uint8_t>(f.kind));
+  put_u64_le(out, f.instance);
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  return out;
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t len) {
+  if (corrupt_) return;
+  // Reclaim the consumed prefix before growing (keeps the buffer bounded
+  // by one partial frame plus whatever the last read appended).
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > kMaxFrameBytes) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+std::optional<WireFrame> FrameReader::next() {
+  if (corrupt_) return std::nullopt;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return std::nullopt;
+  const std::uint32_t len = get_u32_le(buf_.data() + pos_);
+  if (len < kHeaderBytes || len > kMaxFrameBytes) {
+    corrupt_ = true;
+    return std::nullopt;
+  }
+  if (avail < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  const std::uint8_t* body = buf_.data() + pos_ + 4;
+  if (!known_kind(body[0])) {
+    corrupt_ = true;
+    return std::nullopt;
+  }
+  WireFrame f;
+  f.kind = static_cast<FrameKind>(body[0]);
+  f.instance = get_u64_le(body + 1);
+  f.payload.assign(body + kHeaderBytes, body + len);
+  pos_ += 4 + static_cast<std::size_t>(len);
+  return f;
+}
+
+}  // namespace chc::transport

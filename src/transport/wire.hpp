@@ -1,0 +1,77 @@
+// Stream framing for the cluster transport.
+//
+// TCP is a byte stream; the transport layers a trivial envelope on top so
+// receivers can recover message boundaries regardless of how the kernel
+// slices reads:
+//
+//   [u32 len][u8 kind][u64 instance][payload bytes]
+//
+// `len` counts everything after itself (kind + instance + payload), little
+// endian like the rest of the codec. `kind` selects the payload format:
+//
+//   kHello  codec::HelloFrame   — first frame on every connection
+//   kData   codec::RelFrame     — a reliable-channel DATA frame
+//   kAck    codec::RelAckFrame  — a standalone cumulative ack
+//
+// `instance` routes the frame to one consensus instance on the receiving
+// node (a node runs many instances over one connection per peer; Hello
+// frames use instance 0). FrameReader is the receive-side reassembler: feed
+// it arbitrary byte chunks, pull complete frames. A frame longer than
+// kMaxFrameBytes marks the stream corrupt — peers never legitimately send
+// one, so the connection should be dropped rather than resynchronized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "codec/codec.hpp"
+
+namespace chc::transport {
+
+enum class FrameKind : std::uint8_t {
+  kHello = 1,
+  kData = 2,
+  kAck = 3,
+};
+
+/// Largest legal frame: a RelFrame around a max-size inner payload (the
+/// codec's 1 MiB decode cap) plus envelope slack.
+inline constexpr std::size_t kMaxFrameBytes = (1u << 20) + 128;
+
+struct WireFrame {
+  FrameKind kind = FrameKind::kData;
+  std::uint64_t instance = 0;
+  codec::Buffer payload;
+};
+
+/// Serializes the frame with its length prefix (ready to write to a
+/// stream).
+codec::Buffer frame_bytes(const WireFrame& f);
+
+/// Incremental frame reassembler. Tolerates any read fragmentation: bytes
+/// may arrive one at a time or many frames per chunk.
+class FrameReader {
+ public:
+  /// Appends raw stream bytes.
+  void feed(const std::uint8_t* data, std::size_t len);
+
+  /// Extracts the next complete frame, or nullopt if more bytes are
+  /// needed. Returns nullopt forever once the stream is corrupt.
+  std::optional<WireFrame> next();
+
+  /// An impossible length prefix or unknown kind was seen; the stream
+  /// cannot be trusted past this point.
+  bool corrupt() const { return corrupt_; }
+
+  /// Bytes buffered but not yet consumed (tests / backpressure).
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  bool corrupt_ = false;
+};
+
+}  // namespace chc::transport

@@ -73,7 +73,12 @@ int main(int argc, char** argv) {
                 << " containments=" << report.containments_checked
                 << " pairs=" << report.pairs_checked
                 << " rounds=" << report.rounds_seen
-                << " iz=" << (report.iz_checked ? "yes" : "skipped") << ")\n";
+                << " iz=" << (report.iz_checked ? "yes" : "skipped");
+      if (report.containments_skipped != 0) {
+        std::cout << " containments_skipped=" << report.containments_skipped;
+      }
+      if (report.truncated_tail) std::cout << " truncated-tail";
+      std::cout << ")\n";
     } else {
       any_bad = true;
       std::cout << "REJECT  " << file << " (" << report.violations.size()
@@ -84,6 +89,14 @@ int main(int argc, char** argv) {
     }
 
     if (replay) {
+      if (report.header.env == "live") {
+        // Live cluster traces record real wall-clock interleavings; the
+        // header says so (env=live) precisely because they cannot be
+        // re-executed from a seed. Safety was still checked above.
+        std::cout << "REPLAY-SKIP  " << file
+                  << " (live trace: not seed-replayable)\n";
+        continue;
+      }
       const chc::core::ReplayResult rr = chc::core::replay_trace_file(file);
       if (!rr.ran) {
         std::cout << "REPLAY-ERROR " << file << ": " << rr.error << "\n";

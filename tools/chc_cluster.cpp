@@ -1,0 +1,723 @@
+// chc_cluster: launcher / controller for a real multi-process cluster.
+//
+//   chc_cluster [--nodes N] [--f F] [--d D] [--eps E] [--instances K]
+//               [--seed BASE] [--trace-dir DIR] [--node-bin PATH]
+//               [--no-kill] [--soak SECONDS] [--timeout SECONDS]
+//               [--time-scale S] [--report FILE]
+//
+// Spawns N chc_node processes on 127.0.0.1 (ephemeral ports, reserved by
+// probing), drives two waves of K Algorithm CC instances through them via
+// the line RPC, and — unless --no-kill — SIGKILLs the workload-faulty node
+// mid-wave-1, restarts it with a bumped --epoch, and requires the restarted
+// node to fully rejoin (decide every wave-2 instance). On success it:
+//
+//   * checks pairwise decision agreement (Hausdorff distance <= eps),
+//   * merges the per-node perspective traces of each instance into one
+//     full-view trace (trace-dir/merged_i<id>.jsonl) with synthesized
+//     crash/recover events between a killed node's epoch segments,
+//   * re-verifies every per-node AND merged trace with the offline checker
+//     (the same pass `chc_check` runs in CI).
+//
+// --soak S repeats kill/restart waves with rotating seeds for ~S seconds
+// (the nightly cluster soak). Exit 0 only when every instance decided,
+// every agreement held and every trace passed the checker.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <netinet/in.h>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/workload.hpp"
+#include "geometry/polytope.hpp"
+#include "obs/checker.hpp"
+#include "obs/trace.hpp"
+#include "transport/rpc.hpp"
+
+namespace {
+
+using namespace chc;
+namespace fs = std::filesystem;
+
+void usage() {
+  std::cerr
+      << "usage: chc_cluster [--nodes N] [--f F] [--d D] [--eps E]\n"
+         "                   [--instances K] [--seed BASE] [--trace-dir "
+         "DIR]\n"
+         "                   [--node-bin PATH] [--no-kill] [--soak SECONDS]\n"
+         "                   [--timeout SECONDS] [--time-scale S]\n"
+         "                   [--report FILE]\n";
+}
+
+double mono_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Reserves an ephemeral TCP port by binding :0 and closing. The tiny
+/// reuse race is acceptable for a local test harness.
+std::uint16_t reserve_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return 0;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+struct Options {
+  std::size_t nodes = 5;
+  std::size_t f = 1;
+  std::size_t d = 2;
+  double eps = 0.15;
+  std::size_t instances = 2;  ///< per wave
+  std::uint64_t seed = 1;
+  std::string trace_dir = "cluster-traces";
+  std::string node_bin;
+  bool kill = true;
+  double soak = 0.0;
+  double timeout = 90.0;
+  double time_scale = 2e-3;
+  std::string report;
+};
+
+struct Node {
+  pid_t pid = -1;
+  std::uint16_t peer_port = 0;
+  std::uint16_t rpc_port = 0;
+  std::uint64_t epoch = 0;
+  bool alive = false;
+};
+
+class Cluster {
+ public:
+  Cluster(const Options& opt) : opt_(opt), nodes_(opt.nodes) {
+    for (auto& n : nodes_) {
+      n.peer_port = reserve_port();
+      n.rpc_port = reserve_port();
+      if (n.peer_port == 0 || n.rpc_port == 0) {
+        throw std::runtime_error("cannot reserve local ports");
+      }
+    }
+    std::ostringstream spec;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (i != 0) spec << ',';
+      spec << "127.0.0.1:" << nodes_[i].peer_port;
+    }
+    cluster_spec_ = spec.str();
+  }
+
+  ~Cluster() {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].alive && nodes_[i].pid > 0) {
+        ::kill(nodes_[i].pid, SIGKILL);
+        ::waitpid(nodes_[i].pid, nullptr, 0);
+      }
+    }
+  }
+
+  bool spawn(std::size_t i) {
+    Node& n = nodes_[i];
+    const std::string log = opt_.trace_dir + "/node" + std::to_string(i) +
+                            "_e" + std::to_string(n.epoch) + ".log";
+    const pid_t pid = ::fork();
+    if (pid < 0) return false;
+    if (pid == 0) {
+      const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, 1);
+        ::dup2(fd, 2);
+        ::close(fd);
+      }
+      std::vector<std::string> args = {
+          opt_.node_bin,
+          "--id", std::to_string(i),
+          "--cluster", cluster_spec_,
+          "--client-port", std::to_string(n.rpc_port),
+          "--epoch", std::to_string(n.epoch),
+          "--trace-dir", opt_.trace_dir,
+          "--time-scale", std::to_string(opt_.time_scale),
+      };
+      std::vector<char*> argv;
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      ::_exit(127);
+    }
+    n.pid = pid;
+    n.alive = true;
+    return true;
+  }
+
+  /// PINGs node i until it answers (the readiness barrier after spawn).
+  bool wait_ready(std::size_t i, double deadline_s = 15.0) {
+    const double deadline = mono_now() + deadline_s;
+    while (mono_now() < deadline) {
+      transport::LineClient c;
+      if (c.connect_to("127.0.0.1", nodes_[i].rpc_port, 200)) {
+        const auto resp = c.request("PING", 500);
+        if (resp && resp->rfind("PONG", 0) == 0) return true;
+      }
+      sleep_ms(50);
+    }
+    return false;
+  }
+
+  std::optional<std::string> rpc(std::size_t i, const std::string& req,
+                                 int timeout_ms = 2000) {
+    transport::LineClient c;
+    if (!c.connect_to("127.0.0.1", nodes_[i].rpc_port, timeout_ms)) {
+      return std::nullopt;
+    }
+    return c.request(req, timeout_ms);
+  }
+
+  void kill_node(std::size_t i) {
+    Node& n = nodes_[i];
+    if (!n.alive) return;
+    ::kill(n.pid, SIGKILL);
+    ::waitpid(n.pid, nullptr, 0);
+    n.alive = false;
+  }
+
+  bool restart_node(std::size_t i) {
+    Node& n = nodes_[i];
+    if (n.alive) return true;
+    ++n.epoch;
+    return spawn(i) && wait_ready(i);
+  }
+
+  void shutdown_all() {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (!nodes_[i].alive) continue;
+      rpc(i, "SHUTDOWN", 2000);
+      int status = 0;
+      const double deadline = mono_now() + 5.0;
+      while (mono_now() < deadline) {
+        const pid_t r = ::waitpid(nodes_[i].pid, &status, WNOHANG);
+        if (r == nodes_[i].pid) {
+          nodes_[i].alive = false;
+          break;
+        }
+        sleep_ms(20);
+      }
+      if (nodes_[i].alive) {
+        ::kill(nodes_[i].pid, SIGKILL);
+        ::waitpid(nodes_[i].pid, nullptr, 0);
+        nodes_[i].alive = false;
+      }
+    }
+  }
+
+  std::size_t n() const { return nodes_.size(); }
+  bool alive(std::size_t i) const { return nodes_[i].alive; }
+  std::uint64_t epoch(std::size_t i) const { return nodes_[i].epoch; }
+
+ private:
+  Options opt_;
+  std::vector<Node> nodes_;
+  std::string cluster_spec_;
+};
+
+/// One instance's controller-side bookkeeping.
+struct InstanceRun {
+  std::uint64_t id = 0;
+  std::uint64_t seed = 0;
+  core::Workload workload;
+  double magnitude = 1.0;
+  /// Nodes SIGKILLed while this instance was in flight (merge synthesizes
+  /// their crash events).
+  std::set<std::size_t> killed;
+};
+
+std::string submit_line(const Options& opt, const InstanceRun& run) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "SUBMIT " << run.id << ' ' << opt.nodes << ' ' << opt.f << ' '
+     << opt.d << ' ' << opt.eps << ' ' << run.seed << ' ' << run.magnitude
+     << ' ' << run.workload.faulty.size();
+  for (const auto p : run.workload.faulty) os << ' ' << p;
+  for (const geo::Vec& v : run.workload.inputs) {
+    for (std::size_t k = 0; k < v.dim(); ++k) os << ' ' << v[k];
+  }
+  return os.str();
+}
+
+InstanceRun make_run(const Options& opt, std::uint64_t id,
+                     std::uint64_t seed) {
+  InstanceRun run;
+  run.id = id;
+  run.seed = seed;
+  run.workload = core::make_workload(opt.nodes, opt.f, opt.d,
+                                     core::InputPattern::kUniform, seed);
+  run.magnitude = std::max(1.0, run.workload.correct_magnitude);
+  return run;
+}
+
+/// Parses a DECIDED response into vertices; nullopt for anything else.
+std::optional<std::vector<geo::Vec>> parse_decided(const std::string& resp) {
+  std::istringstream is(resp);
+  std::string word;
+  if (!(is >> word) || word != "DECIDED") return std::nullopt;
+  std::size_t round = 0, nverts = 0, d = 0;
+  if (!(is >> round >> nverts >> d)) return std::nullopt;
+  std::vector<geo::Vec> verts;
+  verts.reserve(nverts);
+  for (std::size_t v = 0; v < nverts; ++v) {
+    geo::Vec x(d);
+    for (std::size_t k = 0; k < d; ++k) {
+      if (!(is >> x[k])) return std::nullopt;
+    }
+    verts.push_back(std::move(x));
+  }
+  return verts;
+}
+
+// --- Trace merging -------------------------------------------------------
+
+struct TraceSegment {
+  obs::TraceHeader header;
+  std::vector<obs::TraceEvent> events;
+  bool decided = false;
+};
+
+/// Loads one per-node trace file; tolerates a torn final line (SIGKILL).
+std::optional<TraceSegment> load_segment(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  TraceSegment seg;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (!obs::parse_header(line, seg.header)) return std::nullopt;
+      continue;
+    }
+    obs::TraceEvent e;
+    if (obs::parse_event(line, e)) {
+      if (e.kind == obs::EventKind::kDecide) seg.decided = true;
+      seg.events.push_back(std::move(e));
+      continue;
+    }
+    obs::TraceFooter f;
+    if (obs::parse_footer(line, f)) continue;
+    // Anything else is only legitimate as a torn final line; the checker
+    // applies the same rule per file.
+  }
+  if (first) return std::nullopt;  // empty file
+  return seg;
+}
+
+/// Merges the per-node perspective traces of one instance into a full-view
+/// live trace, synthesizing kCrash/kRecover between a node's epoch
+/// segments (and a trailing kCrash for nodes that died without deciding).
+/// Returns false when no node produced a usable trace.
+bool merge_instance_traces(const Options& opt, const InstanceRun& run,
+                           const fs::path& out_path) {
+  std::vector<std::vector<TraceSegment>> per_node(opt.nodes);
+  bool have_header = false;
+  obs::TraceHeader header;
+  for (std::size_t k = 0; k < opt.nodes; ++k) {
+    for (std::uint64_t e = 0;; ++e) {
+      const fs::path p = fs::path(opt.trace_dir) /
+                         ("i" + std::to_string(run.id) + "_node" +
+                          std::to_string(k) + "_e" + std::to_string(e) +
+                          ".jsonl");
+      if (!fs::exists(p)) {
+        // Epochs are dense per node, but an instance submitted after a
+        // restart starts at a later epoch — scan a little further.
+        if (e > 16) break;
+        continue;
+      }
+      auto seg = load_segment(p);
+      if (seg) {
+        if (!have_header) {
+          header = seg->header;
+          have_header = true;
+        }
+        per_node[k].push_back(std::move(*seg));
+      }
+    }
+  }
+  if (!have_header) return false;
+
+  header.perspective = -1;  // full view: every process appears
+  std::ofstream out(out_path);
+  if (!out) return false;
+  out << obs::to_jsonl(header) << "\n";
+
+  std::uint64_t seq = 0;
+  std::size_t decided_nodes = 0;
+  bool quiescent = true;
+  for (std::size_t k = 0; k < opt.nodes; ++k) {
+    const auto& segs = per_node[k];
+    for (std::size_t j = 0; j < segs.size(); ++j) {
+      if (j > 0) {
+        // A later epoch segment exists: the previous incarnation died.
+        obs::TraceEvent crash;
+        crash.kind = obs::EventKind::kCrash;
+        crash.p = k;
+        crash.t = segs[j - 1].events.empty() ? 0.0
+                                             : segs[j - 1].events.back().t;
+        crash.seq = seq++;
+        out << obs::to_jsonl(crash) << "\n";
+        obs::TraceEvent rec;
+        rec.kind = obs::EventKind::kRecover;
+        rec.p = k;
+        rec.t = segs[j].events.empty() ? crash.t : segs[j].events.front().t;
+        rec.seq = seq++;
+        out << obs::to_jsonl(rec) << "\n";
+      }
+      for (obs::TraceEvent e : segs[j].events) {
+        e.seq = seq++;
+        out << obs::to_jsonl(e) << "\n";
+      }
+    }
+    // The checker's liveness rule counts only each process's LATEST
+    // incarnation (a kRecover resets that state): a node that decided in
+    // epoch e, died, and re-ran the instance without deciding again is NOT
+    // decided in the merged view.
+    const bool last_decided = !segs.empty() && segs.back().decided;
+    if (last_decided) ++decided_nodes;
+    // A killed node with no later-epoch segment for this instance ends the
+    // trace crashed; one that recovered (j > 0 above) ends it live.
+    const bool ends_crashed =
+        run.killed.count(k) != 0 && !last_decided && segs.size() <= 1;
+    if (ends_crashed) {
+      obs::TraceEvent crash;
+      crash.kind = obs::EventKind::kCrash;
+      crash.p = k;
+      crash.t = segs.empty() || segs.back().events.empty()
+                    ? 0.0
+                    : segs.back().events.back().t;
+      crash.seq = seq++;
+      out << obs::to_jsonl(crash) << "\n";
+    }
+    // Quiescent = every node either decided (latest incarnation) or is
+    // down. A recovered node stuck on a re-submitted instance makes the
+    // run non-quiescent — the checker then checks safety only, which is
+    // the correct contract: ever-crashed processes are liveness-exempt.
+    if (!last_decided && !ends_crashed) quiescent = false;
+  }
+
+  obs::TraceFooter footer;
+  footer.decided = decided_nodes;
+  footer.quiescent = quiescent;
+  out << obs::to_jsonl(footer) << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--nodes") opt.nodes = std::stoul(next());
+      else if (arg == "--f") opt.f = std::stoul(next());
+      else if (arg == "--d") opt.d = std::stoul(next());
+      else if (arg == "--eps") opt.eps = std::stod(next());
+      else if (arg == "--instances") opt.instances = std::stoul(next());
+      else if (arg == "--seed") opt.seed = std::stoull(next());
+      else if (arg == "--trace-dir") opt.trace_dir = next();
+      else if (arg == "--node-bin") opt.node_bin = next();
+      else if (arg == "--no-kill") opt.kill = false;
+      else if (arg == "--soak") opt.soak = std::stod(next());
+      else if (arg == "--timeout") opt.timeout = std::stod(next());
+      else if (arg == "--time-scale") opt.time_scale = std::stod(next());
+      else if (arg == "--report") opt.report = next();
+      else if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else {
+        std::cerr << "unknown option: " << arg << "\n";
+        usage();
+        return 2;
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad value for " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+  if (opt.nodes == 0 || opt.instances == 0 || opt.nodes > 32) {
+    std::cerr << "implausible --nodes / --instances\n";
+    usage();
+    return 2;
+  }
+  if (opt.node_bin.empty()) {
+    // Default: chc_node sitting next to this binary.
+    opt.node_bin =
+        (fs::path(argv[0]).parent_path() / "chc_node").string();
+  }
+  if (!fs::exists(opt.node_bin)) {
+    std::cerr << "node binary not found: " << opt.node_bin
+              << " (use --node-bin)\n";
+    return 2;
+  }
+  fs::create_directories(opt.trace_dir);
+
+  bool all_ok = true;
+  std::vector<std::string> failures;
+  std::vector<InstanceRun> runs;
+  double max_agreement = 0.0;
+  const auto fail = [&](const std::string& why) {
+    all_ok = false;
+    failures.push_back(why);
+    std::cerr << "FAIL: " << why << "\n";
+  };
+
+  try {
+    Cluster cluster(opt);
+    for (std::size_t i = 0; i < opt.nodes; ++i) {
+      if (!cluster.spawn(i)) throw std::runtime_error("fork failed");
+    }
+    for (std::size_t i = 0; i < opt.nodes; ++i) {
+      if (!cluster.wait_ready(i)) {
+        throw std::runtime_error("node " + std::to_string(i) +
+                                 " never became ready");
+      }
+    }
+    std::cout << "cluster up: " << opt.nodes << " nodes\n";
+
+    const auto submit_to_all = [&](const InstanceRun& run) {
+      const std::string line = submit_line(opt, run);
+      for (std::size_t k = 0; k < cluster.n(); ++k) {
+        if (!cluster.alive(k)) continue;
+        const auto resp = cluster.rpc(k, line);
+        if (!resp || *resp != "OK") {
+          fail("SUBMIT i" + std::to_string(run.id) + " to node " +
+               std::to_string(k) + " -> " + resp.value_or("(no response)"));
+        }
+      }
+    };
+
+    /// Waits until every node in `required` reports DECIDED for `iid`.
+    const auto wait_decided = [&](std::uint64_t iid,
+                                  const std::set<std::size_t>& required) {
+      const double deadline = mono_now() + opt.timeout;
+      std::set<std::size_t> done;
+      while (mono_now() < deadline && done.size() < required.size()) {
+        for (const std::size_t k : required) {
+          if (done.count(k) != 0 || !cluster.alive(k)) continue;
+          const auto resp =
+              cluster.rpc(k, "STATUS " + std::to_string(iid), 1000);
+          if (resp && resp->rfind("DECIDED", 0) == 0) done.insert(k);
+          if (resp && *resp == "FAILED") {
+            fail("instance " + std::to_string(iid) + " FAILED on node " +
+                 std::to_string(k));
+            return false;
+          }
+        }
+        if (done.size() < required.size()) sleep_ms(30);
+      }
+      if (done.size() < required.size()) {
+        fail("instance " + std::to_string(iid) + " timed out (" +
+             std::to_string(done.size()) + "/" +
+             std::to_string(required.size()) + " nodes decided)");
+        return false;
+      }
+      return true;
+    };
+
+    std::uint64_t next_id = 0;
+    std::uint64_t next_seed = opt.seed;
+    const double soak_deadline =
+        opt.soak > 0.0 ? mono_now() + opt.soak : mono_now();
+    std::size_t cycle = 0;
+    // Normal mode runs exactly one kill/recover cycle (wave 1 + wave 2);
+    // soak mode repeats cycles until its deadline.
+    do {
+      // --- wave 1: submit, kill the faulty node mid-run, finish ---------
+      std::vector<InstanceRun> wave1;
+      for (std::size_t i = 0; i < opt.instances; ++i) {
+        wave1.push_back(make_run(opt, next_id++, next_seed++));
+      }
+      for (const auto& run : wave1) submit_to_all(run);
+
+      std::optional<std::size_t> victim;
+      if (opt.kill && opt.f > 0 && !wave1[0].workload.faulty.empty()) {
+        victim = static_cast<std::size_t>(wave1[0].workload.faulty[0]);
+        // Randomized dwell (seeded, reproducible): somewhere between
+        // submit and typical decide time, so the kill lands mid-protocol.
+        Rng kill_rng(next_seed * 7919 + cycle);
+        sleep_ms(20 + static_cast<int>(kill_rng.uniform() * 150.0));
+        cluster.kill_node(*victim);
+        for (auto& run : wave1) run.killed.insert(*victim);
+        std::cout << "killed node " << *victim << " (cycle " << cycle
+                  << ")\n";
+      }
+
+      std::set<std::size_t> survivors;
+      for (std::size_t k = 0; k < cluster.n(); ++k) {
+        if (cluster.alive(k)) survivors.insert(k);
+      }
+      for (const auto& run : wave1) wait_decided(run.id, survivors);
+
+      // --- recover, then wave 2 must include the restarted node ---------
+      if (victim) {
+        if (!cluster.restart_node(*victim)) {
+          throw std::runtime_error("node " + std::to_string(*victim) +
+                                   " did not come back");
+        }
+        std::cout << "restarted node " << *victim << " (epoch "
+                  << cluster.epoch(*victim) << ")\n";
+        // Hand the wave-1 specs to the new incarnation too: it serves its
+        // peers' retransmissions and may finish late; it is not REQUIRED
+        // to (a recovered process is faulty in the paper's accounting).
+        for (const auto& run : wave1) {
+          cluster.rpc(*victim, submit_line(opt, run));
+        }
+      }
+
+      std::vector<InstanceRun> wave2;
+      for (std::size_t i = 0; i < opt.instances; ++i) {
+        wave2.push_back(make_run(opt, next_id++, next_seed++));
+      }
+      for (const auto& run : wave2) submit_to_all(run);
+      std::set<std::size_t> everyone;
+      for (std::size_t k = 0; k < cluster.n(); ++k) everyone.insert(k);
+      for (const auto& run : wave2) {
+        // Full rejoin proof: the restarted node decides these too.
+        wait_decided(run.id, everyone);
+      }
+
+      // --- pairwise decision agreement ----------------------------------
+      for (const auto* wave : {&wave1, &wave2}) {
+        for (const auto& run : *wave) {
+          std::vector<geo::Polytope> decisions;
+          for (std::size_t k = 0; k < cluster.n(); ++k) {
+            if (!cluster.alive(k)) continue;
+            const auto resp =
+                cluster.rpc(k, "STATUS " + std::to_string(run.id), 1000);
+            if (!resp) continue;
+            const auto verts = parse_decided(*resp);
+            if (verts && !verts->empty()) {
+              decisions.push_back(geo::Polytope::from_points(*verts));
+            }
+          }
+          for (std::size_t a = 0; a < decisions.size(); ++a) {
+            for (std::size_t b = a + 1; b < decisions.size(); ++b) {
+              const double dist = geo::hausdorff(decisions[a], decisions[b]);
+              max_agreement = std::max(max_agreement, dist);
+              if (dist > opt.eps + 1e-6) {
+                fail("instance " + std::to_string(run.id) +
+                     ": pairwise decision distance " + std::to_string(dist) +
+                     " > eps " + std::to_string(opt.eps));
+              }
+            }
+          }
+        }
+      }
+      for (auto& run : wave1) runs.push_back(std::move(run));
+      for (auto& run : wave2) runs.push_back(std::move(run));
+      ++cycle;
+    } while (opt.soak > 0.0 && mono_now() < soak_deadline && all_ok);
+
+    cluster.shutdown_all();
+    std::cout << "cluster down; verifying traces\n";
+  } catch (const std::exception& ex) {
+    fail(ex.what());
+  }
+
+  // --- offline verification: per-node traces + merged full-view traces --
+  std::size_t traces_checked = 0;
+  obs::CheckOptions copts;
+  for (const auto& run : runs) {
+    for (const auto& entry : fs::directory_iterator(opt.trace_dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("i" + std::to_string(run.id) + "_node", 0) != 0 ||
+          entry.path().extension() != ".jsonl") {
+        continue;
+      }
+      const auto report = obs::check_trace_file(entry.path().string(), copts);
+      ++traces_checked;
+      if (!report.parsed) {
+        fail(name + ": " + report.parse_error);
+      } else if (!report.ok()) {
+        fail(name + ": " + obs::describe(report.violations.front()));
+      }
+    }
+    const fs::path merged =
+        fs::path(opt.trace_dir) / ("merged_i" + std::to_string(run.id) +
+                                   ".jsonl");
+    if (!merge_instance_traces(opt, run, merged)) {
+      fail("could not merge traces of instance " + std::to_string(run.id));
+      continue;
+    }
+    const auto report = obs::check_trace_file(merged.string(), copts);
+    ++traces_checked;
+    if (!report.parsed) {
+      fail(merged.filename().string() + ": " + report.parse_error);
+    } else if (!report.ok()) {
+      fail(merged.filename().string() + ": " +
+           obs::describe(report.violations.front()));
+    }
+  }
+
+  std::cout << (all_ok ? "PASS" : "FAIL") << ": " << runs.size()
+            << " instances, " << traces_checked
+            << " traces checked, max pairwise decision distance "
+            << max_agreement << "\n";
+
+  if (!opt.report.empty()) {
+    std::ofstream rep(opt.report);
+    rep << "{\"ok\": " << (all_ok ? "true" : "false")
+        << ", \"instances\": " << runs.size()
+        << ", \"traces_checked\": " << traces_checked
+        << ", \"max_agreement\": " << max_agreement << ", \"failures\": [";
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+      if (i != 0) rep << ", ";
+      std::string esc;
+      for (char ch : failures[i]) {
+        if (ch == '"' || ch == '\\') esc += '\\';
+        esc += ch;
+      }
+      rep << '"' << esc << '"';
+    }
+    rep << "]}\n";
+  }
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,245 @@
+// chc_node: one consensus process of a real multi-node cluster.
+//
+//   chc_node --id I --cluster host:port,host:port,...
+//            [--client-port P] [--epoch E] [--trace-dir DIR]
+//            [--time-scale S]
+//
+// Speaks the RelFrame codec over TCP to its peers (transport/tcp) and a
+// line RPC to clients on 127.0.0.1:P (0 = ephemeral; the chosen port is in
+// the READY line). Runs any number of Algorithm CC instances concurrently;
+// each instance writes a per-node JSONL trace (env=live, perspective=I)
+// that tools/chc_check verifies offline.
+//
+// RPC protocol (one request line -> one response line):
+//   PING
+//     -> PONG <id> <epoch>
+//   SUBMIT <iid> <n> <f> <d> <eps> <seed> <magnitude> <nf> <faulty...>
+//          <n*d input coordinates, row-major>
+//     -> OK | ERR <reason>          (idempotent per <iid>)
+//   STATUS <iid>
+//     -> UNKNOWN | RUNNING <round> | FAILED
+//      | DECIDED <round> <nverts> <d> <coords...>
+//   SHUTDOWN
+//     -> BYE                        (footers written, process exits 0)
+//
+// Crash testing: SIGKILL is the intended crash switch — no handler runs,
+// in-flight state dies, the trace keeps every fully written line. Restart
+// with --epoch E+1 and peers' reliable channels resynchronize.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "transport/node.hpp"
+#include "transport/rpc.hpp"
+#include "transport/tcp.hpp"
+
+namespace {
+
+using namespace chc;
+
+void usage() {
+  std::cerr
+      << "usage: chc_node --id I --cluster host:port,...\n"
+         "                [--client-port P] [--epoch E] [--trace-dir DIR]\n"
+         "                [--time-scale SECONDS_PER_MODEL_UNIT]\n";
+}
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  out = 0;
+  for (char ch : s) {
+    if (ch < '0' || ch > '9' || out > (UINT64_MAX - 9) / 10) return false;
+    out = out * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  return true;
+}
+
+bool parse_f64(const std::string& s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && !s.empty();
+}
+
+/// SUBMIT argument vector -> InstanceSpec. Returns an error string, empty
+/// on success.
+std::string parse_submit(const std::vector<std::string>& tok,
+                         transport::InstanceSpec& spec) {
+  // SUBMIT iid n f d eps seed magnitude nf faulty... coords...
+  if (tok.size() < 9) return "SUBMIT needs at least 8 arguments";
+  std::uint64_t n = 0, f = 0, d = 0, nf = 0;
+  double eps = 0.0, mag = 0.0;
+  if (!parse_u64(tok[1], spec.id) || !parse_u64(tok[2], n) ||
+      !parse_u64(tok[3], f) || !parse_u64(tok[4], d) ||
+      !parse_f64(tok[5], eps) || !parse_u64(tok[6], spec.seed) ||
+      !parse_f64(tok[7], mag) || !parse_u64(tok[8], nf)) {
+    return "malformed SUBMIT scalar";
+  }
+  if (n == 0 || n > 64 || d == 0 || d > 8 || eps <= 0.0 || mag <= 0.0) {
+    return "implausible instance parameters";
+  }
+  const std::size_t want = 9 + nf + n * d;
+  if (tok.size() != want) return "SUBMIT argument count mismatch";
+  spec.cc.n = n;
+  spec.cc.f = f;
+  spec.cc.d = d;
+  spec.cc.eps = eps;
+  spec.cc.input_magnitude = mag;
+  spec.faulty.clear();
+  for (std::uint64_t i = 0; i < nf; ++i) {
+    std::uint64_t p = 0;
+    if (!parse_u64(tok[9 + i], p) || p >= n) return "bad faulty id";
+    spec.faulty.push_back(p);
+  }
+  spec.inputs.clear();
+  std::size_t at = 9 + nf;
+  for (std::uint64_t p = 0; p < n; ++p) {
+    geo::Vec v(d);
+    for (std::uint64_t k = 0; k < d; ++k) {
+      if (!parse_f64(tok[at++], v[k])) return "bad input coordinate";
+    }
+    spec.inputs.push_back(std::move(v));
+  }
+  return "";
+}
+
+std::string format_status(const transport::NodeRuntime::InstanceStatus& s) {
+  if (!s.known) return "UNKNOWN";
+  if (s.failed) return "FAILED";
+  if (!s.decided) return "RUNNING " + std::to_string(s.round);
+  std::ostringstream os;
+  os.precision(17);
+  const std::size_t d = s.decision.empty() ? 0 : s.decision[0].dim();
+  os << "DECIDED " << s.round << ' ' << s.decision.size() << ' ' << d;
+  for (const geo::Vec& v : s.decision) {
+    for (std::size_t k = 0; k < v.dim(); ++k) os << ' ' << v[k];
+  }
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t id = UINT64_MAX;
+  std::uint64_t epoch = 0;
+  std::uint64_t client_port = 0;
+  double time_scale = 2e-3;
+  std::string cluster_spec;
+  std::string trace_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    bool ok = true;
+    if (arg == "--id") ok = parse_u64(next(), id);
+    else if (arg == "--cluster") cluster_spec = next();
+    else if (arg == "--client-port") ok = parse_u64(next(), client_port);
+    else if (arg == "--epoch") ok = parse_u64(next(), epoch);
+    else if (arg == "--trace-dir") trace_dir = next();
+    else if (arg == "--time-scale") ok = parse_f64(next(), time_scale);
+    else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage();
+      return 2;
+    }
+    if (!ok || client_port > 65535) {
+      std::cerr << "bad value for " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+
+  std::string err;
+  const std::vector<transport::PeerAddr> cluster =
+      transport::parse_cluster_spec(cluster_spec, &err);
+  if (cluster.empty()) {
+    std::cerr << "bad --cluster: " << err << "\n";
+    usage();
+    return 2;
+  }
+  if (id >= cluster.size()) {
+    std::cerr << "--id must index into --cluster\n";
+    usage();
+    return 2;
+  }
+
+  try {
+    transport::TcpTransport tcp(id, cluster,
+                                static_cast<std::uint32_t>(epoch));
+    transport::NodeConfig ncfg;
+    ncfg.id = id;
+    ncfg.n = cluster.size();
+    ncfg.epoch = static_cast<std::uint32_t>(epoch);
+    ncfg.time_scale = time_scale;
+    ncfg.trace_dir = trace_dir;
+    transport::NodeRuntime node(ncfg, tcp);
+    transport::LineServer rpc(static_cast<std::uint16_t>(client_port));
+
+    std::cout << "READY id=" << id << " epoch=" << epoch
+              << " peer_port=" << tcp.listen_port()
+              << " rpc_port=" << rpc.port() << std::endl;
+
+    bool shutdown = false;
+    const auto handler = [&](const std::string& line) -> std::string {
+      const std::vector<std::string> tok = split_ws(line);
+      if (tok.empty()) return "ERR empty request";
+      if (tok[0] == "PING") {
+        return "PONG " + std::to_string(id) + ' ' + std::to_string(epoch);
+      }
+      if (tok[0] == "SUBMIT") {
+        transport::InstanceSpec spec;
+        const std::string e = parse_submit(tok, spec);
+        if (!e.empty()) return "ERR " + e;
+        if (spec.cc.n != cluster.size()) return "ERR n != cluster size";
+        try {
+          node.start_instance(spec);
+        } catch (const std::exception& ex) {
+          return std::string("ERR ") + ex.what();
+        }
+        return "OK";
+      }
+      if (tok[0] == "STATUS" && tok.size() == 2) {
+        std::uint64_t iid = 0;
+        if (!parse_u64(tok[1], iid)) return "ERR bad instance id";
+        return format_status(node.status(iid));
+      }
+      if (tok[0] == "SHUTDOWN") {
+        shutdown = true;
+        return "BYE";
+      }
+      return "ERR unknown request";
+    };
+
+    while (!shutdown) {
+      rpc.poll(0, handler);
+      // step() sleeps up to 1 ms when idle, so the loop neither spins nor
+      // adds meaningful latency to RPC handling.
+      node.step(1);
+    }
+    node.shutdown();
+    return 0;
+  } catch (const std::exception& ex) {
+    std::cerr << "chc_node: " << ex.what() << "\n";
+    return 1;
+  }
+}

@@ -68,6 +68,28 @@ svc::InstanceSpec make_spec(const std::string& preset, std::uint64_t i,
   return spec;
 }
 
+/// Strict numeric argument parsing: the whole value must be digits.
+/// std::stoul alone would throw an uncaught exception on garbage (or
+/// silently accept "5x"), turning a typo into a crash instead of usage.
+std::uint64_t parse_count(const std::string& opt, const std::string& val) {
+  std::uint64_t v = 0;
+  bool ok = !val.empty();
+  for (char ch : val) {
+    if (ch < '0' || ch > '9' || v > (UINT64_MAX - 9) / 10) {
+      ok = false;
+      break;
+    }
+    v = v * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  if (!ok) {
+    std::cerr << opt << " needs a non-negative integer, got '" << val
+              << "'\n";
+    usage();
+    std::exit(2);
+  }
+  return v;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -88,10 +110,10 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--instances") instances = std::stoul(next());
-    else if (arg == "--shards") shards = std::stoul(next());
-    else if (arg == "--queue") queue = std::stoul(next());
-    else if (arg == "--seed") seed_base = std::stoull(next());
+    if (arg == "--instances") instances = parse_count(arg, next());
+    else if (arg == "--shards") shards = parse_count(arg, next());
+    else if (arg == "--queue") queue = parse_count(arg, next());
+    else if (arg == "--seed") seed_base = parse_count(arg, next());
     else if (arg == "--preset") preset = next();
     else if (arg == "--trace-dir") trace_dir = next();
     else if (arg == "--report") report = next();
@@ -107,6 +129,7 @@ int main(int argc, char** argv) {
   if (preset != "default" && preset != "crash" && preset != "lossy" &&
       preset != "mixed") {
     std::cerr << "unknown preset: " << preset << "\n";
+    usage();
     return 2;
   }
 

@@ -1,0 +1,208 @@
+#include "bcc/behavior.hpp"
+
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "codec/codec.hpp"
+#include "common/check.hpp"
+#include "rbc/slotcast.hpp"
+
+namespace chc::bcc {
+
+std::string_view behavior_name(BehaviorKind k) {
+  switch (k) {
+    case BehaviorKind::kEquivocate:
+      return "equivocate";
+    case BehaviorKind::kForgePoint:
+      return "forge_point";
+    case BehaviorKind::kSilent:
+      return "silent";
+    case BehaviorKind::kMalformed:
+      return "malformed";
+  }
+  CHC_INTERNAL(false, "unknown behavior kind");
+}
+
+bool behavior_from_int(int v, BehaviorKind& out) {
+  if (v < 0 || v > 3) return false;
+  out = static_cast<BehaviorKind>(v);
+  return true;
+}
+
+namespace {
+
+/// Common plumbing: every concrete behavior announces what it did through
+/// one kByzSend event per touched message.
+class BehaviorBase : public sim::SendInterceptor {
+ public:
+  // Public so the inherited constructors stay usable by make_shared.
+  BehaviorBase(const BehaviorSpec& spec, std::size_t n, std::size_t d,
+               sim::ProcessId self, obs::Tracer* tracer)
+      : spec_(spec), n_(n), d_(d), self_(self), tracer_(tracer) {}
+
+ protected:
+  void announce(sim::Context& ctx, sim::ProcessId to, int original_tag) {
+    if (tracer_ == nullptr) return;
+    tracer_->emit_with([&] {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kByzSend;
+      e.t = ctx.now();
+      e.p = self_;
+      e.peer = to;
+      e.tag = original_tag;
+      e.aux = static_cast<std::uint64_t>(spec_.kind);
+      return e;
+    });
+  }
+
+  /// A deterministic outlier well outside the correct-input region
+  /// (workload outliers live in |coord| <= 2.0; this goes further).
+  geo::Vec forged_point() const {
+    geo::Vec v(d_);
+    const double mag = 3.0 + 0.25 * static_cast<double>(spec_.param % 8);
+    for (std::size_t k = 0; k < d_; ++k) {
+      v[k] = (k % 2 == 0 ? mag : -mag);
+    }
+    return v;
+  }
+
+  BehaviorSpec spec_;
+  std::size_t n_, d_;
+  sim::ProcessId self_;
+  obs::Tracer* tracer_;
+};
+
+/// Splits the receivers into two halves keyed by (to + param) parity. For
+/// this process's own broadcasts, half A sees the honest message, half B a
+/// conflicting one: a *valid* alternative input point on slot 0 and a
+/// corrupted report on later slots. Traffic about other origins is relayed
+/// honestly (the equivocator wants its lie delivered, so it cooperates on
+/// everything else).
+class Equivocator final : public BehaviorBase {
+ public:
+  using BehaviorBase::BehaviorBase;
+
+  bool on_send(sim::Context& ctx, sim::ProcessId to, int& tag,
+               std::any& payload) override {
+    if (!rbc::SlotBroadcast::handles(tag)) return true;
+    const rbc::SlotMsg* sm = std::any_cast<rbc::SlotMsg>(&payload);
+    if (sm == nullptr || sm->origin != self_) return true;
+    if ((to + spec_.param) % 2 == 0) return true;  // half A: honest
+    rbc::SlotMsg alt = *sm;
+    if (alt.slot == 0) {
+      alt.bytes = codec::encode(forged_point());
+    } else {
+      alt.bytes.push_back(0xEE);  // conflicting (undecodable) report
+    }
+    announce(ctx, to, tag);
+    payload = std::move(alt);
+    return true;
+  }
+};
+
+/// Consistently lies about its input: every slot-0 message about itself
+/// carries the same forged outlier. Otherwise protocol-abiding, so the
+/// forged point *is* reliably delivered as this process's input.
+class Forger final : public BehaviorBase {
+ public:
+  using BehaviorBase::BehaviorBase;
+
+  bool on_send(sim::Context& ctx, sim::ProcessId to, int& tag,
+               std::any& payload) override {
+    if (!rbc::SlotBroadcast::handles(tag)) return true;
+    const rbc::SlotMsg* sm = std::any_cast<rbc::SlotMsg>(&payload);
+    if (sm == nullptr || sm->origin != self_ || sm->slot != 0) return true;
+    rbc::SlotMsg alt = *sm;
+    alt.bytes = codec::encode(forged_point());
+    announce(ctx, to, tag);
+    payload = std::move(alt);
+    return true;
+  }
+};
+
+/// Suppresses every send after the first `param` messages; param = 0 means
+/// completely silent from the start.
+class Silencer final : public BehaviorBase {
+ public:
+  using BehaviorBase::BehaviorBase;
+
+  bool on_send(sim::Context& ctx, sim::ProcessId to, int& tag,
+               std::any& payload) override {
+    (void)payload;
+    if (sent_ < spec_.param) {
+      ++sent_;
+      return true;
+    }
+    announce(ctx, to, tag);
+    return false;
+  }
+
+ private:
+  std::uint64_t sent_ = 0;
+};
+
+/// Replaces every outgoing message with cycling deterministic garbage.
+/// Receivers must shed each variant without crashing or corrupting state.
+class Mangler final : public BehaviorBase {
+ public:
+  using BehaviorBase::BehaviorBase;
+
+  bool on_send(sim::Context& ctx, sim::ProcessId to, int& tag,
+               std::any& payload) override {
+    announce(ctx, to, tag);
+    switch ((counter_++ + spec_.param) % 6) {
+      case 0:  // wrong std::any payload type entirely
+        payload = std::string("not a slot message");
+        break;
+      case 1:  // unknown wire tag (receiver's router must ignore it)
+        tag = 999;
+        payload = rbc::SlotMsg{self_, 0, {0x01, 0x02}};
+        break;
+      case 2:  // origin far out of range
+        payload = rbc::SlotMsg{n_ + 7, 0, {0x00}};
+        break;
+      case 3:  // absurd slot index
+        payload = rbc::SlotMsg{
+            self_, std::numeric_limits<std::uint32_t>::max(), {0x00}};
+        break;
+      case 4:  // oversized buffer (beyond the broadcast payload bound)
+        payload = rbc::SlotMsg{self_, 0, rbc::Bytes(8192, 0xAA)};
+        break;
+      case 5: {  // well-formed envelope, non-finite geometry inside
+        geo::Vec nan_vec(d_);
+        for (std::size_t k = 0; k < d_; ++k) {
+          nan_vec[k] = std::numeric_limits<double>::quiet_NaN();
+        }
+        payload = rbc::SlotMsg{self_, 0, codec::encode(nan_vec)};
+        break;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<sim::SendInterceptor> make_behavior(const BehaviorSpec& spec,
+                                                    std::size_t n,
+                                                    std::size_t d,
+                                                    sim::ProcessId self,
+                                                    obs::Tracer* tracer) {
+  switch (spec.kind) {
+    case BehaviorKind::kEquivocate:
+      return std::make_shared<Equivocator>(spec, n, d, self, tracer);
+    case BehaviorKind::kForgePoint:
+      return std::make_shared<Forger>(spec, n, d, self, tracer);
+    case BehaviorKind::kSilent:
+      return std::make_shared<Silencer>(spec, n, d, self, tracer);
+    case BehaviorKind::kMalformed:
+      return std::make_shared<Mangler>(spec, n, d, self, tracer);
+  }
+  CHC_INTERNAL(false, "unknown behavior kind");
+}
+
+}  // namespace chc::bcc

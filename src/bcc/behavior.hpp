@@ -1,0 +1,68 @@
+// Byzantine behavior generators: what a faulty process *does*.
+//
+// A Byzantine process in this codebase is an honest ByzCCProcess wrapped in
+// sim::AdversarialProcess with one of these SendInterceptors. The behaviors
+// cover the adversary classes the resilience-boundary suite sweeps:
+//
+//   kEquivocate — sends conflicting values for its own broadcasts to two
+//                 receiver halves (a valid alternative input on slot 0, a
+//                 corrupted report on later slots). The classic attack
+//                 reliable broadcast exists to defeat.
+//   kForgePoint — consistently replaces its slot-0 input with a forged far
+//                 outlier point, i.e. lies about its value while following
+//                 the protocol. Exercises the f-subset-drop validity
+//                 argument (decided hull must stay inside the fault-free
+//                 input hull).
+//   kSilent     — suppresses every send after the first `param` messages
+//                 (param = 0: completely silent). The Byzantine analogue of
+//                 a mid-broadcast crash, without a crash event.
+//   kMalformed  — cycles deterministic garbage: wrong payload type, junk
+//                 wire tags, out-of-range origin/slot, oversized buffers,
+//                 non-finite coordinates. Correct processes must drop every
+//                 variant without state damage.
+//
+// Behaviors are deterministic functions of (receiver, message index, spec),
+// never of wall clock or unseeded randomness, so Byzantine runs replay
+// bit-identically from the trace header. Every mutation/suppression is
+// announced to the tracer as a kByzSend event (aux = behavior kind), which
+// the checker treats as benign bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "obs/trace.hpp"
+#include "sim/adversary.hpp"
+
+namespace chc::bcc {
+
+enum class BehaviorKind {
+  kEquivocate = 0,
+  kForgePoint = 1,
+  kSilent = 2,
+  kMalformed = 3,
+};
+
+/// Serializable behavior assignment (mirrors obs::HeaderByz).
+struct BehaviorSpec {
+  BehaviorKind kind = BehaviorKind::kSilent;
+  /// Behavior-specific knob: receiver-split salt (equivocate), outlier
+  /// scale step (forge), sends before silence (silent), garbage-cycle
+  /// offset (malformed).
+  std::uint64_t param = 0;
+};
+
+std::string_view behavior_name(BehaviorKind k);
+bool behavior_from_int(int v, BehaviorKind& out);
+
+/// Builds the send interceptor implementing `spec` for Byzantine process
+/// `self` in an (n, d) instance. `tracer` (optional) receives one kByzSend
+/// event per mutated or suppressed message.
+std::shared_ptr<sim::SendInterceptor> make_behavior(const BehaviorSpec& spec,
+                                                    std::size_t n,
+                                                    std::size_t d,
+                                                    sim::ProcessId self,
+                                                    obs::Tracer* tracer);
+
+}  // namespace chc::bcc

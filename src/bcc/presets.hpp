@@ -1,0 +1,78 @@
+// Named Byzantine scenarios + the seeded adversary sampler.
+//
+// Each ByzPreset pins one point of the resilience-boundary matrix: an
+// (n, f, d) tuple, one behavior class for the whole Byzantine set, and the
+// expected outcome. Three outcome shapes exist:
+//
+//   decide        n >= max(3f, (d+2)f) + 1 — every fault-free process
+//                 decides with validity and ε-agreement, under every
+//                 behavior class;
+//   rbc_stall     n <= 3f — reliable broadcast's READY quorum (2f+1) is
+//                 unreachable for the correct processes alone, so nothing
+//                 is ever delivered and the run quiesces undecided;
+//   round0_empty  3f + 1 <= n < (d+2)f + 1 (d >= 2) — broadcast works but
+//                 Γ(X) is empty (the vector-consensus lower bound of arXiv
+//                 1302.2543), so every fault-free process halts at round 0.
+//
+// run_byz_preset() executes the preset, re-verifies the trace with the
+// offline checker AND re-executes it via bcc::replay (bit-identical), so
+// every preset run is self-verifying end to end. sample_byz_preset() draws
+// deciding tuples at random for the fuzz lane.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bcc/harness.hpp"
+#include "bcc/replay.hpp"
+#include "obs/checker.hpp"
+
+namespace chc::bcc {
+
+enum class ByzExpectation { kDecide, kRbcStall, kRound0Empty };
+
+struct ByzPreset {
+  std::string name;
+  std::string description;
+  std::size_t n = 4, f = 1, d = 1;
+  double eps = 0.15;
+  BehaviorKind kind = BehaviorKind::kSilent;
+  std::uint64_t param = 0;  ///< per-process param is this + faulty index
+  core::InputPattern pattern = core::InputPattern::kUniform;
+  ByzExpectation expect = ByzExpectation::kDecide;
+};
+
+/// The named preset matrix (stable order, stable names).
+const std::vector<ByzPreset>& byz_presets();
+
+/// Preset by name, nullptr when unknown.
+const ByzPreset* find_byz_preset(const std::string& name);
+
+/// Seeded adversary sampler: a random deciding (n, f, d) tuple with a
+/// random behavior class and parameter. Every sampled preset must decide.
+ByzPreset sample_byz_preset(std::uint64_t seed);
+
+struct ByzRunResult {
+  std::string name;
+  std::uint64_t seed = 0;
+  bool passed = false;
+  std::string detail;  ///< first failed expectation, empty when passed
+  core::Certificate cert;
+  obs::CheckReport check;
+  bool replay_identical = false;
+  bool quiescent = false;
+  std::size_t decided = 0;
+  std::size_t round0_empty = 0;  ///< fault-free processes halted at round 0
+  std::vector<std::string> trace_lines;
+};
+
+/// One-line human-readable summary (CLI / test logging).
+std::string summarize(const ByzRunResult& r);
+
+/// Executes a preset end to end: workload from (preset, seed), BCC run,
+/// offline checker, bit-identical replay, expectation verdict.
+ByzRunResult run_byz_preset(const ByzPreset& preset, std::uint64_t seed,
+                            obs::Registry* metrics = nullptr);
+
+}  // namespace chc::bcc

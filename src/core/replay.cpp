@@ -171,6 +171,14 @@ ReplayResult replay_trace_lines(const std::vector<std::string>& lines) {
     r.error = "header: " + error;
     return r;
   }
+  if (header.protocol != "cc") {
+    // Other protocols replay through their own module (bcc::replay_trace_
+    // lines for "bcc"); running them through the crash harness would
+    // silently produce a diverging trace instead of a diagnosis.
+    r.error = "protocol " + header.protocol +
+              " traces are not replayable by the crash-CC harness";
+    return r;
+  }
   LossyRunConfig lc;
   Workload workload;
   if (!config_from_header(header, &lc, &workload, &error)) {

@@ -108,6 +108,39 @@ std::vector<Preset> make_presets() {
   }
   {
     Preset p;
+    p.name = "byz_equivocator";
+    p.description =
+        "the faulty process runs the Byzantine track, equivocating across "
+        "receiver halves; BCC (n=5, f=1, d=2) must still decide";
+    p.crash_count = 1;
+    p.build = [](const std::vector<sim::ProcessId>& faulty, std::size_t) {
+      return Scenario{}.byzantine(
+          faulty[0], {bcc::BehaviorKind::kEquivocate, /*param=*/1});
+    };
+    out.push_back(std::move(p));
+  }
+  {
+    Preset p;
+    p.name = "byz_silent_partition";
+    p.description =
+        "Byzantine silence composed with a healing partition (n=7, f=2, "
+        "d=1): one faulty process mute, one forging its input";
+    p.n = 7;
+    p.f = 2;
+    p.d = 1;  // n >= max(3f, (d+2)f) + 1 at n=7, f=2 requires d=1
+    p.crash_count = 2;
+    p.build = [](const std::vector<sim::ProcessId>& faulty, std::size_t n) {
+      const std::vector<sim::ProcessId> ok = others(faulty, n);
+      Scenario s;
+      s.partition(4.0, 24.0, {ok[0], ok[1]});
+      s.byzantine(faulty[0], {bcc::BehaviorKind::kSilent, /*param=*/3});
+      s.byzantine(faulty[1], {bcc::BehaviorKind::kForgePoint, /*param=*/0});
+      return s;
+    };
+    out.push_back(std::move(p));
+  }
+  {
+    Preset p;
     p.name = "over_budget";
     p.description =
         "f+1 simultaneous crashes with no recovery: the run must stall "

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "bcc/harness.hpp"
 #include "common/check.hpp"
 
 namespace chc::nemesis {
@@ -66,7 +67,24 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, obs::Registry* metrics) {
   lc.tracer = &tracer;
   lc.metrics = metrics;
 
-  const core::LossyRunOutput out = core::run_cc_lossy_custom(lc, workload);
+  core::LossyRunOutput out;
+  if (!compiled.byz.empty()) {
+    // Byzantine steps reroute the whole run onto the BCC harness; the
+    // scenario's byzantine targets must be exactly the workload's faulty
+    // set (presets guarantee it: builders receive the faulty pids).
+    CHC_CHECK(workload.faulty.size() == compiled.byz.size() &&
+                  std::all_of(workload.faulty.begin(), workload.faulty.end(),
+                              [&](sim::ProcessId p) {
+                                return compiled.byz.count(p) != 0;
+                              }),
+              "byzantine targets must be the workload's faulty pids");
+    bcc::ByzRunConfig bc;
+    bc.lossy = lc;
+    bc.behaviors = compiled.byz;
+    out = bcc::run_bcc_custom(bc, workload);
+  } else {
+    out = core::run_cc_lossy_custom(lc, workload);
+  }
 
   r.trace_lines = sink.lines();
   r.check = obs::check_trace_lines(r.trace_lines);

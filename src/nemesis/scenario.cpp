@@ -35,12 +35,16 @@ Scenario& Scenario::partition_one_way(sim::Time t0, sim::Time t1,
 
 Scenario& Scenario::crash(sim::ProcessId p, sim::Time at) {
   CHC_CHECK(!crashes_.count(p), "one crash plan per process");
+  CHC_CHECK(!byz_.count(p),
+            "a byzantine process does not also crash (use kSilent)");
   crashes_[p] = sim::CrashPlan::at(at);
   return *this;
 }
 
 Scenario& Scenario::crash_after(sim::ProcessId p, std::size_t sends) {
   CHC_CHECK(!crashes_.count(p), "one crash plan per process");
+  CHC_CHECK(!byz_.count(p),
+            "a byzantine process does not also crash (use kSilent)");
   crashes_[p] = sim::CrashPlan::after(sends);
   return *this;
 }
@@ -58,6 +62,14 @@ Scenario& Scenario::delay_storm(sim::Time t0, sim::Time t1, double factor) {
   CHC_CHECK(t1 > t0, "storm window must be non-empty");
   CHC_CHECK(factor >= 1.0, "storm factor must be >= 1");
   storms_.push_back({t0, t1, factor});
+  return *this;
+}
+
+Scenario& Scenario::byzantine(sim::ProcessId p, bcc::BehaviorSpec spec) {
+  CHC_CHECK(!byz_.count(p), "one byzantine behavior per process");
+  CHC_CHECK(!crashes_.count(p),
+            "a byzantine process does not also crash (use kSilent)");
+  byz_[p] = spec;
   return *this;
 }
 
@@ -95,7 +107,13 @@ Scenario::Compiled Scenario::compile(std::size_t n) const {
   out.storms = storms_;
   for (const auto& [p, plan] : crashes_) {
     CHC_CHECK(p < n, "crash plan process id out of range");
+    CHC_CHECK(!plan.recover_at.has_value() || byz_.empty(),
+              "byzantine scenarios are crash-stop only (no recovery)");
     out.crashes.set(p, plan);
+  }
+  for (const auto& [p, spec] : byz_) {
+    CHC_CHECK(p < n, "byzantine process id out of range");
+    out.byz.emplace(p, spec);
   }
   if (cuts_.empty()) return out;
 

@@ -23,6 +23,10 @@
 //                                   (requires an earlier crash(p, ...))
 //   delay_storm(t0, t1, factor)     delays multiply by factor during the
 //                                   window (overlaps multiply)
+//   byzantine(p, spec)              p runs the Byzantine protocol track
+//                                   (src/bcc) under the given behavior for
+//                                   the whole run; any byzantine step
+//                                   switches the runner to run_bcc_custom
 //
 // Passing t1 = infinity describes a cut that never heals. Composition is
 // free-form: overlapping partitions union their cut link sets, and a crash
@@ -35,6 +39,7 @@
 #include <map>
 #include <vector>
 
+#include "bcc/behavior.hpp"
 #include "net/policy.hpp"
 #include "sim/crash.hpp"
 #include "sim/delay.hpp"
@@ -67,6 +72,7 @@ class Scenario {
   Scenario& crash_after(sim::ProcessId p, std::size_t sends);
   Scenario& recover(sim::ProcessId p, sim::Time at);
   Scenario& delay_storm(sim::Time t0, sim::Time t1, double factor);
+  Scenario& byzantine(sim::ProcessId p, bcc::BehaviorSpec spec);
 
   /// The harness-level form of the scenario.
   struct Compiled {
@@ -74,6 +80,9 @@ class Scenario {
     net::PolicySchedule schedule; ///< non-empty iff the scenario has cuts
     std::vector<sim::StormWindow> storms;
     sim::CrashSchedule crashes;
+    /// Non-empty iff the scenario has byzantine steps; routes the run onto
+    /// the BCC harness with exactly these behavior assignments.
+    std::map<sim::ProcessId, bcc::BehaviorSpec> byz;
   };
 
   /// Lowers the scenario for an n-process system. Validates process ids,
@@ -86,12 +95,16 @@ class Scenario {
   const std::map<sim::ProcessId, sim::CrashPlan>& crash_plans() const {
     return crashes_;
   }
+  const std::map<sim::ProcessId, bcc::BehaviorSpec>& byzantine_plans() const {
+    return byz_;
+  }
 
  private:
   net::NetworkPolicy base_;
   std::vector<Cut> cuts_;
   std::vector<sim::StormWindow> storms_;
   std::map<sim::ProcessId, sim::CrashPlan> crashes_;
+  std::map<sim::ProcessId, bcc::BehaviorSpec> byz_;
 };
 
 }  // namespace chc::nemesis

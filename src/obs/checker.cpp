@@ -95,6 +95,9 @@ class Checker {
 
   bool sim_env() const { return report_.header.env == "sim"; }
   bool live_env() const { return report_.header.env == "live"; }
+  /// Byzantine convex consensus trace (src/bcc) — see the header comment
+  /// for the model-driven deltas.
+  bool bcc_protocol() const { return report_.header.protocol == "bcc"; }
   /// Single-node live trace: only this process's protocol events are
   /// recorded, so cross-process lookups must not be treated as violations.
   bool perspective_trace() const { return report_.header.perspective >= 0; }
@@ -254,6 +257,7 @@ class Checker {
         case EventKind::kDropCrashed:
         case EventKind::kRetransmit:
         case EventKind::kGiveUp:
+        case EventKind::kByzSend:
           break;
       }
     }
@@ -394,12 +398,24 @@ class Checker {
     // Over budget (> f crashed): the resilience precondition is void, the
     // run may legitimately stall without deciding. Safety was still checked.
     if (report_.over_budget) return;
+    // Below the Byzantine resilience bound (n < 3f + 1) reliable broadcast
+    // deterministically stalls — the boundary suite's documented
+    // non-decision mode. Safety above was still fully checked.
+    if (bcc_protocol() &&
+        report_.header.n < 3 * report_.header.f + 1) {
+      return;
+    }
     for (Pid p = 0; p < procs_.size(); ++p) {
       // A single-node trace only proves its own process's liveness.
       if (perspective_trace() &&
           p != static_cast<Pid>(report_.header.perspective)) {
         continue;
       }
+      // A Byzantine-protocol process that recorded an *empty* round-0
+      // polytope halted at line 5 (Γ = ∅, possible below the vector-
+      // consensus bound n >= (d+2)f + 1): the non-decision is explicit in
+      // the trace, not a liveness bug.
+      if (bcc_protocol() && procs_[p].back().round0_empty) continue;
       if (!is_faulty(p) && !ever_crashed(p) && !procs_[p].back().decided) {
         violate(footer_line_, 0, p, static_cast<std::size_t>(-1), "liveness",
                 "quiescent run but fault-free process did not decide");
@@ -413,6 +429,10 @@ class Checker {
   /// inclusion-ordered against every other view, including earlier views
   /// of the same process.
   void check_view_containment() {
+    if (bcc_protocol()) {
+      check_view_rbc_agreement();
+      return;
+    }
     const auto subset = [](const std::map<Pid, geo::Vec>& a,
                            const std::map<Pid, geo::Vec>& b) {
       for (const auto& [origin, x] : a) {
@@ -441,6 +461,42 @@ class Checker {
                   "round-0 views of processes " + std::to_string(views[i].p) +
                       " and " + std::to_string(views[j].p) +
                       " are not inclusion-ordered");
+        }
+      }
+    }
+  }
+
+  /// Byzantine replacement for stable-vector containment: the verified
+  /// multisets X_i are first-(n-f) prefixes of each process's own RBC
+  /// delivery order, so they are not inclusion-ordered — but reliable
+  /// broadcast's agreement property forces any two processes that deliver
+  /// a value for the same origin to deliver the *same* value. An origin
+  /// appearing with two different points across recorded views would mean
+  /// an equivocation survived the broadcast layer.
+  void check_view_rbc_agreement() {
+    struct ViewRef {
+      Pid p;
+      const PState* ps;
+    };
+    std::vector<ViewRef> views;
+    for (Pid p = 0; p < procs_.size(); ++p) {
+      for (const PState& ps : procs_[p]) {
+        if (ps.has_round0) views.push_back({p, &ps});
+      }
+    }
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      for (std::size_t j = i + 1; j < views.size(); ++j) {
+        const PState& a = *views[i].ps;
+        const PState& b = *views[j].ps;
+        for (const auto& [origin, x] : a.view) {
+          const auto it = b.view.find(origin);
+          if (it == b.view.end() || it->second == x) continue;
+          violate(std::max(a.round0_line, b.round0_line), 0, views[i].p, 0,
+                  "rbc-agreement",
+                  "processes " + std::to_string(views[i].p) + " and " +
+                      std::to_string(views[j].p) +
+                      " verified different inputs for origin " +
+                      std::to_string(origin));
         }
       }
     }
@@ -485,10 +541,13 @@ class Checker {
               union_pts.insert(union_pts.end(), verts.begin(), verts.end());
             }
             if (!found) {
-              // A single-node trace cannot contain its peers' states; the
+              // A single-node trace cannot contain its peers' states (the
               // union-form containment is checked on the merged cluster
-              // trace instead (chc_cluster writes one per instance).
-              if (perspective_trace()) {
+              // trace instead), and a declared-Byzantine sender in a bcc
+              // trace never records protocol events — its verified state
+              // lives only inside the receivers. Both are counted, not
+              // violated.
+              if (perspective_trace() || (bcc_protocol() && is_faulty(s))) {
                 ++report_.containments_skipped;
               } else {
                 violate(snap.line, snap.seq, p, t, "containment",
@@ -579,6 +638,9 @@ class Checker {
   void check_optimality_floor() {
     const TraceHeader& h = report_.header;
     if (h.round0_naive || h.max_polytope_vertices != 0) return;
+    // Lemma 6 is a crash-model result; the Byzantine protocol's decided
+    // polytope is an intersection over adversary-proof subsets instead.
+    if (bcc_protocol()) return;
     // Z is the intersection of ALL fault-free round-0 views (eq. 20); a
     // single-node trace only has its own view, which over-approximates Z
     // and would inflate I_Z beyond what Lemma 6 guarantees.
@@ -641,6 +703,20 @@ class Checker {
 };
 
 }  // namespace
+
+std::string summary_line(const CheckReport& r) {
+  std::ostringstream os;
+  os << "events=" << r.events << " snapshots=" << r.snapshots_checked
+     << " containments=" << r.containments_checked
+     << " pairs=" << r.pairs_checked << " rounds=" << r.rounds_seen
+     << " iz=" << (r.iz_checked ? "yes" : "skipped");
+  if (r.containments_skipped != 0) {
+    os << " containments_skipped=" << r.containments_skipped;
+  }
+  if (r.recoveries != 0) os << " recoveries=" << r.recoveries;
+  if (r.truncated_tail) os << " truncated-tail";
+  return os.str();
+}
 
 CheckReport check_trace_lines(const std::vector<std::string>& lines,
                               const CheckOptions& opts) {

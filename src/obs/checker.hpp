@@ -39,6 +39,19 @@
 //     round (Lemma 6), with I_Z recomputed from the recorded views
 //     (eq. 20-21; skipped for the naive round-0 ablation and under
 //     pruning, where the guarantee does not hold).
+//
+// Byzantine mode (header protocol == "bcc", src/bcc): the same validity,
+// round-containment, contraction and ε-agreement invariants apply to the
+// fault-free processes, with three model-driven deltas. (1) Round-0 views
+// are *not* inclusion-ordered (each process fixes its own first-(n-f)
+// verified multiset), but reliable broadcast forces agreement per origin —
+// the sv-containment check is replaced by pairwise agreement on common
+// origins. (2) Declared-Byzantine senders record no states, so containments
+// through them are counted as skipped, not violated; Byzantine processes
+// are exempt from liveness via the faulty set. (3) The I_Z optimality floor
+// is a crash-model lemma and is skipped, as is liveness when n < 3f + 1
+// (the resilience precondition is void — the documented non-decision mode
+// of the boundary suite; safety is still fully checked).
 #pragma once
 
 #include <cstddef>
@@ -80,9 +93,10 @@ struct CheckReport {
   std::size_t rounds_seen = 0;
   bool iz_checked = false;
 
-  // Live-trace accounting (env == "live"; zero / false everywhere else).
-  /// Round containments skipped because a single-node perspective trace
-  /// cannot know the senders' previous states.
+  /// Round containments skipped because the senders' previous states are
+  /// legitimately unknowable: a single-node perspective trace cannot see
+  /// its peers' states, and a declared-Byzantine sender in a protocol=bcc
+  /// trace records no protocol events at all.
   std::size_t containments_skipped = 0;
   /// The final line was malformed and dropped: a node crashed (SIGKILL)
   /// mid-write. Only tolerated for live traces — a truncated tail is the
@@ -99,6 +113,13 @@ struct CheckReport {
 
   bool ok() const { return parsed && violations.empty(); }
 };
+
+/// One-line work-accounting summary ("events=... snapshots=... ..."), shared
+/// by chc_check and the harness reporters so every verdict line visibly says
+/// what was checked — including the count of skipped cross-node containments
+/// (single-perspective traces, declared-Byzantine senders) and a truncated
+/// live-trace tail.
+std::string summary_line(const CheckReport& r);
 
 CheckReport check_trace_lines(const std::vector<std::string>& lines,
                               const CheckOptions& opts = {});

@@ -14,7 +14,7 @@ struct KindName {
   std::string_view name;
 };
 
-constexpr std::array<KindName, 14> kKindNames{{
+constexpr std::array<KindName, 15> kKindNames{{
     {EventKind::kSend, "send"},
     {EventKind::kRecv, "recv"},
     {EventKind::kNetDrop, "net_drop"},
@@ -29,6 +29,7 @@ constexpr std::array<KindName, 14> kKindNames{{
     {EventKind::kDecide, "decide"},
     {EventKind::kRecover, "recover"},
     {EventKind::kGiveUp, "give_up"},
+    {EventKind::kByzSend, "byz_send"},
 }};
 
 void append_u64(std::string& out, std::uint64_t v) {
@@ -142,7 +143,8 @@ std::string to_jsonl(const TraceEvent& e) {
     out += ",\"round\":";
     append_u64(out, e.round);
   }
-  if (e.kind == EventKind::kNetDup || e.kind == EventKind::kRetransmit) {
+  if (e.kind == EventKind::kNetDup || e.kind == EventKind::kRetransmit ||
+      e.kind == EventKind::kByzSend) {
     out += ",\"aux\":";
     append_u64(out, e.aux);
   }
@@ -263,6 +265,10 @@ std::string to_jsonl(const TraceHeader& h) {
   out += std::to_string(h.version);
   out += ",\"env\":";
   json_append_string(out, h.env);
+  if (h.protocol != "cc") {
+    out += ",\"protocol\":";
+    json_append_string(out, h.protocol);
+  }
   if (h.perspective >= 0) {
     out += ",\"perspective\":";
     out += std::to_string(h.perspective);
@@ -386,6 +392,20 @@ std::string to_jsonl(const TraceHeader& h) {
     }
     out.push_back(']');
   }
+  if (!h.byz.empty()) {
+    out += ",\"byz\":[";
+    for (std::size_t i = 0; i < h.byz.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      out += "{\"p\":";
+      append_u64(out, h.byz[i].p);
+      out += ",\"behavior\":";
+      out += std::to_string(h.byz[i].kind);
+      out += ",\"param\":";
+      append_u64(out, h.byz[i].param);
+      out.push_back('}');
+    }
+    out.push_back(']');
+  }
   out += ",\"faulty\":[";
   for (std::size_t i = 0; i < h.faulty.size(); ++i) {
     if (i != 0) out.push_back(',');
@@ -430,6 +450,7 @@ bool parse_header(std::string_view line, TraceHeader& out,
   };
   i32("version", out.version);
   if (const JsonValue* env = j.find("env")) out.env = env->as_string();
+  if (const JsonValue* pr = j.find("protocol")) out.protocol = pr->as_string();
   if (const JsonValue* p = j.find("perspective")) out.perspective = p->as_i64();
   u64("n", out.n);
   u64("f", out.f);
@@ -532,6 +553,21 @@ bool parse_header(std::string_view line, TraceHeader& out,
       if (const JsonValue* v = s.find("t1")) st.t1 = v->as_double();
       if (const JsonValue* v = s.find("factor")) st.factor = v->as_double();
       out.storms.push_back(st);
+    }
+  }
+  if (const JsonValue* byz = j.find("byz")) {
+    for (const JsonValue& b : byz->items) {
+      HeaderByz hb;
+      if (!b.is_object()) {
+        if (error != nullptr) *error = "bad byz entry";
+        return false;
+      }
+      if (const JsonValue* v = b.find("p")) hb.p = v->as_u64();
+      if (const JsonValue* v = b.find("behavior")) {
+        hb.kind = static_cast<int>(v->as_i64());
+      }
+      if (const JsonValue* v = b.find("param")) hb.param = v->as_u64();
+      out.byz.push_back(hb);
     }
   }
   if (const JsonValue* faulty = j.find("faulty")) {

@@ -54,6 +54,8 @@ enum class EventKind {
   kDecide,       ///< p decided; verts = h_i[t_end], round = t_end
   kRecover,      ///< crashed process p restarted with fresh state
   kGiveUp,       ///< reliable shim abandoned its channel to `peer`
+  kByzSend,      ///< Byzantine behavior mutated/suppressed a send (p -> peer,
+                 ///< tag = original wire tag, aux = behavior kind)
 };
 
 std::string_view kind_name(EventKind k);
@@ -119,8 +121,21 @@ struct HeaderStorm {
 /// Trace header: everything needed to (a) re-execute the run (replay) and
 /// (b) check its invariants offline without the workload generator. All
 /// fields are plain values; core/replay maps the enums to/from ints.
+/// Declared Byzantine behavior of one process (serialized so Byzantine runs
+/// replay from the header alone; obs cannot depend on bcc, so the behavior
+/// kind is a plain int mirror of bcc::BehaviorKind).
+struct HeaderByz {
+  std::uint64_t p = 0;
+  int kind = 0;
+  std::uint64_t param = 0;
+};
+
 struct TraceHeader {
   int version = 1;
+  /// Which consensus protocol produced the trace: "cc" (the crash-fault
+  /// Algorithm CC — the default, omitted from the serialized form) or
+  /// "bcc" (Byzantine convex consensus). Checker and replay dispatch on it.
+  std::string protocol = "cc";
   /// "sim" (deterministic, replayable), "rt" (threaded runtime, wall
   /// clock), or "live" (a real multi-process cluster node; wall clock,
   /// NOT seed-replayable — the checker verifies safety invariants only).
@@ -161,6 +176,9 @@ struct TraceHeader {
   std::vector<HeaderPolicyPhase> phases;         ///< policy schedule
   std::vector<HeaderCrashPlan> crash_plans;      ///< explicit crash schedule
   std::vector<HeaderStorm> storms;               ///< delay-storm windows
+
+  /// Byzantine behavior assignment (protocol == "bcc"; empty otherwise).
+  std::vector<HeaderByz> byz;
 
   // Concrete workload (checker input; replay verifies it matches the seed).
   std::vector<std::uint64_t> faulty;

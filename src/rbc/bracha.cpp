@@ -26,8 +26,12 @@ void ReliableBroadcast::broadcast(sim::Context& ctx, const geo::Vec& value) {
 
 void ReliableBroadcast::on_message(sim::Context& ctx,
                                    const sim::Message& msg) {
-  const auto& bm = std::any_cast<const BrachaMsg&>(msg.payload);
-  CHC_CHECK(bm.origin < n_, "origin out of range");
+  // Inbound traffic is adversarial under the Byzantine model: a payload of
+  // the wrong type or with an out-of-range origin is dropped, not fatal —
+  // a faulty peer must not be able to crash a correct process.
+  const BrachaMsg* pm = std::any_cast<BrachaMsg>(&msg.payload);
+  if (pm == nullptr || pm->origin >= n_) return;
+  const BrachaMsg& bm = *pm;
 
   switch (msg.tag) {
     case kTagInit: {

@@ -1,0 +1,111 @@
+// Behavior injection hooks: run an arbitrary Process under an adversarial
+// send filter.
+//
+// The Byzantine track (src/bcc) models a faulty process as an honest
+// protocol state machine wrapped in an AdversarialProcess: every outgoing
+// message first passes through a SendInterceptor, which may forward it
+// unchanged, rewrite the tag/payload (equivocation, forged values,
+// malformed bytes), or suppress it (silent faults). The wrapper stays
+// protocol-agnostic — concrete behaviors live next to the protocol that
+// defines their message vocabulary.
+//
+// broadcast_others is decomposed into per-receiver send() calls in process-
+// id order so the interceptor sees each receiver individually (equivocation
+// needs per-receiver rewrites). Each decomposed send consumes the same
+// per-send crash budget a native broadcast would (Simulation::send charges
+// the budget per message), so CrashPlan::after semantics — a mid-broadcast
+// crash truncating the receiver list — are preserved exactly.
+#pragma once
+
+#include <any>
+#include <memory>
+#include <utility>
+
+#include "common/check.hpp"
+#include "sim/process.hpp"
+
+namespace chc::sim {
+
+/// Decides the fate of every message an adversarial process emits.
+/// Implementations must be deterministic functions of (receiver, tag,
+/// payload, own mutable state): replay depends on it.
+class SendInterceptor {
+ public:
+  virtual ~SendInterceptor() = default;
+
+  /// Called once per outgoing message (broadcasts are decomposed into one
+  /// call per receiver, in process-id order). May rewrite `tag` / `payload`
+  /// in place. Returns false to suppress the send entirely.
+  virtual bool on_send(Context& ctx, ProcessId to, int& tag,
+                       std::any& payload) = 0;
+};
+
+/// A Context veneer that routes every send through a SendInterceptor and
+/// forwards everything else to the real context.
+class InterceptedContext final : public Context {
+ public:
+  InterceptedContext(Context& base, SendInterceptor& interceptor)
+      : base_(base), interceptor_(interceptor) {}
+
+  ProcessId self() const override { return base_.self(); }
+  std::size_t n() const override { return base_.n(); }
+  Time now() const override { return base_.now(); }
+  Rng& rng() override { return base_.rng(); }
+  void set_timer(Time delay, int token) override {
+    base_.set_timer(delay, token);
+  }
+
+  void send(ProcessId to, int tag, std::any payload) override {
+    if (interceptor_.on_send(base_, to, tag, payload)) {
+      base_.send(to, tag, std::move(payload));
+    }
+  }
+
+  void broadcast_others(int tag, const std::any& payload) override {
+    for (ProcessId to = 0; to < base_.n(); ++to) {
+      if (to == base_.self()) continue;
+      std::any copy = payload;
+      int t = tag;
+      if (interceptor_.on_send(base_, to, t, copy)) {
+        base_.send(to, t, std::move(copy));
+      }
+    }
+  }
+
+ private:
+  Context& base_;
+  SendInterceptor& interceptor_;
+};
+
+/// Wraps an inner (typically honest) process so all of its sends pass
+/// through the interceptor. Timers and deliveries reach the inner process
+/// unchanged — Byzantine behaviors in this codebase corrupt what a process
+/// *says*, not what it hears.
+class AdversarialProcess final : public Process {
+ public:
+  AdversarialProcess(std::unique_ptr<Process> inner,
+                     std::shared_ptr<SendInterceptor> interceptor)
+      : inner_(std::move(inner)), interceptor_(std::move(interceptor)) {
+    CHC_CHECK(inner_ != nullptr, "adversarial wrapper needs a process");
+    CHC_CHECK(interceptor_ != nullptr, "adversarial wrapper needs a behavior");
+  }
+
+  void on_start(Context& ctx) override {
+    InterceptedContext ictx(ctx, *interceptor_);
+    inner_->on_start(ictx);
+  }
+  void on_message(Context& ctx, const Message& msg) override {
+    InterceptedContext ictx(ctx, *interceptor_);
+    inner_->on_message(ictx, msg);
+  }
+  void on_timer(Context& ctx, int token) override {
+    InterceptedContext ictx(ctx, *interceptor_);
+    inner_->on_timer(ictx, token);
+  }
+
+ private:
+  std::unique_ptr<Process> inner_;
+  std::shared_ptr<SendInterceptor> interceptor_;
+};
+
+}  // namespace chc::sim

@@ -5,6 +5,7 @@
 #include "core/process_cc.hpp"
 #include "dsm/store.hpp"
 #include "geometry/intern.hpp"
+#include "rbc/slotcast.hpp"
 
 namespace chc::transport {
 
@@ -51,7 +52,7 @@ std::optional<std::uint64_t> decode_u64(const codec::Buffer& buf) {
 
 bool wire_supported(int tag) {
   return dsm::GrowOnlyStore::handles(tag) || tag == core::kTagRound ||
-         tag == core::kTagNaiveInput;
+         tag == core::kTagNaiveInput || rbc::SlotBroadcast::handles(tag);
 }
 
 std::optional<codec::Buffer> encode_payload(int tag,
@@ -88,6 +89,21 @@ std::optional<codec::Buffer> encode_payload(int tag,
       const auto* v = std::any_cast<geo::Vec>(&payload);
       if (v == nullptr) return std::nullopt;
       return codec::encode(*v);
+    }
+    case rbc::kTagSlotInit:
+    case rbc::kTagSlotEcho:
+    case rbc::kTagSlotReady: {
+      // [u64 origin][u32 slot][u32 len][len opaque bytes]; the slot payload
+      // stays opaque here — the Byzantine protocol decodes it itself.
+      const auto* m = std::any_cast<rbc::SlotMsg>(&payload);
+      if (m == nullptr) return std::nullopt;
+      codec::Writer w;
+      w.put_u64(m->origin);
+      w.put_u32(m->slot);
+      w.put_u32(static_cast<std::uint32_t>(m->bytes.size()));
+      codec::Buffer out = w.take();
+      out.insert(out.end(), m->bytes.begin(), m->bytes.end());
+      return out;
     }
     default:
       return std::nullopt;
@@ -139,6 +155,25 @@ std::optional<std::any> decode_payload(int tag, const codec::Buffer& buf,
       auto vec = codec::decode_vec(buf);
       if (!vec) return std::nullopt;
       return std::any(std::move(*vec));
+    }
+    case rbc::kTagSlotInit:
+    case rbc::kTagSlotEcho:
+    case rbc::kTagSlotReady: {
+      codec::Reader r(buf);
+      const auto origin = r.read_u64();
+      const auto slot = r.read_u32();
+      const auto len = r.read_u32();
+      if (!origin || !slot || !len) return std::nullopt;
+      // Cap before allocating: a Byzantine length field must not drive an
+      // allocation; the value itself may still exceed SlotBroadcast's
+      // max_payload — the protocol layer rejects that semantically.
+      if (*len > (1u << 20) || r.remaining() != *len) return std::nullopt;
+      rbc::SlotMsg m;
+      m.origin = static_cast<sim::ProcessId>(*origin);
+      m.slot = *slot;
+      m.bytes.assign(buf.end() - static_cast<std::ptrdiff_t>(*len),
+                     buf.end());
+      return std::any(std::move(m));
     }
     default:
       return std::nullopt;

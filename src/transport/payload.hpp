@@ -12,6 +12,9 @@
 //   tag 105 dsm::AckMsg        [u64 op]
 //   tag 200 core::RoundMsg     [u64 round][polytope]  (re-interned on decode)
 //   tag 201 geo::Vec           [vec]                  (naive round-0 ablation)
+//   tag 410 rbc::SlotMsg       [u64 origin][u32 slot][u32 len][len bytes]
+//   tag 411 rbc::SlotMsg       (same; Byzantine-track slot broadcast ECHO)
+//   tag 412 rbc::SlotMsg       (same; Byzantine-track slot broadcast READY)
 //
 // plus the shim's own frames (net::RelData <-> codec::RelFrame with the
 // inner payload nested through this same mapping, and net::RelAck <->

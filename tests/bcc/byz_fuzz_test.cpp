@@ -1,0 +1,53 @@
+// Seeded Byzantine adversary fuzz: sample_byz_preset draws random deciding
+// (n, f, d) tuples with random behavior classes and parameters; every
+// sampled execution must decide with validity + ε-agreement, pass the
+// offline checker, and replay bit-identically. CI's nightly lane runs the
+// same loop with 200+ rotating seeds through chc_byz --fuzz.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "bcc/presets.hpp"
+
+namespace chc::bcc {
+namespace {
+
+TEST(ByzFuzz, SamplerIsDeterministic) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const ByzPreset a = sample_byz_preset(seed);
+    const ByzPreset b = sample_byz_preset(seed);
+    EXPECT_EQ(a.n, b.n);
+    EXPECT_EQ(a.f, b.f);
+    EXPECT_EQ(a.d, b.d);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.param, b.param);
+    EXPECT_EQ(a.pattern, b.pattern);
+  }
+}
+
+TEST(ByzFuzz, SampledTuplesAlwaysSatisfyBothBounds) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const ByzPreset p = sample_byz_preset(seed);
+    EXPECT_GE(p.n, 3 * p.f + 1) << "seed=" << seed;
+    EXPECT_GE(p.n, (p.d + 2) * p.f + 1) << "seed=" << seed;
+    EXPECT_EQ(p.expect, ByzExpectation::kDecide);
+  }
+}
+
+TEST(ByzFuzz, SampledAdversariesAllPass) {
+  std::size_t failed = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const ByzPreset p = sample_byz_preset(seed);
+    const ByzRunResult r = run_byz_preset(p, seed);
+    if (!r.passed) {
+      ++failed;
+      ADD_FAILURE() << "seed=" << seed << " n=" << p.n << " f=" << p.f
+                    << " d=" << p.d << " " << behavior_name(p.kind) << ": "
+                    << r.detail;
+    }
+  }
+  EXPECT_EQ(failed, 0u);
+}
+
+}  // namespace
+}  // namespace chc::bcc

@@ -1,0 +1,145 @@
+// Argument-validation parity across the CLI tools: every driver must
+// reject garbage numeric values, unknown flags, and missing required
+// arguments with exit code 2 and its usage text — never an uncaught
+// std::stoul exception (a crash with exit 134/139) and never a silent
+// misparse like "5x" -> 5.
+//
+// Each tool's binary path is injected at compile time via the
+// CHC_TOOL_*_BIN definitions in tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+struct CmdResult {
+  int exit_code = -1;
+  std::string output;  ///< stdout + stderr interleaved
+};
+
+CmdResult run_cmd(const std::string& cmd) {
+  CmdResult r;
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return r;
+  std::array<char, 4096> buf;
+  std::size_t got = 0;
+  while ((got = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    r.output.append(buf.data(), got);
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+struct ToolCase {
+  const char* name;
+  const char* bin;
+  /// A numeric option each tool accepts, to feed garbage into.
+  const char* numeric_opt;
+};
+
+const ToolCase kTools[] = {
+    {"chc_byz", CHC_TOOL_BYZ_BIN, "--seed"},
+    {"chc_nemesis", CHC_TOOL_NEMESIS_BIN, "--seed"},
+    {"chc_record", CHC_TOOL_RECORD_BIN, "--seed"},
+    {"chc_cluster", CHC_TOOL_CLUSTER_BIN, "--nodes"},
+    {"chc_check", CHC_TOOL_CHECK_BIN, "--max-violations"},
+    {"chc_serve", CHC_TOOL_SERVE_BIN, "--instances"},
+};
+
+TEST(CliArgs, GarbageNumericValueExitsTwoWithDiagnostic) {
+  for (const ToolCase& t : kTools) {
+    for (const char* bad : {"5x", "x", "-3", "", "99999999999999999999999"}) {
+      const CmdResult r = run_cmd(std::string(t.bin) + " " +
+                                  t.numeric_opt + " '" + bad + "'");
+      EXPECT_EQ(r.exit_code, 2)
+          << t.name << " " << t.numeric_opt << " '" << bad
+          << "' -> exit " << r.exit_code << "\n" << r.output;
+      EXPECT_NE(r.output.find("needs a non-negative integer"),
+                std::string::npos)
+          << t.name << " '" << bad << "': " << r.output;
+      EXPECT_NE(r.output.find("usage"), std::string::npos)
+          << t.name << " '" << bad << "': " << r.output;
+    }
+  }
+}
+
+TEST(CliArgs, UnknownFlagExitsTwoWithUsage) {
+  for (const ToolCase& t : kTools) {
+    const CmdResult r = run_cmd(std::string(t.bin) + " --definitely-bogus");
+    EXPECT_EQ(r.exit_code, 2) << t.name << ": " << r.output;
+    EXPECT_NE(r.output.find("usage"), std::string::npos)
+        << t.name << ": " << r.output;
+  }
+}
+
+TEST(CliArgs, MissingOptionValueExitsTwo) {
+  for (const ToolCase& t : kTools) {
+    const CmdResult r =
+        run_cmd(std::string(t.bin) + " " + t.numeric_opt);
+    EXPECT_EQ(r.exit_code, 2) << t.name << ": " << r.output;
+    EXPECT_NE(r.output.find("needs a value"), std::string::npos)
+        << t.name << ": " << r.output;
+  }
+}
+
+TEST(CliArgs, GarbageRealValueExitsTwo) {
+  struct RealCase {
+    const char* bin;
+    const char* opt;
+  };
+  for (const RealCase& c :
+       {RealCase{CHC_TOOL_RECORD_BIN, "--eps"},
+        RealCase{CHC_TOOL_CLUSTER_BIN, "--soak"},
+        RealCase{CHC_TOOL_CHECK_BIN, "--tol"}}) {
+    for (const char* bad : {"1.5x", "nan", "x", ""}) {
+      const CmdResult r =
+          run_cmd(std::string(c.bin) + " " + c.opt + " '" + bad + "'");
+      EXPECT_EQ(r.exit_code, 2)
+          << c.opt << " '" << bad << "': " << r.output;
+      EXPECT_NE(r.output.find("needs a finite number"), std::string::npos)
+          << c.opt << " '" << bad << "': " << r.output;
+    }
+  }
+}
+
+TEST(CliArgs, NodeRejectsBadValuesAndBareInvocation) {
+  // chc_node predates the shared parse_count helper but has the same
+  // contract: strict whole-value parsing, exit 2 + usage on garbage.
+  for (const char* bad_args :
+       {"--id 5x", "--client-port 70000", "--time-scale x",
+        "--definitely-bogus", "--id", ""}) {
+    const CmdResult r =
+        run_cmd(std::string(CHC_TOOL_NODE_BIN) + " " + bad_args);
+    EXPECT_EQ(r.exit_code, 2) << "chc_node " << bad_args << ": "
+                              << r.output;
+    EXPECT_NE(r.output.find("usage"), std::string::npos)
+        << "chc_node " << bad_args << ": " << r.output;
+  }
+}
+
+TEST(CliArgs, NoModeExitsTwoWithUsage) {
+  // Tools that require a mode/required argument print usage and exit 2
+  // when invoked bare. (chc_serve and chc_cluster run with defaults, so
+  // they are exercised via the bad-value cases above instead.)
+  for (const char* bin : {CHC_TOOL_BYZ_BIN, CHC_TOOL_NEMESIS_BIN,
+                          CHC_TOOL_RECORD_BIN, CHC_TOOL_CHECK_BIN}) {
+    const CmdResult r = run_cmd(bin);
+    EXPECT_EQ(r.exit_code, 2) << bin << ": " << r.output;
+    EXPECT_NE(r.output.find("usage"), std::string::npos)
+        << bin << ": " << r.output;
+  }
+}
+
+TEST(CliArgs, HelpExitsZero) {
+  for (const ToolCase& t : kTools) {
+    const CmdResult r = run_cmd(std::string(t.bin) + " --help");
+    EXPECT_EQ(r.exit_code, 0) << t.name << ": " << r.output;
+    EXPECT_NE(r.output.find("usage"), std::string::npos) << t.name;
+  }
+}
+
+}  // namespace

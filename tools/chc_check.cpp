@@ -5,14 +5,18 @@
 // For each trace: parses it, re-verifies the paper's invariants
 // (obs/checker.hpp) and prints ACCEPT or REJECT with the first violating
 // event's line, round and diagnostic. With --replay the run is also
-// re-executed from the trace header and compared byte-for-byte
-// (core/replay.hpp). Exit code: 0 = all traces accepted, 1 = at least one
+// re-executed from the trace header and compared byte-for-byte — crash-CC
+// traces through core/replay.hpp, Byzantine (protocol=bcc) traces through
+// bcc/replay.hpp. Exit code: 0 = all traces accepted, 1 = at least one
 // rejected or diverged, 2 = usage / unreadable input.
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bcc/replay.hpp"
 #include "core/replay.hpp"
 #include "obs/checker.hpp"
 
@@ -28,6 +32,49 @@ void usage() {
          "                      a byte-identical trace\n";
 }
 
+/// Strict numeric argument parsing: the whole value must be digits.
+/// std::stoul alone would throw an uncaught exception on garbage (or
+/// silently accept "5x"), turning a typo into a crash instead of usage.
+std::uint64_t parse_count(const std::string& opt, const std::string& val) {
+  std::uint64_t v = 0;
+  bool ok = !val.empty();
+  for (char ch : val) {
+    if (ch < '0' || ch > '9' || v > (UINT64_MAX - 9) / 10) {
+      ok = false;
+      break;
+    }
+    v = v * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  if (!ok) {
+    std::cerr << opt << " needs a non-negative integer, got '" << val
+              << "'\n";
+    usage();
+    std::exit(2);
+  }
+  return v;
+}
+
+/// Same contract for real-valued options: the whole value must parse.
+double parse_real(const std::string& opt, const std::string& val) {
+  char* end = nullptr;
+  const double v = std::strtod(val.c_str(), &end);
+  if (val.empty() || end == nullptr || *end != '\0' || !std::isfinite(v)) {
+    std::cerr << opt << " needs a finite number, got '" << val << "'\n";
+    usage();
+    std::exit(2);
+  }
+  return v;
+}
+
+std::string next_value(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    std::cerr << argv[i] << " needs a value\n";
+    usage();
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -37,10 +84,10 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--tol" && i + 1 < argc) {
-      opts.tol = std::stod(argv[++i]);
-    } else if (arg == "--max-violations" && i + 1 < argc) {
-      opts.max_violations = std::stoul(argv[++i]);
+    if (arg == "--tol") {
+      opts.tol = parse_real(arg, next_value(argc, argv, i));
+    } else if (arg == "--max-violations") {
+      opts.max_violations = parse_count(arg, next_value(argc, argv, i));
     } else if (arg == "--replay") {
       replay = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -67,22 +114,15 @@ int main(int argc, char** argv) {
       std::cout << "ERROR   " << file << ": " << report.parse_error << "\n";
       return 2;
     }
+    // One summary shape for both verdicts (obs::summary_line), so skipped
+    // containments and truncation never vanish from a rejecting run.
     if (report.ok()) {
-      std::cout << "ACCEPT  " << file << " (events=" << report.events
-                << " snapshots=" << report.snapshots_checked
-                << " containments=" << report.containments_checked
-                << " pairs=" << report.pairs_checked
-                << " rounds=" << report.rounds_seen
-                << " iz=" << (report.iz_checked ? "yes" : "skipped");
-      if (report.containments_skipped != 0) {
-        std::cout << " containments_skipped=" << report.containments_skipped;
-      }
-      if (report.truncated_tail) std::cout << " truncated-tail";
-      std::cout << ")\n";
+      std::cout << "ACCEPT  " << file << " (" << chc::obs::summary_line(report)
+                << ")\n";
     } else {
       any_bad = true;
-      std::cout << "REJECT  " << file << " (" << report.violations.size()
-                << " violation(s); first:)\n";
+      std::cout << "REJECT  " << file << " (" << chc::obs::summary_line(report)
+                << "; " << report.violations.size() << " violation(s):)\n";
       for (const auto& v : report.violations) {
         std::cout << "  " << chc::obs::describe(v) << "\n";
       }
@@ -97,7 +137,10 @@ int main(int argc, char** argv) {
                   << " (live trace: not seed-replayable)\n";
         continue;
       }
-      const chc::core::ReplayResult rr = chc::core::replay_trace_file(file);
+      const chc::core::ReplayResult rr =
+          report.header.protocol == "bcc"
+              ? chc::bcc::replay_trace_file(file)
+              : chc::core::replay_trace_file(file);
       if (!rr.ran) {
         std::cout << "REPLAY-ERROR " << file << ": " << rr.error << "\n";
         any_bad = true;

@@ -28,6 +28,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -63,6 +64,40 @@ void usage() {
          "                   [--node-bin PATH] [--no-kill] [--soak SECONDS]\n"
          "                   [--timeout SECONDS] [--time-scale S]\n"
          "                   [--report FILE]\n";
+}
+
+/// Strict numeric argument parsing: the whole value must be digits.
+/// std::stoul alone would throw an uncaught exception on garbage (or
+/// silently accept "5x"), turning a typo into a crash instead of usage.
+std::uint64_t parse_count(const std::string& opt, const std::string& val) {
+  std::uint64_t v = 0;
+  bool ok = !val.empty();
+  for (char ch : val) {
+    if (ch < '0' || ch > '9' || v > (UINT64_MAX - 9) / 10) {
+      ok = false;
+      break;
+    }
+    v = v * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  if (!ok) {
+    std::cerr << opt << " needs a non-negative integer, got '" << val
+              << "'\n";
+    usage();
+    std::exit(2);
+  }
+  return v;
+}
+
+/// Same contract for real-valued options: the whole value must parse.
+double parse_real(const std::string& opt, const std::string& val) {
+  char* end = nullptr;
+  const double v = std::strtod(val.c_str(), &end);
+  if (val.empty() || end == nullptr || *end != '\0' || !std::isfinite(v)) {
+    std::cerr << opt << " needs a finite number, got '" << val << "'\n";
+    usage();
+    std::exit(2);
+  }
+  return v;
 }
 
 double mono_now() {
@@ -454,30 +489,24 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    try {
-      if (arg == "--nodes") opt.nodes = std::stoul(next());
-      else if (arg == "--f") opt.f = std::stoul(next());
-      else if (arg == "--d") opt.d = std::stoul(next());
-      else if (arg == "--eps") opt.eps = std::stod(next());
-      else if (arg == "--instances") opt.instances = std::stoul(next());
-      else if (arg == "--seed") opt.seed = std::stoull(next());
-      else if (arg == "--trace-dir") opt.trace_dir = next();
-      else if (arg == "--node-bin") opt.node_bin = next();
-      else if (arg == "--no-kill") opt.kill = false;
-      else if (arg == "--soak") opt.soak = std::stod(next());
-      else if (arg == "--timeout") opt.timeout = std::stod(next());
-      else if (arg == "--time-scale") opt.time_scale = std::stod(next());
-      else if (arg == "--report") opt.report = next();
-      else if (arg == "--help" || arg == "-h") {
-        usage();
-        return 0;
-      } else {
-        std::cerr << "unknown option: " << arg << "\n";
-        usage();
-        return 2;
-      }
-    } catch (const std::exception&) {
-      std::cerr << "bad value for " << arg << "\n";
+    if (arg == "--nodes") opt.nodes = parse_count(arg, next());
+    else if (arg == "--f") opt.f = parse_count(arg, next());
+    else if (arg == "--d") opt.d = parse_count(arg, next());
+    else if (arg == "--eps") opt.eps = parse_real(arg, next());
+    else if (arg == "--instances") opt.instances = parse_count(arg, next());
+    else if (arg == "--seed") opt.seed = parse_count(arg, next());
+    else if (arg == "--trace-dir") opt.trace_dir = next();
+    else if (arg == "--node-bin") opt.node_bin = next();
+    else if (arg == "--no-kill") opt.kill = false;
+    else if (arg == "--soak") opt.soak = parse_real(arg, next());
+    else if (arg == "--timeout") opt.timeout = parse_real(arg, next());
+    else if (arg == "--time-scale") opt.time_scale = parse_real(arg, next());
+    else if (arg == "--report") opt.report = next();
+    else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
       usage();
       return 2;
     }

@@ -33,6 +33,45 @@ Scenario& Scenario::partition_one_way(sim::Time t0, sim::Time t1,
   return *this;
 }
 
+Scenario& Scenario::partition_flapping(sim::Time t0, sim::Time t1,
+                                       sim::Time period,
+                                       std::vector<sim::ProcessId> side_a) {
+  CHC_CHECK(t1 > t0 && std::isfinite(t1), "flapping window must be finite");
+  CHC_CHECK(period > 0.0, "flapping period must be positive");
+  CHC_CHECK(!side_a.empty(), "partition side must be non-empty");
+  CHC_CHECK((t1 - t0) / period <= 10000.0, "too many flap windows");
+  // The cut is open for the first half of every period, healed for the
+  // second; expansion needs no n, so the flap lowers to plain cuts now.
+  for (sim::Time s = t0; s < t1; s += period) {
+    const sim::Time e = std::min(s + period / 2.0, t1);
+    if (e <= s) break;
+    cuts_.push_back({s, e, side_a, {}, /*symmetric=*/true});
+  }
+  return *this;
+}
+
+Scenario& Scenario::partition_rolling(sim::Time t0, sim::Time t1,
+                                      sim::Time period) {
+  CHC_CHECK(t1 > t0 && std::isfinite(t1), "rolling window must be finite");
+  CHC_CHECK(period > 0.0, "rolling period must be positive");
+  CHC_CHECK((t1 - t0) / period <= 10000.0, "too many roll windows");
+  rolls_.push_back({t0, t1, period});
+  return *this;
+}
+
+Scenario& Scenario::pause(sim::ProcessId p, sim::Time t0, sim::Time t1) {
+  CHC_CHECK(t1 > t0 && std::isfinite(t1), "pause window must be finite");
+  pauses_.push_back({p, t0, t1});
+  return *this;
+}
+
+Scenario& Scenario::clock_skew(sim::ProcessId p, double rate) {
+  CHC_CHECK(rate > 0.0, "clock rate must be positive");
+  CHC_CHECK(!skews_.count(p), "one clock rate per process");
+  skews_[p] = rate;
+  return *this;
+}
+
 Scenario& Scenario::crash(sim::ProcessId p, sim::Time at) {
   CHC_CHECK(!crashes_.count(p), "one crash plan per process");
   CHC_CHECK(!byz_.count(p),
@@ -100,7 +139,7 @@ std::vector<std::pair<sim::ProcessId, sim::ProcessId>> cut_links(
 
 }  // namespace
 
-Scenario::Compiled Scenario::compile(std::size_t n) const {
+Scenario::Compiled Scenario::compile(std::size_t n, Target target) const {
   CHC_CHECK(n > 0, "empty system");
   Compiled out;
   out.policy = base_;
@@ -115,17 +154,48 @@ Scenario::Compiled Scenario::compile(std::size_t n) const {
     CHC_CHECK(p < n, "byzantine process id out of range");
     out.byz.emplace(p, spec);
   }
-  if (cuts_.empty()) return out;
+  for (const auto& [p, rate] : skews_) {
+    CHC_CHECK(p < n, "clock-skew process id out of range");
+    CHC_CHECK(target == Target::kLive,
+              "clock_skew only lowers to the live runtime (the sim's "
+              "virtual clock cannot skew)");
+    out.skews.emplace(p, rate);
+  }
+  std::vector<Cut> cuts = cuts_;
+  // A rolling partition isolates node k (mod n) during its k-th window.
+  for (const RollingPartition& roll : rolls_) {
+    std::size_t k = 0;
+    for (sim::Time s = roll.t0; s < roll.t1; s += roll.period, ++k) {
+      const sim::Time e = std::min(s + roll.period, roll.t1);
+      if (e <= s) break;
+      cuts.push_back({s, e, {static_cast<sim::ProcessId>(k % n)}, {},
+                      /*symmetric=*/true});
+    }
+  }
+  for (const PauseWindow& pw : pauses_) {
+    CHC_CHECK(pw.p < n, "pause process id out of range");
+    if (target == Target::kLive) {
+      out.pauses.push_back(pw);
+    } else {
+      // Sim approximation: a frozen process is unreachable both ways (its
+      // state survives, so this is a cut, not a crash). The sim cannot
+      // stop its timers, which makes the approximation conservative: the
+      // paused process may retransmit into a void, never act on stale
+      // state it could not have seen.
+      cuts.push_back({pw.t0, pw.t1, {pw.p}, {}, /*symmetric=*/true});
+    }
+  }
+  if (cuts.empty()) return out;
 
   // Phase breakpoints: 0 plus every finite cut boundary.
   std::set<sim::Time> breaks{0.0};
-  for (const Cut& cut : cuts_) {
+  for (const Cut& cut : cuts) {
     breaks.insert(cut.t0);
     if (std::isfinite(cut.t1)) breaks.insert(cut.t1);
   }
   for (const sim::Time at : breaks) {
     net::NetworkPolicy phase = base_;
-    for (const Cut& cut : cuts_) {
+    for (const Cut& cut : cuts) {
       if (at < cut.t0 || at >= cut.t1) continue;
       // Severed link: certain drop, otherwise the base class's behavior.
       const net::ChannelPolicy& b = base_.link;

@@ -17,10 +17,25 @@
 //
 //   partition(t0, t1, A)            cut A <-> V\A both ways; heal at t1
 //   partition_one_way(t0, t1, A, B) cut A -> B only (asymmetric link loss)
+//   partition_flapping(t0, t1, T, A) the partition(A) cut opens for the
+//                                   first half of every period T inside
+//                                   [t0, t1) and heals for the second —
+//                                   a link that can never settle
+//   partition_rolling(t0, t1, T)    each period-T window inside [t0, t1)
+//                                   isolates one node, round-robin by id —
+//                                   the cut "rolls" around the ring
 //   crash(p, t)                     p crashes forever at t
 //   crash_after(p, k)               p crashes after sending k messages
 //   recover(p, t)                   p restarts with fresh state at t
 //                                   (requires an earlier crash(p, ...))
+//   pause(p, t0, t1)                p freezes (no sends, receives, or timer
+//                                   progress) during [t0, t1). Live runs
+//                                   lower it to SIGSTOP/SIGCONT; the sim
+//                                   approximates it as a symmetric cut of
+//                                   {p} (state survives, unlike a crash)
+//   clock_skew(p, rate)             p's model clock runs `rate` times wall
+//                                   time for the whole run (live only:
+//                                   the sim's virtual clock cannot skew)
 //   delay_storm(t0, t1, factor)     delays multiply by factor during the
 //                                   window (overlaps multiply)
 //   byzantine(p, spec)              p runs the Byzantine protocol track
@@ -33,6 +48,12 @@
 // may sit inside a partitioned phase. Everything is deterministic — a
 // Scenario contains no randomness; seeds enter only through the workload
 // and the simulator.
+//
+// compile() takes a Target: kSim (default) folds pauses into cuts and
+// rejects clock skews, kLive leaves pauses and skews as first-class lists
+// for the process orchestrator (which SIGSTOPs real processes and passes
+// --clock-rate to skewed nodes) so the two environments never double-apply
+// one step.
 #pragma once
 
 #include <cstddef>
@@ -56,8 +77,27 @@ struct Cut {
   bool symmetric = false;          ///< also cut to -> from
 };
 
+/// A rolling partition: every `period` inside [t0, t1) a different node
+/// (round-robin by id) is symmetrically cut off. Expansion needs n, so it
+/// is recorded and lowered in compile().
+struct RollingPartition {
+  sim::Time t0 = 0.0;
+  sim::Time t1 = 0.0;
+  sim::Time period = 0.0;
+};
+
+/// A freeze window: the process makes no progress at all during [t0, t1).
+struct PauseWindow {
+  sim::ProcessId p = 0;
+  sim::Time t0 = 0.0;
+  sim::Time t1 = 0.0;
+};
+
 class Scenario {
  public:
+  /// Which environment compile() lowers for (see the header comment).
+  enum class Target { kSim, kLive };
+
   /// Link faults in force everywhere the scenario does not cut (defaults
   /// to a clean network). Partition overrides keep this class's dup /
   /// reorder rates and only raise drop to 1.0.
@@ -68,9 +108,14 @@ class Scenario {
   Scenario& partition_one_way(sim::Time t0, sim::Time t1,
                               std::vector<sim::ProcessId> from,
                               std::vector<sim::ProcessId> to);
+  Scenario& partition_flapping(sim::Time t0, sim::Time t1, sim::Time period,
+                               std::vector<sim::ProcessId> side_a);
+  Scenario& partition_rolling(sim::Time t0, sim::Time t1, sim::Time period);
   Scenario& crash(sim::ProcessId p, sim::Time at);
   Scenario& crash_after(sim::ProcessId p, std::size_t sends);
   Scenario& recover(sim::ProcessId p, sim::Time at);
+  Scenario& pause(sim::ProcessId p, sim::Time t0, sim::Time t1);
+  Scenario& clock_skew(sim::ProcessId p, double rate);
   Scenario& delay_storm(sim::Time t0, sim::Time t1, double factor);
   Scenario& byzantine(sim::ProcessId p, bcc::BehaviorSpec spec);
 
@@ -80,6 +125,11 @@ class Scenario {
     net::PolicySchedule schedule; ///< non-empty iff the scenario has cuts
     std::vector<sim::StormWindow> storms;
     sim::CrashSchedule crashes;
+    /// Target::kLive only (kSim folds pauses into cuts; skews are
+    /// rejected): freeze windows for SIGSTOP/SIGCONT and per-process
+    /// clock-rate multipliers for --clock-rate.
+    std::vector<PauseWindow> pauses;
+    std::map<sim::ProcessId, double> skews;
     /// Non-empty iff the scenario has byzantine steps; routes the run onto
     /// the BCC harness with exactly these behavior assignments.
     std::map<sim::ProcessId, bcc::BehaviorSpec> byz;
@@ -87,10 +137,13 @@ class Scenario {
 
   /// Lowers the scenario for an n-process system. Validates process ids,
   /// interval ordering and crash-before-recover (CHC_CHECK on violation).
-  Compiled compile(std::size_t n) const;
+  Compiled compile(std::size_t n, Target target = Target::kSim) const;
 
   // Introspection (tests / reporting).
   const std::vector<Cut>& cuts() const { return cuts_; }
+  const std::vector<RollingPartition>& rolling() const { return rolls_; }
+  const std::vector<PauseWindow>& pauses() const { return pauses_; }
+  const std::map<sim::ProcessId, double>& skews() const { return skews_; }
   const std::vector<sim::StormWindow>& storms() const { return storms_; }
   const std::map<sim::ProcessId, sim::CrashPlan>& crash_plans() const {
     return crashes_;
@@ -102,6 +155,9 @@ class Scenario {
  private:
   net::NetworkPolicy base_;
   std::vector<Cut> cuts_;
+  std::vector<RollingPartition> rolls_;
+  std::vector<PauseWindow> pauses_;
+  std::map<sim::ProcessId, double> skews_;
   std::vector<sim::StormWindow> storms_;
   std::map<sim::ProcessId, sim::CrashPlan> crashes_;
   std::map<sim::ProcessId, bcc::BehaviorSpec> byz_;

@@ -318,6 +318,7 @@ std::string to_jsonl(const TraceHeader& h) {
   dbl("tick", h.tick);
   u64("max_retries", h.max_retries);
   u64("max_events", h.max_events);
+  if (h.clock_rate != 1.0) dbl("clock_rate", h.clock_rate);
   if (!h.overrides.empty()) {
     out += ",\"overrides\":[";
     for (std::size_t i = 0; i < h.overrides.size(); ++i) {
@@ -479,6 +480,7 @@ bool parse_header(std::string_view line, TraceHeader& out,
   dbl("tick", out.tick);
   u64("max_retries", out.max_retries);
   u64("max_events", out.max_events);
+  dbl("clock_rate", out.clock_rate);
   if (out.n == 0) {
     if (error != nullptr) *error = "header is missing n";
     return false;

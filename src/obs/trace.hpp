@@ -170,6 +170,12 @@ struct TraceHeader {
   std::uint64_t max_retries = 15;
   std::uint64_t max_events = 50'000'000;
 
+  /// Clock-rate multiplier of the recording node (live nemesis skew: this
+  /// node's model clock ran `clock_rate` times faster than true wall time,
+  /// so its timers genuinely misfire relative to its peers'). 1.0 — no
+  /// skew — is omitted from the serialized form.
+  double clock_rate = 1.0;
+
   // Time-varying adversary (nemesis scenarios); all empty for classic runs,
   // and omitted from the serialized form when empty (back-compat).
   std::vector<HeaderChannelOverride> overrides;  ///< static per-channel

@@ -176,6 +176,7 @@ NodeRuntime::NodeRuntime(const NodeConfig& cfg, Transport& transport)
     : cfg_(cfg), transport_(transport), start_wall_(mono_now()) {
   CHC_CHECK(cfg_.n > 0 && cfg_.id < cfg_.n, "node id out of range");
   CHC_CHECK(cfg_.time_scale > 0.0, "time scale must be positive");
+  CHC_CHECK(cfg_.clock_rate > 0.0, "clock rate must be positive");
   CHC_CHECK(transport.self() == cfg_.id && transport.n() == cfg_.n,
             "transport does not match the node identity");
 }
@@ -183,7 +184,20 @@ NodeRuntime::NodeRuntime(const NodeConfig& cfg, Transport& transport)
 NodeRuntime::~NodeRuntime() = default;
 
 double NodeRuntime::model_now() const {
-  return (mono_now() - start_wall_) / cfg_.time_scale;
+  return (mono_now() - start_wall_) * cfg_.clock_rate / cfg_.time_scale;
+}
+
+void NodeRuntime::set_nemesis_phases(
+    std::vector<obs::HeaderPolicyPhase> phases) {
+  nemesis_phases_ = std::move(phases);
+}
+
+std::size_t NodeRuntime::decided_count() const {
+  std::size_t c = 0;
+  for (const auto& [id, inst] : instances_) {
+    if (inst->decided) ++c;
+  }
+  return c;
 }
 
 void NodeRuntime::start_instance(const InstanceSpec& spec) {
@@ -239,6 +253,8 @@ void NodeRuntime::start_instance(const InstanceSpec& spec) {
     h.jitter = cfg_.rel.jitter;
     h.tick = cfg_.rel.tick;
     h.max_retries = cfg_.rel.max_retries;
+    h.clock_rate = cfg_.clock_rate;
+    h.phases = nemesis_phases_;
     h.faulty = spec.faulty;
     h.inputs.reserve(spec.inputs.size());
     for (const geo::Vec& x : spec.inputs) h.inputs.push_back(x.coords());
@@ -374,8 +390,8 @@ std::size_t NodeRuntime::step(int timeout_ms) {
     }
   }
   if (std::isfinite(next_due)) {
-    const double ms =
-        (next_due - model_now()) * cfg_.time_scale * 1000.0;
+    const double ms = (next_due - model_now()) * cfg_.time_scale /
+                      cfg_.clock_rate * 1000.0;
     wait = std::min(wait, std::max(0, static_cast<int>(ms)));
   }
   done += transport_.poll(wait, [&](NodeId from, WireFrame frame) {

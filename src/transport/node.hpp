@@ -85,6 +85,12 @@ struct NodeConfig {
   std::uint32_t epoch = 0;  ///< incarnation; bump on every restart
   /// Wall seconds per model time unit (default: RTO 3.0 -> 6 ms).
   double time_scale = 2e-3;
+  /// Clock-rate multiplier (live nemesis skew knob): this node's model
+  /// clock advances `clock_rate` model units per true unit of wall time,
+  /// so at 1.5 its RTOs expire — and it retransmits — 1.5x faster than an
+  /// unskewed peer's. Skew distorts timers and trace timestamps only; the
+  /// FaultyTransport's phase schedule deliberately ignores it.
+  double clock_rate = 1.0;
   net::ReliableParams rel = live_reliable_params();
   std::string trace_dir;  ///< empty: no trace files
 };
@@ -135,7 +141,16 @@ class NodeRuntime {
   /// Aggregate reliable-shim counters across instances.
   net::ShimStats shim_stats() const;
 
+  /// Declares the armed nemesis schedule: stamped (with the node's
+  /// clock_rate) into the trace header of every instance started AFTER the
+  /// call, so the checker sees the adversary the run actually faced.
+  void set_nemesis_phases(std::vector<obs::HeaderPolicyPhase> phases);
+
   double model_now() const;
+
+  /// Count of instances that have recorded a decision (STATUS reporting).
+  std::size_t decided_count() const;
+  std::size_t instance_count() const { return instances_.size(); }
 
  private:
   struct Instance;
@@ -153,6 +168,7 @@ class NodeRuntime {
   NodeConfig cfg_;
   Transport& transport_;
   double start_wall_;
+  std::vector<obs::HeaderPolicyPhase> nemesis_phases_;
   std::map<std::uint64_t, std::unique_ptr<Instance>> instances_;
   /// Self-sends + frames for instances not yet started.
   std::deque<std::pair<std::uint64_t, sim::Message>> local_q_;

@@ -28,10 +28,13 @@ double mono_now() {
       .count();
 }
 
-/// Minimum gap between dial attempts to one peer. Redialing is cheap (one
-/// nonblocking connect) and a dead peer refuses instantly, so a short gap
-/// keeps reconnect-after-restart latency low without spinning.
+/// Floor and cap of the per-peer redial gap. Redialing is cheap (one
+/// nonblocking connect) and a dead peer refuses instantly, so the floor
+/// keeps reconnect-after-restart latency low without spinning; the gap
+/// then grows with decorrelated jitter up to the cap so that many nodes
+/// redialing one healed peer do not arrive in lockstep waves.
 constexpr double kDialBackoffSec = 0.05;
+constexpr double kDialBackoffCapSec = 2.0;
 
 bool resolve(const std::string& host, std::uint16_t port,
              sockaddr_in& out) {
@@ -54,6 +57,13 @@ int make_socket() {
 }
 
 }  // namespace
+
+double decorrelated_backoff(double prev, double base, double cap, Rng& rng) {
+  const double hi = prev * 3.0;
+  if (hi <= base) return base;
+  const double next = rng.uniform(base, hi);
+  return next > cap ? cap : next;
+}
 
 std::vector<PeerAddr> parse_cluster_spec(const std::string& spec,
                                          std::string* error) {
@@ -97,7 +107,13 @@ TcpTransport::TcpTransport(NodeId self, std::vector<PeerAddr> cluster,
       cluster_(std::move(cluster)),
       epoch_(epoch),
       out_(cluster_.size()),
-      next_dial_(cluster_.size(), 0.0) {
+      next_dial_(cluster_.size(), 0.0),
+      dial_gap_(cluster_.size(), 0.0),
+      // Jitter only: mix pid + self so co-hosted nodes draw distinct
+      // redial streams (determinism of the consensus run never depends
+      // on this stream).
+      dial_rng_(static_cast<std::uint64_t>(::getpid()) * 0x9e3779b97f4a7c15ull ^
+                (static_cast<std::uint64_t>(self) + 1)) {
   CHC_CHECK(!cluster_.empty(), "tcp transport: empty cluster");
   CHC_CHECK(self_ < cluster_.size(), "tcp transport: self out of range");
   open_listener();
@@ -155,7 +171,9 @@ bool TcpTransport::ensure_dialed(NodeId to) {
   if (c.fd >= 0) return true;
   const double now = mono_now();
   if (now < next_dial_[to]) return false;
-  next_dial_[to] = now + kDialBackoffSec;
+  dial_gap_[to] = decorrelated_backoff(dial_gap_[to], kDialBackoffSec,
+                                       kDialBackoffCapSec, dial_rng_);
+  next_dial_[to] = now + dial_gap_[to];
 
   sockaddr_in addr{};
   if (!resolve(cluster_[to].host, cluster_[to].port, addr)) return false;
@@ -178,7 +196,10 @@ bool TcpTransport::ensure_dialed(NodeId to) {
                             static_cast<std::uint64_t>(cluster_.size())})});
   c.outq.assign(hello.begin(), hello.end());
   c.outq_pos = 0;
-  if (!c.connecting) flush(c);
+  if (!c.connecting) {
+    dial_gap_[to] = 0.0;  // established: next failure backs off from the floor
+    flush(c);
+  }
   return c.fd >= 0;
 }
 
@@ -215,6 +236,9 @@ bool TcpTransport::send(NodeId to, const WireFrame& frame) {
     return false;
   }
   c.outq.insert(c.outq.end(), bytes.begin(), bytes.end());
+  const std::uint64_t depth =
+      static_cast<std::uint64_t>(c.outq.size() - c.outq_pos);
+  if (depth > stats_.outq_hwm_bytes) stats_.outq_hwm_bytes = depth;
   if (!c.connecting && !flush(c)) {
     // The connection died mid-queue; the frame is gone with it. The
     // reliable layer retransmits after redial.
@@ -275,6 +299,7 @@ void TcpTransport::read_conn(Conn& c, bool inbound, const Handler& h,
       h(c.peer, std::move(*f));
     }
     if (c.reader.corrupt()) {
+      ++stats_.frames_corrupted;
       ++stats_.conn_errors;
       close_conn(c);
       return;
@@ -327,6 +352,7 @@ std::size_t TcpTransport::poll(int timeout_ms, const Handler& h) {
         continue;
       }
       c.connecting = false;
+      dial_gap_[c.peer] = 0.0;  // established: backoff restarts at the floor
       if (!flush(c)) continue;
     } else if ((re & POLLOUT) != 0) {
       if (!flush(c)) continue;

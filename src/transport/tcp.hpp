@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "transport/transport.hpp"
 
 namespace chc::transport {
@@ -38,6 +39,13 @@ struct PeerAddr {
   std::string host;
   std::uint16_t port = 0;
 };
+
+/// Decorrelated-jitter backoff step (the AWS "decorrelated jitter"
+/// scheme): given the previous sleep, the next one is uniform in
+/// [base, prev * 3], capped. Unlike fixed exponential steps, concurrent
+/// redialers spread out instead of hammering a healed peer in lockstep.
+/// Returns a value in [base, cap] for any prev >= 0.
+double decorrelated_backoff(double prev, double base, double cap, Rng& rng);
 
 /// Parses "host:port,host:port,...". Returns an empty vector and sets
 /// *error on malformed input.
@@ -77,6 +85,8 @@ class TcpTransport final : public Transport {
     std::uint64_t frames_sent = 0;    ///< frames fully queued
     std::uint64_t frames_dropped = 0; ///< send() could not queue
     std::uint64_t frames_received = 0;
+    std::uint64_t frames_corrupted = 0;  ///< streams killed on bad checksum
+    std::uint64_t outq_hwm_bytes = 0;    ///< deepest outbound backlog seen
   };
   const Stats& stats() const { return stats_; }
 
@@ -110,6 +120,8 @@ class TcpTransport final : public Transport {
   std::uint16_t listen_port_ = 0;
   std::vector<Conn> out_;                      // indexed by peer id
   std::vector<double> next_dial_;              // monotonic seconds gate
+  std::vector<double> dial_gap_;               // current backoff per peer
+  Rng dial_rng_;                               // jitter stream
   std::vector<std::unique_ptr<Conn>> in_;      // accepted connections
   std::map<NodeId, std::uint32_t> peer_epochs_;
   Stats stats_;

@@ -1,5 +1,6 @@
 #include "transport/wire.hpp"
 
+#include <array>
 #include <cstring>
 
 namespace chc::transport {
@@ -7,6 +8,32 @@ namespace chc::transport {
 namespace {
 
 constexpr std::size_t kHeaderBytes = 1 + 8;  // kind + instance
+constexpr std::size_t kPrefixBytes = 4 + 4;  // len + crc
+
+// CRC-32 (IEEE 802.3 polynomial, reflected), table generated once.
+const std::uint32_t* crc32_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+std::uint32_t crc32_ieee(const std::uint8_t* data, std::size_t len) {
+  const std::uint32_t* t = crc32_table();
+  std::uint32_t c = 0xffffffffu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = t[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
 
 void put_u32_le(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -42,11 +69,18 @@ bool known_kind(std::uint8_t k) {
 
 codec::Buffer frame_bytes(const WireFrame& f) {
   codec::Buffer out;
-  out.reserve(4 + kHeaderBytes + f.payload.size());
+  out.reserve(kPrefixBytes + kHeaderBytes + f.payload.size());
   put_u32_le(out, static_cast<std::uint32_t>(kHeaderBytes + f.payload.size()));
+  put_u32_le(out, 0);  // crc placeholder, patched below
   out.push_back(static_cast<std::uint8_t>(f.kind));
   put_u64_le(out, f.instance);
   out.insert(out.end(), f.payload.begin(), f.payload.end());
+  const std::uint32_t crc =
+      crc32_ieee(out.data() + kPrefixBytes, out.size() - kPrefixBytes);
+  for (int i = 0; i < 4; ++i) {
+    out[4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((crc >> (8 * i)) & 0xff);
+  }
   return out;
 }
 
@@ -68,14 +102,19 @@ void FrameReader::feed(const std::uint8_t* data, std::size_t len) {
 std::optional<WireFrame> FrameReader::next() {
   if (corrupt_) return std::nullopt;
   const std::size_t avail = buf_.size() - pos_;
-  if (avail < 4) return std::nullopt;
+  if (avail < kPrefixBytes) return std::nullopt;
   const std::uint32_t len = get_u32_le(buf_.data() + pos_);
   if (len < kHeaderBytes || len > kMaxFrameBytes) {
     corrupt_ = true;
     return std::nullopt;
   }
-  if (avail < 4 + static_cast<std::size_t>(len)) return std::nullopt;
-  const std::uint8_t* body = buf_.data() + pos_ + 4;
+  if (avail < kPrefixBytes + static_cast<std::size_t>(len)) return std::nullopt;
+  const std::uint32_t want_crc = get_u32_le(buf_.data() + pos_ + 4);
+  const std::uint8_t* body = buf_.data() + pos_ + kPrefixBytes;
+  if (crc32_ieee(body, len) != want_crc) {
+    corrupt_ = true;
+    return std::nullopt;
+  }
   if (!known_kind(body[0])) {
     corrupt_ = true;
     return std::nullopt;
@@ -84,7 +123,7 @@ std::optional<WireFrame> FrameReader::next() {
   f.kind = static_cast<FrameKind>(body[0]);
   f.instance = get_u64_le(body + 1);
   f.payload.assign(body + kHeaderBytes, body + len);
-  pos_ += 4 + static_cast<std::size_t>(len);
+  pos_ += kPrefixBytes + static_cast<std::size_t>(len);
   return f;
 }
 

@@ -4,10 +4,14 @@
 // receivers can recover message boundaries regardless of how the kernel
 // slices reads:
 //
-//   [u32 len][u8 kind][u64 instance][payload bytes]
+//   [u32 len][u32 crc][u8 kind][u64 instance][payload bytes]
 //
-// `len` counts everything after itself (kind + instance + payload), little
-// endian like the rest of the codec. `kind` selects the payload format:
+// `len` counts everything after the crc (kind + instance + payload), little
+// endian like the rest of the codec. `crc` is a CRC-32 (IEEE polynomial)
+// over those same bytes: a flipped bit anywhere in a frame body — or a
+// mis-framing caused by a corrupted length prefix — fails the checksum, so
+// corruption is *detected*, never silently delivered (up to the 2^-32
+// collision bound). `kind` selects the payload format:
 //
 //   kHello  codec::HelloFrame   — first frame on every connection
 //   kData   codec::RelFrame     — a reliable-channel DATA frame
@@ -61,8 +65,8 @@ class FrameReader {
   /// needed. Returns nullopt forever once the stream is corrupt.
   std::optional<WireFrame> next();
 
-  /// An impossible length prefix or unknown kind was seen; the stream
-  /// cannot be trusted past this point.
+  /// An impossible length prefix, checksum mismatch, or unknown kind was
+  /// seen; the stream cannot be trusted past this point.
   bool corrupt() const { return corrupt_; }
 
   /// Bytes buffered but not yet consumed (tests / backpressure).

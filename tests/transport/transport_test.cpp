@@ -68,7 +68,8 @@ TEST(Wire, ReassemblesOneByteAtATime) {
 
 TEST(Wire, AbsurdLengthMarksStreamCorrupt) {
   // Length prefix claiming 2 GiB: must flag corruption, not allocate.
-  const codec::Buffer evil = {0xff, 0xff, 0xff, 0x7f, 2};
+  // (A full [len][crc] prefix is needed before the reader inspects it.)
+  const codec::Buffer evil = {0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0};
   FrameReader r;
   r.feed(evil.data(), evil.size());
   EXPECT_FALSE(r.next().has_value());
@@ -78,11 +79,30 @@ TEST(Wire, AbsurdLengthMarksStreamCorrupt) {
 TEST(Wire, UnknownKindMarksStreamCorrupt) {
   WireFrame f = data_frame(1, {});
   codec::Buffer bytes = frame_bytes(f);
-  bytes[4] = 0x77;  // kind byte
+  bytes[8] = 0x77;  // kind byte (after [u32 len][u32 crc])
   FrameReader r;
   r.feed(bytes.data(), bytes.size());
   EXPECT_FALSE(r.next().has_value());
   EXPECT_TRUE(r.corrupt());
+}
+
+TEST(Wire, ChecksumCatchesAnySingleFlippedBit) {
+  const WireFrame f = data_frame(77, {10, 20, 30, 40, 50, 60});
+  const codec::Buffer clean = frame_bytes(f);
+  // Flip every bit position past the length prefix in turn; each must be
+  // detected (the length prefix itself is covered by the existing range
+  // check plus the checksum over the mis-framed body).
+  for (std::size_t byte = 4; byte < clean.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      codec::Buffer bytes = clean;
+      bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      FrameReader r;
+      r.feed(bytes.data(), bytes.size());
+      EXPECT_FALSE(r.next().has_value())
+          << "byte " << byte << " bit " << bit;
+      EXPECT_TRUE(r.corrupt()) << "byte " << byte << " bit " << bit;
+    }
+  }
 }
 
 TEST(Wire, SocketpairCarriesFramesAcrossPartialReads) {

@@ -4,23 +4,40 @@
 //               [--seed BASE] [--trace-dir DIR] [--node-bin PATH]
 //               [--no-kill] [--soak SECONDS] [--timeout SECONDS]
 //               [--time-scale S] [--report FILE]
+//               [--nemesis NAME|all] [--list-nemesis]
+//               [--fuzz CYCLES] [--soak-minutes M]
 //
 // Spawns N chc_node processes on 127.0.0.1 (ephemeral ports, reserved by
-// probing), drives two waves of K Algorithm CC instances through them via
-// the line RPC, and — unless --no-kill — SIGKILLs the workload-faulty node
-// mid-wave-1, restarts it with a bumped --epoch, and requires the restarted
-// node to fully rejoin (decide every wave-2 instance). On success it:
+// probing), drives waves of Algorithm CC instances through them via the
+// line RPC, and verifies the outcome three ways: pairwise decision
+// agreement (Hausdorff distance <= eps), per-node trace checking, and a
+// merged full-view trace per instance (trace-dir/merged_i<id>.jsonl, with
+// synthesized crash/recover events between a killed node's epoch
+// segments) re-verified by the same offline pass `chc_check` runs in CI.
 //
-//   * checks pairwise decision agreement (Hausdorff distance <= eps),
-//   * merges the per-node perspective traces of each instance into one
-//     full-view trace (trace-dir/merged_i<id>.jsonl) with synthesized
-//     crash/recover events between a killed node's epoch segments,
-//   * re-verifies every per-node AND merged trace with the offline checker
-//     (the same pass `chc_check` runs in CI).
+// Two driving modes:
 //
-// --soak S repeats kill/restart waves with rotating seeds for ~S seconds
-// (the nightly cluster soak). Exit 0 only when every instance decided,
-// every agreement held and every trace passed the checker.
+//  * Legacy kill/restart (default): two waves of K instances; unless
+//    --no-kill, the workload-faulty node is SIGKILLed mid-wave-1,
+//    restarted with a bumped --epoch, and must fully rejoin (decide every
+//    wave-2 instance). --soak S repeats such cycles for ~S seconds.
+//
+//  * Live nemesis (--nemesis / --fuzz / --soak-minutes): a
+//    nemesis::LivePreset compiles one Scenario into (a) a
+//    net::PolicySchedule broadcast to every node's FaultyTransport over
+//    the NEMESIS RPC, anchored to one shared wall-clock instant, (b)
+//    SIGKILL / restart+epoch-bump / SIGSTOP / SIGCONT actions this
+//    controller executes at anchored times, and (c) per-node --clock-rate
+//    skews (nodes whose rate changes are cleanly restarted first). After
+//    the plan's quiet point every never-killed node must decide.
+//    --nemesis takes one preset name or `all`; --fuzz N runs N seeded
+//    random scenario compositions; --soak-minutes M repeats fuzz cycles
+//    with rotating seeds for ~M minutes and additionally gates RSS and
+//    send-queue high-water stability across the run (first-third vs
+//    last-third means). Nemesis presets fix n/f/d/eps (5/1/2/0.15).
+//
+// Exit 0 only when every required instance decided, every agreement held,
+// every trace passed the checker, and (soak) the stability gates held.
 #include <fcntl.h>
 #include <signal.h>
 #include <sys/wait.h>
@@ -47,14 +64,24 @@
 #include "common/rng.hpp"
 #include "core/workload.hpp"
 #include "geometry/polytope.hpp"
+#include "nemesis/live.hpp"
 #include "obs/checker.hpp"
 #include "obs/trace.hpp"
+#include "transport/faulty.hpp"
 #include "transport/rpc.hpp"
 
 namespace {
 
 using namespace chc;
 namespace fs = std::filesystem;
+
+/// Wall seconds between broadcasting a NEMESIS schedule and its t=0: long
+/// enough for N round-trips of the arming RPC, short enough not to matter.
+constexpr double kAnchorLeadSec = 0.35;
+
+/// TcpTransport's per-peer send-queue bound (tcp.cpp refuses the insert
+/// past this, so the high-water mark can never legitimately exceed it).
+constexpr double kOutqCapBytes = 8.0 * 1024.0 * 1024.0;
 
 void usage() {
   std::cerr
@@ -63,7 +90,10 @@ void usage() {
          "DIR]\n"
          "                   [--node-bin PATH] [--no-kill] [--soak SECONDS]\n"
          "                   [--timeout SECONDS] [--time-scale S]\n"
-         "                   [--report FILE]\n";
+         "                   [--report FILE]\n"
+         "                   [--nemesis NAME|all] [--list-nemesis]\n"
+         "                   [--fuzz CYCLES] [--soak-minutes M]\n"
+         "nemesis presets fix --nodes/--f/--d/--eps; see --list-nemesis\n";
 }
 
 /// Strict numeric argument parsing: the whole value must be digits.
@@ -106,8 +136,51 @@ double mono_now() {
       .count();
 }
 
+/// CLOCK_REALTIME seconds — the clock FaultyTransport maps its schedule
+/// on, so anchors computed here and phase switches there agree.
+double realtime_now() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 void sleep_ms(int ms) {
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Sleeps (coarsely far out, finely close in) until the realtime instant.
+void wait_until_realtime(double target) {
+  for (;;) {
+    const double remaining = target - realtime_now();
+    if (remaining <= 0.0) return;
+    sleep_ms(remaining > 0.05 ? 20 : 2);
+  }
+}
+
+/// VmRSS of a live process in kB (0 when unreadable — e.g. it just died).
+double read_rss_kb(pid_t pid) {
+  std::ifstream in("/proc/" + std::to_string(pid) + "/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      std::istringstream is(line.substr(6));
+      double kb = 0.0;
+      if (is >> kb) return kb;
+    }
+  }
+  return 0.0;
+}
+
+/// Value of `key` in a "STATS k=v k=v ..." reply (0 when absent).
+std::uint64_t stats_value(const std::string& reply, const std::string& key) {
+  std::istringstream is(reply);
+  std::string tok;
+  while (is >> tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos || tok.substr(0, eq) != key) continue;
+    return std::strtoull(tok.c_str() + eq + 1, nullptr, 10);
+  }
+  return 0;
 }
 
 /// Reserves an ephemeral TCP port by binding :0 and closing. The tiny
@@ -136,7 +209,7 @@ struct Options {
   std::size_t f = 1;
   std::size_t d = 2;
   double eps = 0.15;
-  std::size_t instances = 2;  ///< per wave
+  std::size_t instances = 2;  ///< per wave / nemesis cycle
   std::uint64_t seed = 1;
   std::string trace_dir = "cluster-traces";
   std::string node_bin;
@@ -144,7 +217,12 @@ struct Options {
   double soak = 0.0;
   double timeout = 90.0;
   double time_scale = 2e-3;
+  bool time_scale_set = false;
   std::string report;
+  std::string nemesis;        ///< preset name or "all"
+  bool list_nemesis = false;
+  std::uint64_t fuzz = 0;     ///< random nemesis cycles
+  double soak_minutes = 0.0;  ///< rotating-seed fuzz soak
 };
 
 struct Node {
@@ -152,7 +230,9 @@ struct Node {
   std::uint16_t peer_port = 0;
   std::uint16_t rpc_port = 0;
   std::uint64_t epoch = 0;
+  double clock_rate = 1.0;
   bool alive = false;
+  bool paused = false;  ///< under SIGSTOP
 };
 
 class Cluster {
@@ -204,6 +284,13 @@ class Cluster {
           "--trace-dir", opt_.trace_dir,
           "--time-scale", std::to_string(opt_.time_scale),
       };
+      if (n.clock_rate != 1.0) {
+        std::ostringstream rate;
+        rate.precision(17);
+        rate << n.clock_rate;
+        args.push_back("--clock-rate");
+        args.push_back(rate.str());
+      }
       std::vector<char*> argv;
       for (std::string& a : args) argv.push_back(a.data());
       argv.push_back(nullptr);
@@ -212,6 +299,7 @@ class Cluster {
     }
     n.pid = pid;
     n.alive = true;
+    n.paused = false;
     return true;
   }
 
@@ -241,9 +329,24 @@ class Cluster {
   void kill_node(std::size_t i) {
     Node& n = nodes_[i];
     if (!n.alive) return;
-    ::kill(n.pid, SIGKILL);
+    ::kill(n.pid, SIGKILL);  // also terminates a SIGSTOPped process
     ::waitpid(n.pid, nullptr, 0);
     n.alive = false;
+    n.paused = false;
+  }
+
+  void stop_node(std::size_t i) {
+    Node& n = nodes_[i];
+    if (!n.alive || n.paused) return;
+    ::kill(n.pid, SIGSTOP);
+    n.paused = true;
+  }
+
+  void cont_node(std::size_t i) {
+    Node& n = nodes_[i];
+    if (!n.alive || !n.paused) return;
+    ::kill(n.pid, SIGCONT);
+    n.paused = false;
   }
 
   bool restart_node(std::size_t i) {
@@ -253,31 +356,58 @@ class Cluster {
     return spawn(i) && wait_ready(i);
   }
 
-  void shutdown_all() {
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      if (!nodes_[i].alive) continue;
-      rpc(i, "SHUTDOWN", 2000);
-      int status = 0;
-      const double deadline = mono_now() + 5.0;
-      while (mono_now() < deadline) {
-        const pid_t r = ::waitpid(nodes_[i].pid, &status, WNOHANG);
-        if (r == nodes_[i].pid) {
-          nodes_[i].alive = false;
-          break;
-        }
-        sleep_ms(20);
-      }
-      if (nodes_[i].alive) {
-        ::kill(nodes_[i].pid, SIGKILL);
-        ::waitpid(nodes_[i].pid, nullptr, 0);
-        nodes_[i].alive = false;
-      }
+  /// Makes node i run at `rate`. A live node at a different rate is shut
+  /// down CLEANLY (SHUTDOWN RPC -> SIGKILL fallback) and respawned with a
+  /// bumped epoch — clock rate is a spawn-time property of chc_node.
+  bool set_clock_rate(std::size_t i, double rate) {
+    Node& n = nodes_[i];
+    if (!n.alive) {
+      n.clock_rate = rate;
+      ++n.epoch;
+      return spawn(i) && wait_ready(i);
     }
+    if (std::abs(n.clock_rate - rate) < 1e-12) return true;
+    shutdown_one(i);
+    n.clock_rate = rate;
+    ++n.epoch;
+    return spawn(i) && wait_ready(i);
+  }
+
+  void shutdown_one(std::size_t i) {
+    Node& n = nodes_[i];
+    if (!n.alive) return;
+    cont_node(i);  // a SIGSTOPped node cannot serve SHUTDOWN
+    rpc(i, "SHUTDOWN", 2000);
+    int status = 0;
+    const double deadline = mono_now() + 5.0;
+    while (mono_now() < deadline) {
+      const pid_t r = ::waitpid(n.pid, &status, WNOHANG);
+      if (r == n.pid) {
+        n.alive = false;
+        break;
+      }
+      sleep_ms(20);
+    }
+    if (n.alive) {
+      ::kill(n.pid, SIGKILL);
+      ::waitpid(n.pid, nullptr, 0);
+      n.alive = false;
+    }
+  }
+
+  void shutdown_all() {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) shutdown_one(i);
   }
 
   std::size_t n() const { return nodes_.size(); }
   bool alive(std::size_t i) const { return nodes_[i].alive; }
+  pid_t pid(std::size_t i) const { return nodes_[i].pid; }
   std::uint64_t epoch(std::size_t i) const { return nodes_[i].epoch; }
+  std::uint64_t max_epoch() const {
+    std::uint64_t m = 0;
+    for (const Node& n : nodes_) m = std::max(m, n.epoch);
+    return m;
+  }
 
  private:
   Options opt_;
@@ -309,12 +439,14 @@ std::string submit_line(const Options& opt, const InstanceRun& run) {
   return os.str();
 }
 
+/// `nf` — how many workload-faulty pids to draw (<= opt.f; nemesis presets
+/// with no process fault run nf = 0 so every node must decide).
 InstanceRun make_run(const Options& opt, std::uint64_t id,
-                     std::uint64_t seed) {
+                     std::uint64_t seed, std::size_t nf) {
   InstanceRun run;
   run.id = id;
   run.seed = seed;
-  run.workload = core::make_workload(opt.nodes, opt.f, opt.d,
+  run.workload = core::make_workload(opt.nodes, nf, opt.d,
                                      core::InputPattern::kUniform, seed);
   run.magnitude = std::max(1.0, run.workload.correct_magnitude);
   return run;
@@ -379,24 +511,22 @@ std::optional<TraceSegment> load_segment(const fs::path& path) {
 /// Merges the per-node perspective traces of one instance into a full-view
 /// live trace, synthesizing kCrash/kRecover between a node's epoch
 /// segments (and a trailing kCrash for nodes that died without deciding).
-/// Returns false when no node produced a usable trace.
+/// `epoch_limit` bounds the per-node epoch scan (soak runs bump epochs far
+/// past the old fixed window). Returns false when no node produced a
+/// usable trace.
 bool merge_instance_traces(const Options& opt, const InstanceRun& run,
+                           std::uint64_t epoch_limit,
                            const fs::path& out_path) {
   std::vector<std::vector<TraceSegment>> per_node(opt.nodes);
   bool have_header = false;
   obs::TraceHeader header;
   for (std::size_t k = 0; k < opt.nodes; ++k) {
-    for (std::uint64_t e = 0;; ++e) {
+    for (std::uint64_t e = 0; e <= epoch_limit; ++e) {
       const fs::path p = fs::path(opt.trace_dir) /
                          ("i" + std::to_string(run.id) + "_node" +
                           std::to_string(k) + "_e" + std::to_string(e) +
                           ".jsonl");
-      if (!fs::exists(p)) {
-        // Epochs are dense per node, but an instance submitted after a
-        // restart starts at a later epoch — scan a little further.
-        if (e > 16) break;
-        continue;
-      }
+      if (!fs::exists(p)) continue;
       auto seg = load_segment(p);
       if (seg) {
         if (!have_header) {
@@ -410,6 +540,7 @@ bool merge_instance_traces(const Options& opt, const InstanceRun& run,
   if (!have_header) return false;
 
   header.perspective = -1;  // full view: every process appears
+  header.clock_rate = 1.0;  // per-recording-node property, meaningless here
   std::ofstream out(out_path);
   if (!out) return false;
   out << obs::to_jsonl(header) << "\n";
@@ -475,6 +606,19 @@ bool merge_instance_traces(const Options& opt, const InstanceRun& run,
   return true;
 }
 
+/// One nemesis cycle's stability sample (soak gates).
+struct SoakSample {
+  double max_rss_kb = 0.0;
+  double max_outq_hwm = 0.0;
+};
+
+double mean_of(const std::vector<SoakSample>& v, std::size_t begin,
+               std::size_t end, double SoakSample::*field) {
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += v[i].*field;
+  return end > begin ? sum / static_cast<double>(end - begin) : 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -500,8 +644,17 @@ int main(int argc, char** argv) {
     else if (arg == "--no-kill") opt.kill = false;
     else if (arg == "--soak") opt.soak = parse_real(arg, next());
     else if (arg == "--timeout") opt.timeout = parse_real(arg, next());
-    else if (arg == "--time-scale") opt.time_scale = parse_real(arg, next());
+    else if (arg == "--time-scale") {
+      opt.time_scale = parse_real(arg, next());
+      opt.time_scale_set = true;
+    }
     else if (arg == "--report") opt.report = next();
+    else if (arg == "--nemesis") opt.nemesis = next();
+    else if (arg == "--list-nemesis") opt.list_nemesis = true;
+    else if (arg == "--fuzz") opt.fuzz = parse_count(arg, next());
+    else if (arg == "--soak-minutes") {
+      opt.soak_minutes = parse_real(arg, next());
+    }
     else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -511,6 +664,47 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (opt.list_nemesis) {
+    for (const nemesis::LivePreset& p : nemesis::live_presets()) {
+      std::cout << p.name << "\n    " << p.description << "\n";
+    }
+    return 0;
+  }
+  const bool nemesis_mode =
+      !opt.nemesis.empty() || opt.fuzz > 0 || opt.soak_minutes > 0.0;
+
+  // Resolve the nemesis preset list up front: a typo'd name should die on
+  // usage, not after a cluster spawn.
+  std::vector<const nemesis::LivePreset*> chosen;
+  if (!opt.nemesis.empty()) {
+    if (opt.nemesis == "all") {
+      for (const nemesis::LivePreset& p : nemesis::live_presets()) {
+        chosen.push_back(&p);
+      }
+    } else {
+      const nemesis::LivePreset* p = nemesis::find_live_preset(opt.nemesis);
+      if (p == nullptr) {
+        std::cerr << "unknown nemesis preset: " << opt.nemesis
+                  << " (see --list-nemesis)\n";
+        return 2;
+      }
+      chosen.push_back(p);
+    }
+  }
+  if (nemesis_mode) {
+    // Every live preset (and the fuzz sampler) is built for one cluster
+    // shape; the scenario's cut/kill targets assume it.
+    const nemesis::LivePreset& shape =
+        chosen.empty() ? nemesis::live_presets().front() : *chosen.front();
+    opt.nodes = shape.n;
+    opt.f = shape.f;
+    opt.d = shape.d;
+    opt.eps = shape.eps;
+    // A live preset spans tens of model units and the controller must act
+    // MID-protocol: 20 ms/unit paces a 40-unit partition at 0.8 s wall.
+    if (!opt.time_scale_set) opt.time_scale = 0.02;
+  }
+
   if (opt.nodes == 0 || opt.instances == 0 || opt.nodes > 32) {
     std::cerr << "implausible --nodes / --instances\n";
     usage();
@@ -531,7 +725,9 @@ int main(int argc, char** argv) {
   bool all_ok = true;
   std::vector<std::string> failures;
   std::vector<InstanceRun> runs;
+  std::vector<SoakSample> samples;
   double max_agreement = 0.0;
+  std::uint64_t epoch_limit = 16;
   const auto fail = [&](const std::string& why) {
     all_ok = false;
     failures.push_back(why);
@@ -591,104 +787,293 @@ int main(int argc, char** argv) {
       return true;
     };
 
+    /// Pairwise decision agreement across whatever nodes answer DECIDED.
+    const auto check_agreement = [&](const InstanceRun& run) {
+      std::vector<geo::Polytope> decisions;
+      for (std::size_t k = 0; k < cluster.n(); ++k) {
+        if (!cluster.alive(k)) continue;
+        const auto resp =
+            cluster.rpc(k, "STATUS " + std::to_string(run.id), 1000);
+        if (!resp) continue;
+        const auto verts = parse_decided(*resp);
+        if (verts && !verts->empty()) {
+          decisions.push_back(geo::Polytope::from_points(*verts));
+        }
+      }
+      for (std::size_t a = 0; a < decisions.size(); ++a) {
+        for (std::size_t b = a + 1; b < decisions.size(); ++b) {
+          const double dist = geo::hausdorff(decisions[a], decisions[b]);
+          max_agreement = std::max(max_agreement, dist);
+          if (dist > opt.eps + 1e-6) {
+            fail("instance " + std::to_string(run.id) +
+                 ": pairwise decision distance " + std::to_string(dist) +
+                 " > eps " + std::to_string(opt.eps));
+          }
+        }
+      }
+    };
+
     std::uint64_t next_id = 0;
     std::uint64_t next_seed = opt.seed;
-    const double soak_deadline =
-        opt.soak > 0.0 ? mono_now() + opt.soak : mono_now();
-    std::size_t cycle = 0;
-    // Normal mode runs exactly one kill/recover cycle (wave 1 + wave 2);
-    // soak mode repeats cycles until its deadline.
-    do {
-      // --- wave 1: submit, kill the faulty node mid-run, finish ---------
-      std::vector<InstanceRun> wave1;
-      for (std::size_t i = 0; i < opt.instances; ++i) {
-        wave1.push_back(make_run(opt, next_id++, next_seed++));
-      }
-      for (const auto& run : wave1) submit_to_all(run);
 
-      std::optional<std::size_t> victim;
-      if (opt.kill && opt.f > 0 && !wave1[0].workload.faulty.empty()) {
-        victim = static_cast<std::size_t>(wave1[0].workload.faulty[0]);
-        // Randomized dwell (seeded, reproducible): somewhere between
-        // submit and typical decide time, so the kill lands mid-protocol.
-        Rng kill_rng(next_seed * 7919 + cycle);
-        sleep_ms(20 + static_cast<int>(kill_rng.uniform() * 150.0));
-        cluster.kill_node(*victim);
-        for (auto& run : wave1) run.killed.insert(*victim);
-        std::cout << "killed node " << *victim << " (cycle " << cycle
-                  << ")\n";
-      }
-
-      std::set<std::size_t> survivors;
-      for (std::size_t k = 0; k < cluster.n(); ++k) {
-        if (cluster.alive(k)) survivors.insert(k);
-      }
-      for (const auto& run : wave1) wait_decided(run.id, survivors);
-
-      // --- recover, then wave 2 must include the restarted node ---------
-      if (victim) {
-        if (!cluster.restart_node(*victim)) {
-          throw std::runtime_error("node " + std::to_string(*victim) +
-                                   " did not come back");
+    if (nemesis_mode) {
+      /// One preset run end to end: skews applied, schedule anchored and
+      /// broadcast, instances submitted at the anchor, actions executed
+      /// at anchored wall times, decisions and agreement gated.
+      const auto run_cycle = [&](const nemesis::LivePreset& preset,
+                                 std::uint64_t scenario_seed) {
+        std::cout << "nemesis cycle: " << preset.name << " (seed "
+                  << scenario_seed << ")\n";
+        std::vector<InstanceRun> wave;
+        for (std::size_t i = 0; i < opt.instances; ++i) {
+          wave.push_back(
+              make_run(opt, next_id++, next_seed++, preset.crash_count));
         }
-        std::cout << "restarted node " << *victim << " (epoch "
-                  << cluster.epoch(*victim) << ")\n";
-        // Hand the wave-1 specs to the new incarnation too: it serves its
-        // peers' retransmissions and may finish late; it is not REQUIRED
-        // to (a recovered process is faulty in the paper's accounting).
-        for (const auto& run : wave1) {
-          cluster.rpc(*victim, submit_line(opt, run));
+        const nemesis::Scenario scen =
+            preset.build(wave[0].workload.faulty, opt.nodes);
+        const nemesis::LivePlan plan =
+            nemesis::compile_live(scen, opt.nodes);
+
+        for (std::size_t k = 0; k < cluster.n(); ++k) {
+          const auto it = plan.skews.find(k);
+          const double rate = it == plan.skews.end() ? 1.0 : it->second;
+          if (!cluster.set_clock_rate(k, rate)) {
+            throw std::runtime_error("node " + std::to_string(k) +
+                                     " did not restart with clock rate " +
+                                     std::to_string(rate));
+          }
         }
-      }
 
-      std::vector<InstanceRun> wave2;
-      for (std::size_t i = 0; i < opt.instances; ++i) {
-        wave2.push_back(make_run(opt, next_id++, next_seed++));
-      }
-      for (const auto& run : wave2) submit_to_all(run);
-      std::set<std::size_t> everyone;
-      for (std::size_t k = 0; k < cluster.n(); ++k) everyone.insert(k);
-      for (const auto& run : wave2) {
-        // Full rejoin proof: the restarted node decides these too.
-        wait_decided(run.id, everyone);
-      }
-
-      // --- pairwise decision agreement ----------------------------------
-      for (const auto* wave : {&wave1, &wave2}) {
-        for (const auto& run : *wave) {
-          std::vector<geo::Polytope> decisions;
+        const double anchor = realtime_now() + kAnchorLeadSec;
+        std::string arm_line;
+        if (!plan.schedule.empty()) {
+          transport::NemesisSpec spec;
+          spec.schedule = plan.schedule;
+          spec.seed = scenario_seed;
+          spec.anchor_realtime_sec = anchor;
+          spec.time_scale = opt.time_scale;
+          arm_line = "NEMESIS " + transport::encode_nemesis_spec(spec);
           for (std::size_t k = 0; k < cluster.n(); ++k) {
-            if (!cluster.alive(k)) continue;
-            const auto resp =
-                cluster.rpc(k, "STATUS " + std::to_string(run.id), 1000);
-            if (!resp) continue;
-            const auto verts = parse_decided(*resp);
-            if (verts && !verts->empty()) {
-              decisions.push_back(geo::Polytope::from_points(*verts));
-            }
-          }
-          for (std::size_t a = 0; a < decisions.size(); ++a) {
-            for (std::size_t b = a + 1; b < decisions.size(); ++b) {
-              const double dist = geo::hausdorff(decisions[a], decisions[b]);
-              max_agreement = std::max(max_agreement, dist);
-              if (dist > opt.eps + 1e-6) {
-                fail("instance " + std::to_string(run.id) +
-                     ": pairwise decision distance " + std::to_string(dist) +
-                     " > eps " + std::to_string(opt.eps));
-              }
+            const auto resp = cluster.rpc(k, arm_line);
+            if (!resp || *resp != "OK") {
+              fail("NEMESIS arm on node " + std::to_string(k) + " -> " +
+                   resp.value_or("(no response)"));
             }
           }
         }
-      }
-      for (auto& run : wave1) runs.push_back(std::move(run));
-      for (auto& run : wave2) runs.push_back(std::move(run));
-      ++cycle;
-    } while (opt.soak > 0.0 && mono_now() < soak_deadline && all_ok);
 
+        wait_until_realtime(anchor);
+        for (const auto& run : wave) submit_to_all(run);
+
+        std::set<std::size_t> killed_now;
+        for (const nemesis::LiveAction& a : plan.actions) {
+          wait_until_realtime(anchor + a.at * opt.time_scale);
+          switch (a.kind) {
+            case nemesis::LiveAction::Kind::kKill:
+              cluster.kill_node(a.node);
+              killed_now.insert(a.node);
+              for (auto& run : wave) run.killed.insert(a.node);
+              std::cout << "  t=" << a.at << " SIGKILL node " << a.node
+                        << "\n";
+              break;
+            case nemesis::LiveAction::Kind::kRestart:
+              if (!cluster.restart_node(a.node)) {
+                throw std::runtime_error("node " + std::to_string(a.node) +
+                                         " did not come back");
+              }
+              std::cout << "  t=" << a.at << " restarted node " << a.node
+                        << " (epoch " << cluster.epoch(a.node) << ")\n";
+              // Re-arm (the anchor is wall-clock: the new incarnation
+              // lands mid-schedule in the right phase) and hand it the
+              // in-flight specs; it serves retransmissions and may even
+              // finish, but is not REQUIRED to (a recovered process is
+              // faulty in the paper's accounting).
+              if (!arm_line.empty()) cluster.rpc(a.node, arm_line);
+              for (const auto& run : wave) {
+                cluster.rpc(a.node, submit_line(opt, run));
+              }
+              break;
+            case nemesis::LiveAction::Kind::kStop:
+              cluster.stop_node(a.node);
+              std::cout << "  t=" << a.at << " SIGSTOP node " << a.node
+                        << "\n";
+              break;
+            case nemesis::LiveAction::Kind::kCont:
+              cluster.cont_node(a.node);
+              std::cout << "  t=" << a.at << " SIGCONT node " << a.node
+                        << "\n";
+              break;
+          }
+        }
+        wait_until_realtime(anchor + plan.quiet_at * opt.time_scale);
+
+        std::set<std::size_t> required;
+        for (std::size_t k = 0; k < cluster.n(); ++k) {
+          if (killed_now.count(k) == 0) required.insert(k);
+        }
+        for (const auto& run : wave) wait_decided(run.id, required);
+        for (const auto& run : wave) check_agreement(run);
+
+        SoakSample sample;
+        for (std::size_t k = 0; k < cluster.n(); ++k) {
+          if (!cluster.alive(k)) continue;
+          const auto resp = cluster.rpc(k, "STATUS");
+          if (resp && resp->rfind("STATS", 0) == 0) {
+            sample.max_outq_hwm = std::max(
+                sample.max_outq_hwm,
+                static_cast<double>(stats_value(*resp, "outq_hwm_bytes")));
+          }
+          sample.max_rss_kb =
+              std::max(sample.max_rss_kb, read_rss_kb(cluster.pid(k)));
+          cluster.rpc(k, "NEMESIS OFF");
+        }
+        samples.push_back(sample);
+
+        // Heal for the next cycle: revive anything the plan left dead.
+        for (const std::size_t k : killed_now) {
+          if (!cluster.alive(k) && !cluster.restart_node(k)) {
+            throw std::runtime_error("node " + std::to_string(k) +
+                                     " did not come back after the cycle");
+          }
+        }
+        for (auto& run : wave) runs.push_back(std::move(run));
+      };
+
+      if (!chosen.empty()) {
+        for (std::size_t i = 0; i < chosen.size() && all_ok; ++i) {
+          run_cycle(*chosen[i], opt.seed + i);
+        }
+      } else if (opt.fuzz > 0) {
+        for (std::uint64_t c = 0; c < opt.fuzz && all_ok; ++c) {
+          run_cycle(nemesis::sample_live_preset(opt.seed + c), opt.seed + c);
+        }
+      } else {
+        const double deadline = mono_now() + opt.soak_minutes * 60.0;
+        std::uint64_t c = 0;
+        while (mono_now() < deadline && all_ok) {
+          run_cycle(nemesis::sample_live_preset(opt.seed + c), opt.seed + c);
+          ++c;
+        }
+        std::cout << "soak: " << c << " cycles in " << opt.soak_minutes
+                  << " minutes\n";
+      }
+    } else {
+      const double soak_deadline =
+          opt.soak > 0.0 ? mono_now() + opt.soak : mono_now();
+      std::size_t cycle = 0;
+      // Normal mode runs exactly one kill/recover cycle (wave 1 + wave 2);
+      // soak mode repeats cycles until its deadline.
+      do {
+        // --- wave 1: submit, kill the faulty node mid-run, finish -------
+        std::vector<InstanceRun> wave1;
+        for (std::size_t i = 0; i < opt.instances; ++i) {
+          wave1.push_back(make_run(opt, next_id++, next_seed++, opt.f));
+        }
+        for (const auto& run : wave1) submit_to_all(run);
+
+        std::optional<std::size_t> victim;
+        if (opt.kill && opt.f > 0 && !wave1[0].workload.faulty.empty()) {
+          victim = static_cast<std::size_t>(wave1[0].workload.faulty[0]);
+          // Randomized dwell (seeded, reproducible): somewhere between
+          // submit and typical decide time, so the kill lands
+          // mid-protocol.
+          Rng kill_rng(next_seed * 7919 + cycle);
+          sleep_ms(20 + static_cast<int>(kill_rng.uniform() * 150.0));
+          cluster.kill_node(*victim);
+          for (auto& run : wave1) run.killed.insert(*victim);
+          std::cout << "killed node " << *victim << " (cycle " << cycle
+                    << ")\n";
+        }
+
+        std::set<std::size_t> survivors;
+        for (std::size_t k = 0; k < cluster.n(); ++k) {
+          if (cluster.alive(k)) survivors.insert(k);
+        }
+        for (const auto& run : wave1) wait_decided(run.id, survivors);
+
+        // --- recover, then wave 2 must include the restarted node -------
+        if (victim) {
+          if (!cluster.restart_node(*victim)) {
+            throw std::runtime_error("node " + std::to_string(*victim) +
+                                     " did not come back");
+          }
+          std::cout << "restarted node " << *victim << " (epoch "
+                    << cluster.epoch(*victim) << ")\n";
+          // Hand the wave-1 specs to the new incarnation too: it serves
+          // its peers' retransmissions and may finish late; it is not
+          // REQUIRED to (a recovered process is faulty in the paper's
+          // accounting).
+          for (const auto& run : wave1) {
+            cluster.rpc(*victim, submit_line(opt, run));
+          }
+        }
+
+        std::vector<InstanceRun> wave2;
+        for (std::size_t i = 0; i < opt.instances; ++i) {
+          wave2.push_back(make_run(opt, next_id++, next_seed++, opt.f));
+        }
+        for (const auto& run : wave2) submit_to_all(run);
+        std::set<std::size_t> everyone;
+        for (std::size_t k = 0; k < cluster.n(); ++k) everyone.insert(k);
+        for (const auto& run : wave2) {
+          // Full rejoin proof: the restarted node decides these too.
+          wait_decided(run.id, everyone);
+        }
+
+        for (const auto* wave : {&wave1, &wave2}) {
+          for (const auto& run : *wave) check_agreement(run);
+        }
+        for (auto& run : wave1) runs.push_back(std::move(run));
+        for (auto& run : wave2) runs.push_back(std::move(run));
+        ++cycle;
+      } while (opt.soak > 0.0 && mono_now() < soak_deadline && all_ok);
+    }
+
+    epoch_limit = std::max<std::uint64_t>(epoch_limit, cluster.max_epoch());
     cluster.shutdown_all();
     std::cout << "cluster down; verifying traces\n";
   } catch (const std::exception& ex) {
     fail(ex.what());
+  }
+
+  // --- soak stability gates ----------------------------------------------
+  if (!samples.empty()) {
+    double max_outq = 0.0, max_rss = 0.0;
+    for (const SoakSample& s : samples) {
+      max_outq = std::max(max_outq, s.max_outq_hwm);
+      max_rss = std::max(max_rss, s.max_rss_kb);
+    }
+    std::cout << "stability: " << samples.size() << " cycles, outq hwm "
+              << max_outq << " B, peak RSS " << max_rss << " kB\n";
+    if (max_outq > kOutqCapBytes) {
+      fail("send-queue high-water " + std::to_string(max_outq) +
+           " B exceeds the " + std::to_string(kOutqCapBytes) + " B bound");
+    }
+    if (opt.soak_minutes > 0.0 && samples.size() >= 6) {
+      const std::size_t third = samples.size() / 3;
+      const double rss_early =
+          mean_of(samples, 0, third, &SoakSample::max_rss_kb);
+      const double rss_late =
+          mean_of(samples, samples.size() - third, samples.size(),
+                  &SoakSample::max_rss_kb);
+      // Slack: allocator warm-up and trace buffers legitimately grow a
+      // little; an unbounded leak blows far past 1.5x + 16 MiB.
+      if (rss_late > rss_early * 1.5 + 16384.0) {
+        fail("soak RSS drift: first-third mean " +
+             std::to_string(rss_early) + " kB -> last-third mean " +
+             std::to_string(rss_late) + " kB");
+      }
+      const double outq_early =
+          mean_of(samples, 0, third, &SoakSample::max_outq_hwm);
+      const double outq_late =
+          mean_of(samples, samples.size() - third, samples.size(),
+                  &SoakSample::max_outq_hwm);
+      if (outq_late > outq_early * 2.0 + 1024.0 * 1024.0) {
+        fail("soak outq hwm drift: first-third mean " +
+             std::to_string(outq_early) + " B -> last-third mean " +
+             std::to_string(outq_late) + " B");
+      }
+    }
   }
 
   // --- offline verification: per-node traces + merged full-view traces --
@@ -712,7 +1097,7 @@ int main(int argc, char** argv) {
     const fs::path merged =
         fs::path(opt.trace_dir) / ("merged_i" + std::to_string(run.id) +
                                    ".jsonl");
-    if (!merge_instance_traces(opt, run, merged)) {
+    if (!merge_instance_traces(opt, run, epoch_limit, merged)) {
       fail("could not merge traces of instance " + std::to_string(run.id));
       continue;
     }
@@ -736,7 +1121,8 @@ int main(int argc, char** argv) {
     rep << "{\"ok\": " << (all_ok ? "true" : "false")
         << ", \"instances\": " << runs.size()
         << ", \"traces_checked\": " << traces_checked
-        << ", \"max_agreement\": " << max_agreement << ", \"failures\": [";
+        << ", \"max_agreement\": " << max_agreement
+        << ", \"nemesis_cycles\": " << samples.size() << ", \"failures\": [";
     for (std::size_t i = 0; i < failures.size(); ++i) {
       if (i != 0) rep << ", ";
       std::string esc;
